@@ -1,0 +1,42 @@
+//! The literal Figure-15 measurement: LDR with a warm path cache vs a cold
+//! cache vs the link-based MCF formulation, on a hard (high-LLPD) network.
+//! The paper reports the link-based route about two orders of magnitude
+//! slower; Criterion's report shows our gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lowlat_bench::{gts, standard_tm};
+use lowlat_core::pathset::PathCache;
+use lowlat_core::schemes::ldr::Ldr;
+use lowlat_core::schemes::linkbased::LinkBasedOptimal;
+use lowlat_core::schemes::RoutingScheme;
+
+fn bench_fig15(c: &mut Criterion) {
+    let topo = gts();
+    let tm = standard_tm(&topo, 0);
+    let mut g = c.benchmark_group("fig15_runtime");
+    g.sample_size(10);
+
+    // Warm: one persistent cache across iterations — the deployment mode.
+    let warm_cache = PathCache::new(topo.graph());
+    let _ = Ldr::default().place_with_cache(&warm_cache, &tm); // prime
+    g.bench_function("ldr_warm_cache", |b| {
+        b.iter(|| Ldr::default().place_with_cache(&warm_cache, &tm).expect("ldr"))
+    });
+
+    // Cold: a fresh cache every iteration — the first-run cost.
+    g.bench_function("ldr_cold_cache", |b| {
+        b.iter(|| {
+            let cache = PathCache::new(topo.graph());
+            Ldr::default().place_with_cache(&cache, &tm).expect("ldr")
+        })
+    });
+
+    g.bench_function("link_based_mcf", |b| {
+        b.iter(|| LinkBasedOptimal::default().place(&topo, &tm).expect("link-based"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig15);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmarks behind Figures 1/3/19 — the APA/LLPD computation and
+//! shortest-path placement+evaluation over a network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lowlat_bench::{abilene, gts, standard_tm};
+use lowlat_core::eval::PlacementEval;
+use lowlat_core::llpd::{LlpdAnalysis, LlpdConfig};
+use lowlat_core::schemes::sp::ShortestPathRouting;
+use lowlat_core::schemes::RoutingScheme;
+
+fn bench_llpd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_llpd");
+    g.sample_size(10);
+    let cfg = LlpdConfig::default();
+    let small = abilene();
+    g.bench_function("abilene", |b| {
+        b.iter(|| LlpdAnalysis::compute(black_box(&small), &cfg).llpd())
+    });
+    let grid = gts();
+    g.bench_function("gts-like", |b| {
+        b.iter(|| LlpdAnalysis::compute(black_box(&grid), &cfg).llpd())
+    });
+    g.finish();
+}
+
+fn bench_sp_grid_point(c: &mut Criterion) {
+    // One Figure-3 datapoint: SP placement + congestion evaluation.
+    let topo = gts();
+    let tm = standard_tm(&topo, 0);
+    c.bench_function("fig03_sp_place_and_eval/gts", |b| {
+        b.iter(|| {
+            let placement = ShortestPathRouting.place(&topo, &tm).expect("sp");
+            PlacementEval::evaluate(&topo, &tm, &placement).congested_pair_fraction()
+        })
+    });
+}
+
+criterion_group!(benches, bench_llpd, bench_sp_grid_point);
+criterion_main!(benches);

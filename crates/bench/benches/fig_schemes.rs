@@ -1,0 +1,49 @@
+//! Benchmarks behind Figures 4, 7, 8, 16, 17, 18 — one placement per
+//! scheme on the GTS-like grid at the standard operating point, plus the
+//! headroom sweep of Figure 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lowlat_bench::{gts, light_tm, standard_tm};
+use lowlat_core::schemes::b4::B4Routing;
+use lowlat_core::schemes::latopt::LatencyOptimal;
+use lowlat_core::schemes::ldr::Ldr;
+use lowlat_core::schemes::minmax::MinMaxRouting;
+use lowlat_core::schemes::RoutingScheme;
+
+fn bench_schemes(c: &mut Criterion) {
+    let topo = gts();
+    let tm = standard_tm(&topo, 0);
+    let mut g = c.benchmark_group("fig04_schemes_on_gts");
+    g.sample_size(10);
+    g.bench_function("B4", |b| {
+        b.iter(|| B4Routing::default().place(&topo, &tm).expect("b4"))
+    });
+    g.bench_function("MinMax", |b| {
+        b.iter(|| MinMaxRouting::unrestricted().place(&topo, &tm).expect("minmax"))
+    });
+    g.bench_function("MinMaxK10", |b| {
+        b.iter(|| MinMaxRouting::with_k(10).place(&topo, &tm).expect("minmaxk"))
+    });
+    g.bench_function("LatOpt", |b| {
+        b.iter(|| LatencyOptimal::default().place(&topo, &tm).expect("latopt"))
+    });
+    g.bench_function("LDR", |b| b.iter(|| Ldr::default().place(&topo, &tm).expect("ldr")));
+    g.finish();
+}
+
+fn bench_headroom_dial(c: &mut Criterion) {
+    let topo = gts();
+    let tm = light_tm(&topo, 0);
+    let mut g = c.benchmark_group("fig08_headroom_on_gts");
+    g.sample_size(10);
+    for h in [0.0, 0.11, 0.23, 0.40] {
+        g.bench_function(format!("h{:02}", (h * 100.0) as u32), |b| {
+            b.iter(|| LatencyOptimal::with_headroom(h).place(&topo, &tm).expect("latopt"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_headroom_dial);
+criterion_main!(benches);

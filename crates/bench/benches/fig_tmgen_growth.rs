@@ -1,0 +1,53 @@
+//! Benchmarks behind the workload generator (Figures 3-18 all consume it)
+//! and the Figure-20 growth step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lowlat_bench::abilene;
+use lowlat_core::growth::{grow_by_llpd, GrowthPlanConfig};
+use lowlat_core::scale::min_cut_load;
+use lowlat_tmgen::{GravityTmGen, TmGenConfig};
+
+fn bench_tmgen(c: &mut Criterion) {
+    let topo = abilene();
+    let mut g = c.benchmark_group("tmgen");
+    g.bench_function("gravity_locality0", |b| {
+        let gen = GravityTmGen::new(TmGenConfig { locality: 0.0, ..Default::default() });
+        b.iter(|| gen.generate(&topo, 0))
+    });
+    g.bench_function("gravity_locality1_lp", |b| {
+        let gen = GravityTmGen::new(TmGenConfig::default());
+        b.iter(|| gen.generate(&topo, 0))
+    });
+    g.sample_size(10);
+    g.bench_function("scale_to_load", |b| {
+        let gen = GravityTmGen::new(TmGenConfig::default());
+        let tm = gen.generate(&topo, 0);
+        b.iter(|| min_cut_load(&topo, &tm).expect("minmax"))
+    });
+    g.finish();
+}
+
+fn bench_growth(c: &mut Criterion) {
+    let topo = abilene();
+    let mut g = c.benchmark_group("fig20_growth");
+    g.sample_size(10);
+    g.bench_function("one_llpd_guided_cable", |b| {
+        b.iter(|| {
+            grow_by_llpd(
+                &topo,
+                &GrowthPlanConfig {
+                    link_increase: 0.01, // exactly one cable
+                    candidate_limit: 8,
+                    ..Default::default()
+                },
+            )
+            .added
+            .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tmgen, bench_growth);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the substrates every experiment leans on:
+//! Dijkstra, Yen k-shortest paths, Dinic max-flow, the simplex LP solver,
+//! and the FFT convolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lowlat_bench::gts;
+use lowlat_linprog::{Problem, Relation};
+use lowlat_netgraph::{max_flow, shortest_path_tree, KspGenerator, NodeId};
+use lowlat_traffic::fft::convolve;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let topo = gts();
+    let g = topo.graph();
+    c.bench_function("dijkstra/gts/sssp", |b| {
+        b.iter(|| shortest_path_tree(g, black_box(NodeId(0)), None, None))
+    });
+}
+
+fn bench_yen(c: &mut Criterion) {
+    let topo = gts();
+    let g = topo.graph();
+    let far = NodeId((topo.pop_count() - 1) as u32);
+    c.bench_function("yen/gts/k10", |b| {
+        b.iter(|| {
+            let mut gen = KspGenerator::new(g, black_box(NodeId(0)), far);
+            gen.take_up_to(10).len()
+        })
+    });
+}
+
+fn bench_dinic(c: &mut Criterion) {
+    let topo = gts();
+    let g = topo.graph();
+    let far = NodeId((topo.pop_count() - 1) as u32);
+    c.bench_function("dinic/gts/maxflow", |b| {
+        b.iter(|| max_flow(g, black_box(NodeId(0)), far))
+    });
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    // 12x15 transportation LP, the solver's bread and butter.
+    c.bench_function("simplex/transport-12x15", |b| {
+        b.iter(|| {
+            let (ns, nd) = (12usize, 15usize);
+            let mut p = Problem::minimize(ns * nd);
+            for i in 0..ns {
+                for j in 0..nd {
+                    p.set_objective(i * nd + j, ((i * 7 + j * 3) % 11) as f64 + 1.0);
+                }
+            }
+            for i in 0..ns {
+                let coeffs: Vec<(usize, f64)> = (0..nd).map(|j| (i * nd + j, 1.0)).collect();
+                p.add_row(Relation::Eq, 10.0 + i as f64, &coeffs);
+            }
+            let total: f64 = (0..ns).map(|i| 10.0 + i as f64).sum();
+            for j in 0..nd {
+                let coeffs: Vec<(usize, f64)> = (0..ns).map(|i| (i * nd + j, 1.0)).collect();
+                p.add_row(Relation::Eq, total / nd as f64, &coeffs);
+            }
+            p.solve().expect("feasible").objective()
+        })
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let a: Vec<f64> = (0..1024).map(|i| ((i * 37) % 101) as f64 / 101.0 / 1024.0).collect();
+    let bb: Vec<f64> = (0..1024).map(|i| ((i * 53) % 97) as f64 / 97.0 / 1024.0).collect();
+    c.bench_function("fft/convolve-1024", |b| b.iter(|| convolve(black_box(&a), black_box(&bb))));
+}
+
+criterion_group!(benches, bench_dijkstra, bench_yen, bench_dinic, bench_simplex, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Each bench target regenerates the computational kernel behind one paper
+//! figure (see DESIGN.md's experiment index); the fixtures here keep the
+//! workloads identical across targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lowlat_core::scale::ScaleToLoad;
+use lowlat_tmgen::{GravityTmGen, TmGenConfig, TrafficMatrix};
+use lowlat_topology::zoo::named;
+use lowlat_topology::Topology;
+
+/// The GTS-like grid — the paper's hard-to-route running example.
+pub fn gts() -> Topology {
+    named::gts_like()
+}
+
+/// The Abilene backbone — the small sanity-check network.
+pub fn abilene() -> Topology {
+    named::abilene()
+}
+
+/// A standard-operating-point matrix: locality 1, min-cut load 0.7.
+pub fn standard_tm(topo: &Topology, index: u64) -> TrafficMatrix {
+    GravityTmGen::new(TmGenConfig::default()).generate(topo, index).scaled_to_load(topo, 0.7)
+}
+
+/// A lighter matrix for the headroom sweep (min-cut load 0.6, Figure 8).
+pub fn light_tm(topo: &Topology, index: u64) -> TrafficMatrix {
+    GravityTmGen::new(TmGenConfig::default()).generate(topo, index).scaled_to_load(topo, 0.6)
+}

@@ -1,0 +1,162 @@
+//! Differentiated traffic classes — the §8 extension the paper sketches:
+//! "split aggregates according to priority, and modify the LP constraints
+//! and weights so as to prioritize giving low latency paths to flows that
+//! will benefit most."
+//!
+//! Mechanically, a class is a multiplier on an aggregate's weight in the
+//! Figure-12 delay objective: when two aggregates compete for a short path
+//! and one must detour, the LP detours the one whose delay counts less.
+//! Capacity constraints are untouched — priority buys *latency*, not
+//! bandwidth.
+
+use lowlat_tmgen::TrafficMatrix;
+use lowlat_topology::Topology;
+
+use crate::pathgrow::{solve_latency_optimal_weighted, GrowOutcome, GrowthConfig};
+use crate::pathset::PathCache;
+use crate::schemes::SchemeError;
+
+/// Priority of an aggregate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Telephony/gaming-grade: delay weighted `sensitive_weight`×.
+    LatencySensitive,
+    /// Bulk transfer: weight 1.
+    BestEffort,
+}
+
+/// Configuration for [`place_with_classes`].
+#[derive(Clone, Debug)]
+pub struct ClassConfig {
+    /// Objective multiplier for latency-sensitive aggregates (>= 1).
+    pub sensitive_weight: f64,
+    /// LP/growth knobs (headroom etc.).
+    pub growth: GrowthConfig,
+}
+
+impl Default for ClassConfig {
+    fn default() -> Self {
+        ClassConfig { sensitive_weight: 50.0, growth: GrowthConfig::default() }
+    }
+}
+
+/// Latency-optimal placement with per-aggregate priorities. `classes` is
+/// aligned with `tm.aggregates()`.
+///
+/// # Panics
+/// Panics on misaligned input or a weight below 1.
+pub fn place_with_classes(
+    topology: &Topology,
+    tm: &TrafficMatrix,
+    classes: &[TrafficClass],
+    config: &ClassConfig,
+) -> Result<GrowOutcome, SchemeError> {
+    assert_eq!(classes.len(), tm.aggregates().len(), "one class per aggregate");
+    assert!(config.sensitive_weight >= 1.0);
+    let cache = PathCache::new(topology.graph());
+    let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
+    let weights: Vec<f64> = classes
+        .iter()
+        .map(|c| match c {
+            TrafficClass::LatencySensitive => config.sensitive_weight,
+            TrafficClass::BestEffort => 1.0,
+        })
+        .collect();
+    Ok(solve_latency_optimal_weighted(&cache, tm, &volumes, Some(&weights), &config.growth)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowlat_netgraph::NodeId;
+    use lowlat_tmgen::Aggregate;
+    use lowlat_topology::{GeoPoint, TopologyBuilder};
+
+    /// Two aggregates share a bottleneck; exactly one can stay on the short
+    /// path. Priority must decide which.
+    fn contested() -> (Topology, TrafficMatrix) {
+        let mut b = TopologyBuilder::new("contest");
+        let s1 = b.add_pop("S1", GeoPoint::new(40.0, -100.0));
+        let s2 = b.add_pop("S2", GeoPoint::new(42.0, -100.0));
+        let j1 = b.add_pop("J1", GeoPoint::new(41.0, -99.0));
+        let j2 = b.add_pop("J2", GeoPoint::new(41.0, -96.0));
+        let t1 = b.add_pop("T1", GeoPoint::new(40.0, -95.0));
+        let t2 = b.add_pop("T2", GeoPoint::new(42.0, -95.0));
+        b.connect_with_delay(s1, j1, 1.0, 200.0);
+        b.connect_with_delay(s2, j1, 1.0, 200.0);
+        b.connect_with_delay(j1, j2, 1.0, 100.0); // bottleneck
+        b.connect_with_delay(j2, t1, 1.0, 200.0);
+        b.connect_with_delay(j2, t2, 1.0, 200.0);
+        // Both detours cost the same (+7 ms), so only priority can break
+        // the tie... almost: identical detour costs mean the plain LP is
+        // indifferent; weights make it decisive.
+        b.connect_with_delay(s1, t1, 10.0, 200.0);
+        b.connect_with_delay(s2, t2, 10.0, 200.0);
+        let topo = b.build();
+        let tm = TrafficMatrix::new(vec![
+            Aggregate { src: s1, dst: t1, volume_mbps: 80.0, flow_count: 16 },
+            Aggregate { src: s2, dst: t2, volume_mbps: 80.0, flow_count: 16 },
+        ]);
+        (topo, tm)
+    }
+
+    #[test]
+    fn sensitive_aggregate_keeps_the_short_path() {
+        let (topo, tm) = contested();
+        // Mark aggregate 1 (S2->T2) latency-sensitive.
+        let classes = [TrafficClass::BestEffort, TrafficClass::LatencySensitive];
+        let out = place_with_classes(&topo, &tm, &classes, &ClassConfig::default()).unwrap();
+        assert!(out.omax <= 1e-7, "fits: 100 through bottleneck + detours");
+        let sensitive = out.placement.aggregate(1).mean_delay_ms();
+        let best_effort = out.placement.aggregate(0).mean_delay_ms();
+        assert!(
+            sensitive < best_effort,
+            "priority must win the short path: sensitive {sensitive} vs BE {best_effort}"
+        );
+        assert!((sensitive - 3.0).abs() < 0.2, "sensitive stays at ~3 ms, got {sensitive}");
+    }
+
+    #[test]
+    fn flipping_the_classes_flips_the_outcome() {
+        let (topo, tm) = contested();
+        let classes = [TrafficClass::LatencySensitive, TrafficClass::BestEffort];
+        let out = place_with_classes(&topo, &tm, &classes, &ClassConfig::default()).unwrap();
+        let sensitive = out.placement.aggregate(0).mean_delay_ms();
+        let best_effort = out.placement.aggregate(1).mean_delay_ms();
+        assert!(sensitive < best_effort);
+    }
+
+    #[test]
+    fn priority_buys_latency_not_bandwidth() {
+        // Everything still has to fit: capacity rows are class-blind.
+        let (topo, tm) = contested();
+        let classes = [TrafficClass::LatencySensitive, TrafficClass::LatencySensitive];
+        let out = place_with_classes(&topo, &tm, &classes, &ClassConfig::default()).unwrap();
+        assert!(out.omax <= 1e-7);
+        let loads = out.placement.link_loads(topo.graph(), &tm);
+        for l in topo.graph().link_ids() {
+            assert!(loads[l.idx()] <= topo.graph().link(l).capacity_mbps * (1.0 + 1e-6));
+        }
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_plain_latopt() {
+        let (topo, tm) = contested();
+        let classes = [TrafficClass::BestEffort, TrafficClass::BestEffort];
+        let weighted =
+            place_with_classes(&topo, &tm, &classes, &ClassConfig::default()).unwrap();
+        let cache = PathCache::new(topo.graph());
+        let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
+        let plain = crate::pathgrow::solve_latency_optimal(
+            &cache,
+            &tm,
+            &volumes,
+            &GrowthConfig::default(),
+        )
+        .unwrap();
+        let total = |o: &GrowOutcome| -> f64 {
+            o.placement.per_aggregate().iter().map(|p| p.mean_delay_ms()).sum()
+        };
+        assert!((total(&weighted) - total(&plain)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,213 @@
+//! Placement evaluation: the quantities the paper's figures plot.
+
+use lowlat_netgraph::all_pairs_delays;
+use lowlat_tmgen::TrafficMatrix;
+use lowlat_topology::Topology;
+
+use crate::placement::Placement;
+
+/// Relative tolerance above which a link counts as congested.
+pub const CONGESTION_TOL: f64 = 1e-6;
+
+/// Metrics of one placement on one (topology, traffic matrix) pair.
+#[derive(Clone, Debug)]
+pub struct PlacementEval {
+    congested_pairs: usize,
+    total_pairs: usize,
+    latency_stretch: f64,
+    max_flow_stretch: f64,
+    utilizations: Vec<f64>,
+    fits: bool,
+}
+
+impl PlacementEval {
+    /// Evaluates `placement` for `tm` on `topology`.
+    ///
+    /// * **congested pair fraction** — aggregates whose traffic crosses at
+    ///   least one link loaded beyond capacity (Figures 3, 4 top halves).
+    /// * **latency stretch** — `Σ_f d_f / Σ_f d_f,sp` over all flows, where
+    ///   an aggregate's flows see its volume-weighted mean path delay
+    ///   (Figures 4 bottom halves, 8).
+    /// * **max flow stretch** — worst used-path delay over shortest-path
+    ///   delay, over all aggregates (Figures 16, 17, 18).
+    /// * **utilizations** — per-link load/capacity (Figure 7).
+    /// * **fits** — true when no link is loaded beyond capacity.
+    pub fn evaluate(topology: &Topology, tm: &TrafficMatrix, placement: &Placement) -> Self {
+        let graph = topology.graph();
+        debug_assert!(placement.validate(graph, tm).is_ok());
+        let loads = placement.link_loads(graph, tm);
+        let mut congested_link = vec![false; graph.link_count()];
+        let mut utilizations = vec![0.0; graph.link_count()];
+        for l in graph.link_ids() {
+            let cap = graph.link(l).capacity_mbps;
+            utilizations[l.idx()] = loads[l.idx()] / cap;
+            congested_link[l.idx()] = loads[l.idx()] > cap * (1.0 + CONGESTION_TOL);
+        }
+        let fits = !congested_link.iter().any(|&c| c);
+
+        let sp_delays = all_pairs_delays(graph);
+        let mut congested_pairs = 0;
+        let mut weighted_delay = 0.0;
+        let mut weighted_sp_delay = 0.0;
+        let mut max_flow_stretch: f64 = 1.0;
+        for (agg, pl) in tm.aggregates().iter().zip(placement.per_aggregate()) {
+            let sp = sp_delays[agg.src.idx()][agg.dst.idx()];
+            debug_assert!(sp.is_finite() && sp > 0.0);
+            let mut crosses_congestion = false;
+            let mut worst = 0.0f64;
+            for (path, x) in &pl.splits {
+                if *x <= 1e-9 {
+                    continue;
+                }
+                worst = worst.max(path.delay_ms());
+                if path.links().iter().any(|&l| congested_link[l.idx()]) {
+                    crosses_congestion = true;
+                }
+            }
+            if crosses_congestion {
+                congested_pairs += 1;
+            }
+            let n = agg.flow_count as f64;
+            weighted_delay += n * pl.mean_delay_ms();
+            weighted_sp_delay += n * sp;
+            max_flow_stretch = max_flow_stretch.max(worst / sp);
+        }
+        PlacementEval {
+            congested_pairs,
+            total_pairs: tm.aggregates().len(),
+            latency_stretch: weighted_delay / weighted_sp_delay,
+            max_flow_stretch,
+            utilizations,
+            fits,
+        }
+    }
+
+    /// Fraction of source-destination pairs crossing a saturated link.
+    pub fn congested_pair_fraction(&self) -> f64 {
+        if self.total_pairs == 0 {
+            0.0
+        } else {
+            self.congested_pairs as f64 / self.total_pairs as f64
+        }
+    }
+
+    /// Flow-weighted latency stretch `Σ n_a d_a / Σ n_a S_a` (>= 1 up to LP
+    /// tolerance).
+    pub fn latency_stretch(&self) -> f64 {
+        self.latency_stretch
+    }
+
+    /// Maximum over aggregates of (worst used path delay / shortest delay).
+    pub fn max_flow_stretch(&self) -> f64 {
+        self.max_flow_stretch
+    }
+
+    /// Per-link utilization (load / capacity).
+    pub fn utilizations(&self) -> &[f64] {
+        &self.utilizations
+    }
+
+    /// Highest link utilization.
+    pub fn max_utilization(&self) -> f64 {
+        self.utilizations.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// True when no link exceeds its capacity.
+    pub fn fits(&self) -> bool {
+        self.fits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::AggregatePlacement;
+    use lowlat_netgraph::{NodeId, Path};
+    use lowlat_tmgen::Aggregate;
+    use lowlat_topology::{GeoPoint, TopologyBuilder};
+
+    /// Triangle where A-C direct is slow, A-B-C is fast.
+    fn setup(volume: f64) -> (Topology, TrafficMatrix) {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.add_pop("A", GeoPoint::new(40.0, -100.0));
+        let p = b.add_pop("B", GeoPoint::new(41.0, -97.0));
+        let c = b.add_pop("C", GeoPoint::new(40.0, -94.0));
+        b.connect_with_delay(a, p, 1.0, 100.0);
+        b.connect_with_delay(p, c, 1.0, 100.0);
+        b.connect_with_delay(a, c, 5.0, 100.0);
+        (
+            b.build(),
+            TrafficMatrix::new(vec![Aggregate {
+                src: NodeId(0),
+                dst: NodeId(2),
+                volume_mbps: volume,
+                flow_count: 10,
+            }]),
+        )
+    }
+
+    fn place_on_shortest(topo: &Topology, tm: &TrafficMatrix) -> Placement {
+        let g = topo.graph();
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let l12 = g.find_link(NodeId(1), NodeId(2)).unwrap();
+        let _ = tm;
+        Placement::new(vec![AggregatePlacement {
+            splits: vec![(Path::new(g, vec![l01, l12]), 1.0)],
+        }])
+    }
+
+    #[test]
+    fn uncongested_shortest_placement() {
+        let (topo, tm) = setup(50.0);
+        let pl = place_on_shortest(&topo, &tm);
+        let ev = PlacementEval::evaluate(&topo, &tm, &pl);
+        assert_eq!(ev.congested_pair_fraction(), 0.0);
+        assert!((ev.latency_stretch() - 1.0).abs() < 1e-9);
+        assert!((ev.max_flow_stretch() - 1.0).abs() < 1e-9);
+        assert!(ev.fits());
+        assert!((ev.max_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overloaded_link_counts_pair_congested() {
+        let (topo, tm) = setup(150.0);
+        let pl = place_on_shortest(&topo, &tm);
+        let ev = PlacementEval::evaluate(&topo, &tm, &pl);
+        assert_eq!(ev.congested_pair_fraction(), 1.0);
+        assert!(!ev.fits());
+        assert!(ev.max_utilization() > 1.4);
+    }
+
+    #[test]
+    fn detour_shows_stretch() {
+        let (topo, tm) = setup(50.0);
+        let g = topo.graph();
+        let direct = g.find_link(NodeId(0), NodeId(2)).unwrap();
+        let pl = Placement::new(vec![AggregatePlacement {
+            splits: vec![(Path::new(g, vec![direct]), 1.0)],
+        }]);
+        let ev = PlacementEval::evaluate(&topo, &tm, &pl);
+        // Direct 5 ms vs shortest 2 ms.
+        assert!((ev.latency_stretch() - 2.5).abs() < 1e-9);
+        assert!((ev.max_flow_stretch() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_placement_weights_delay() {
+        let (topo, tm) = setup(50.0);
+        let g = topo.graph();
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let l12 = g.find_link(NodeId(1), NodeId(2)).unwrap();
+        let direct = g.find_link(NodeId(0), NodeId(2)).unwrap();
+        let pl = Placement::new(vec![AggregatePlacement {
+            splits: vec![
+                (Path::new(g, vec![l01, l12]), 0.5),
+                (Path::new(g, vec![direct]), 0.5),
+            ],
+        }]);
+        let ev = PlacementEval::evaluate(&topo, &tm, &pl);
+        // Mean delay (2+5)/2 = 3.5 over sp 2 => 1.75; max stretch 2.5.
+        assert!((ev.latency_stretch() - 1.75).abs() < 1e-9);
+        assert!((ev.max_flow_stretch() - 2.5).abs() < 1e-9);
+    }
+}

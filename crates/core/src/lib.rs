@@ -1,0 +1,43 @@
+//! # lowlat-core
+//!
+//! The paper's primary contribution, reimplemented from scratch:
+//!
+//! * [`llpd`] — the **Alternate Path Availability** (APA) and **Low-Latency
+//!   Path Diversity** (LLPD) metrics of §2: a routing- and traffic-agnostic
+//!   measure of a topology's potential for congestion-free low-latency
+//!   delivery.
+//! * [`schemes`] — the routing schemes of §3–§5: delay-weighted shortest
+//!   path, B4-style greedy progressive filling, MinMax (with and without the
+//!   TeXCP k-shortest-path limit), the latency-optimal LP of Figure 12 with
+//!   the lazy path generation of Figure 13, and **LDR** — latency-optimal
+//!   routing with automatic headroom from the statistical-multiplexing loop
+//!   of Figure 14.
+//! * [`eval`] — placement evaluation: congested-pair fraction, latency
+//!   stretch, maximum flow stretch, link-utilization CDFs (the y-axes of
+//!   Figures 3, 4, 7, 16–18).
+//! * [`growth`] — §8's topology-growth experiment: greedily add the cables
+//!   that raise LLPD the most (Figure 20).
+//!
+//! The scheme implementations share two pieces of machinery that the paper
+//! singles out as generally useful (§8 "Generality of building blocks"):
+//! the cached incremental k-shortest-path sets ([`pathset`]) and the
+//! grow-where-overloaded LP loop ([`pathgrow`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod eval;
+pub mod growth;
+pub mod llpd;
+pub mod pathgrow;
+pub mod pathset;
+pub mod placement;
+pub mod scale;
+pub mod schemes;
+
+pub use eval::PlacementEval;
+pub use llpd::{LlpdAnalysis, LlpdConfig};
+pub use placement::Placement;
+pub use scale::ScaleToLoad;
+pub use schemes::RoutingScheme;

@@ -1,0 +1,101 @@
+//! Cached, lazily grown k-shortest-path sets.
+//!
+//! The paper observes (§5) that in the iterative LP loop "the bottleneck is
+//! not the linear optimizer, but the k shortest paths algorithm, the results
+//! of which can be readily cached". [`PathCache`] is that cache: one
+//! incremental Yen generator per (src, dst) pair, grown on demand and shared
+//! across LP iterations — and across *schemes*, which is what makes the warm
+//! LDR runs in Figure 15 fast.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use lowlat_netgraph::{Graph, KspGenerator, NodeId, Path};
+
+/// Thread-safe cache of k-shortest paths per ordered pair.
+pub struct PathCache<'g> {
+    graph: &'g Graph,
+    map: Mutex<HashMap<(NodeId, NodeId), KspGenerator<'g>>>,
+}
+
+impl<'g> PathCache<'g> {
+    /// Creates an empty cache over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        PathCache { graph, map: Mutex::new(HashMap::new()) }
+    }
+
+    /// The graph this cache serves.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Returns the `k` shortest loopless paths from `src` to `dst` (fewer if
+    /// the graph has fewer), cloned out of the cache.
+    pub fn paths(&self, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+        let mut map = self.map.lock();
+        let gen = map
+            .entry((src, dst))
+            .or_insert_with(|| KspGenerator::new(self.graph, src, dst));
+        let produced = gen.take_up_to(k);
+        produced[..produced.len().min(k)].to_vec()
+    }
+
+    /// The single shortest path (None when disconnected).
+    pub fn shortest(&self, src: NodeId, dst: NodeId) -> Option<Path> {
+        self.paths(src, dst, 1).into_iter().next()
+    }
+
+    /// Number of paths currently materialized for the pair (0 when the pair
+    /// was never requested).
+    pub fn cached_count(&self, src: NodeId, dst: NodeId) -> usize {
+        self.map.lock().get(&(src, dst)).map_or(0, |g| g.produced().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowlat_netgraph::GraphBuilder;
+
+    fn square() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_duplex(NodeId(0), NodeId(1), 1.0, 10.0);
+        b.add_duplex(NodeId(1), NodeId(2), 1.0, 10.0);
+        b.add_duplex(NodeId(0), NodeId(3), 1.5, 10.0);
+        b.add_duplex(NodeId(3), NodeId(2), 1.5, 10.0);
+        b.build()
+    }
+
+    #[test]
+    fn grows_incrementally_and_caches() {
+        let g = square();
+        let cache = PathCache::new(&g);
+        assert_eq!(cache.cached_count(NodeId(0), NodeId(2)), 0);
+        let one = cache.paths(NodeId(0), NodeId(2), 1);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].delay_ms(), 2.0);
+        assert_eq!(cache.cached_count(NodeId(0), NodeId(2)), 1);
+        let two = cache.paths(NodeId(0), NodeId(2), 2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[1].delay_ms(), 3.0);
+        // Re-asking for fewer returns the cached prefix.
+        assert_eq!(cache.paths(NodeId(0), NodeId(2), 1).len(), 1);
+    }
+
+    #[test]
+    fn exhaustion_caps_path_count() {
+        let g = square();
+        let cache = PathCache::new(&g);
+        let all = cache.paths(NodeId(0), NodeId(2), 100);
+        // Square has exactly 2 loopless 0->2 paths.
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn shortest_convenience() {
+        let g = square();
+        let cache = PathCache::new(&g);
+        assert_eq!(cache.shortest(NodeId(0), NodeId(2)).unwrap().delay_ms(), 2.0);
+    }
+}

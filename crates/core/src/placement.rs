@@ -1,0 +1,188 @@
+//! Traffic placements: the output of every routing scheme.
+
+use lowlat_netgraph::{Graph, Path};
+use lowlat_tmgen::TrafficMatrix;
+
+/// How one aggregate's traffic is split over paths.
+#[derive(Clone, Debug)]
+pub struct AggregatePlacement {
+    /// `(path, fraction)` pairs; fractions are non-negative and sum to 1.
+    pub splits: Vec<(Path, f64)>,
+}
+
+impl AggregatePlacement {
+    /// Volume-weighted mean propagation delay of this aggregate (ms).
+    pub fn mean_delay_ms(&self) -> f64 {
+        self.splits.iter().map(|(p, x)| p.delay_ms() * x).sum()
+    }
+
+    /// Worst-case (maximum) delay over paths actually used.
+    pub fn max_delay_ms(&self) -> f64 {
+        self.splits
+            .iter()
+            .filter(|(_, x)| *x > 1e-9)
+            .map(|(p, _)| p.delay_ms())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A complete traffic placement: one [`AggregatePlacement`] per aggregate of
+/// the traffic matrix, in the same order as
+/// [`TrafficMatrix::aggregates`].
+#[derive(Clone, Debug)]
+pub struct Placement {
+    per_aggregate: Vec<AggregatePlacement>,
+}
+
+impl Placement {
+    /// Wraps per-aggregate splits (aligned with the traffic matrix).
+    pub fn new(per_aggregate: Vec<AggregatePlacement>) -> Self {
+        Placement { per_aggregate }
+    }
+
+    /// Splits for every aggregate.
+    pub fn per_aggregate(&self) -> &[AggregatePlacement] {
+        &self.per_aggregate
+    }
+
+    /// Splits for aggregate `i`.
+    pub fn aggregate(&self, i: usize) -> &AggregatePlacement {
+        &self.per_aggregate[i]
+    }
+
+    /// Total load each directed link carries under this placement (Mbps,
+    /// indexed by link id).
+    pub fn link_loads(&self, graph: &Graph, tm: &TrafficMatrix) -> Vec<f64> {
+        let mut loads = vec![0.0; graph.link_count()];
+        for (agg, placement) in tm.aggregates().iter().zip(&self.per_aggregate) {
+            for (path, fraction) in &placement.splits {
+                let volume = agg.volume_mbps * fraction;
+                if volume > 0.0 {
+                    for &l in path.links() {
+                        loads[l.idx()] += volume;
+                    }
+                }
+            }
+        }
+        loads
+    }
+
+    /// Fraction of aggregate `i` crossing each link (sparse). Used by LDR's
+    /// multiplexing check to scale trace samples per link.
+    pub fn link_fractions_of(&self, i: usize) -> std::collections::HashMap<u32, f64> {
+        let mut out = std::collections::HashMap::new();
+        for (path, fraction) in &self.per_aggregate[i].splits {
+            if *fraction > 1e-12 {
+                for &l in path.links() {
+                    *out.entry(l.0).or_insert(0.0) += fraction;
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks structural invariants against the matrix it was computed for:
+    /// alignment, endpoints, loopless valid paths, fractions in [0,1]
+    /// summing to 1. Returns the first violation.
+    pub fn validate(&self, graph: &Graph, tm: &TrafficMatrix) -> Result<(), String> {
+        if self.per_aggregate.len() != tm.aggregates().len() {
+            return Err(format!(
+                "placement covers {} aggregates, matrix has {}",
+                self.per_aggregate.len(),
+                tm.aggregates().len()
+            ));
+        }
+        for (i, (agg, pl)) in tm.aggregates().iter().zip(&self.per_aggregate).enumerate() {
+            if pl.splits.is_empty() {
+                return Err(format!("aggregate {i} has no paths"));
+            }
+            let mut total = 0.0;
+            for (path, x) in &pl.splits {
+                if !(-1e-9..=1.0 + 1e-9).contains(x) {
+                    return Err(format!("aggregate {i} fraction {x} out of range"));
+                }
+                total += x;
+                if path.src() != agg.src || path.dst() != agg.dst {
+                    return Err(format!("aggregate {i} path endpoints mismatch"));
+                }
+                path.validate(graph).map_err(|e| format!("aggregate {i}: {e}"))?;
+            }
+            if (total - 1.0).abs() > 1e-6 {
+                return Err(format!("aggregate {i} fractions sum to {total}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowlat_netgraph::NodeId;
+    use lowlat_tmgen::Aggregate;
+    use lowlat_topology::{GeoPoint, TopologyBuilder};
+
+    fn setup() -> (lowlat_topology::Topology, TrafficMatrix) {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.add_pop("A", GeoPoint::new(40.0, -100.0));
+        let c = b.add_pop("B", GeoPoint::new(40.0, -95.0));
+        let d = b.add_pop("C", GeoPoint::new(40.0, -90.0));
+        b.connect(a, c, 100.0);
+        b.connect(c, d, 100.0);
+        b.connect(a, d, 100.0);
+        let topo = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate {
+            src: NodeId(0),
+            dst: NodeId(2),
+            volume_mbps: 60.0,
+            flow_count: 12,
+        }]);
+        (topo, tm)
+    }
+
+    #[test]
+    fn loads_and_fractions() {
+        let (topo, tm) = setup();
+        let g = topo.graph();
+        let direct = g.find_link(NodeId(0), NodeId(2)).unwrap();
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let l12 = g.find_link(NodeId(1), NodeId(2)).unwrap();
+        let p_direct = Path::new(g, vec![direct]);
+        let p_via = Path::new(g, vec![l01, l12]);
+        let pl = Placement::new(vec![AggregatePlacement {
+            splits: vec![(p_direct, 0.75), (p_via, 0.25)],
+        }]);
+        assert!(pl.validate(g, &tm).is_ok());
+        let loads = pl.link_loads(g, &tm);
+        assert!((loads[direct.idx()] - 45.0).abs() < 1e-9);
+        assert!((loads[l01.idx()] - 15.0).abs() < 1e-9);
+        let fr = pl.link_fractions_of(0);
+        assert!((fr[&direct.0] - 0.75).abs() < 1e-12);
+        assert!((fr[&l12.0] - 0.25).abs() < 1e-12);
+        // Delay accounting.
+        assert!(pl.aggregate(0).mean_delay_ms() > 0.0);
+        assert!(pl.aggregate(0).max_delay_ms() >= pl.aggregate(0).mean_delay_ms());
+    }
+
+    #[test]
+    fn validate_rejects_bad_sum() {
+        let (topo, tm) = setup();
+        let g = topo.graph();
+        let direct = g.find_link(NodeId(0), NodeId(2)).unwrap();
+        let pl = Placement::new(vec![AggregatePlacement {
+            splits: vec![(Path::new(g, vec![direct]), 0.5)],
+        }]);
+        assert!(pl.validate(g, &tm).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_endpoints() {
+        let (topo, tm) = setup();
+        let g = topo.graph();
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let pl = Placement::new(vec![AggregatePlacement {
+            splits: vec![(Path::new(g, vec![l01]), 1.0)],
+        }]);
+        assert!(pl.validate(g, &tm).is_err());
+    }
+}

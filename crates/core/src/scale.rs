@@ -1,0 +1,83 @@
+//! Traffic-matrix load scaling (§3).
+//!
+//! The paper scales each matrix "so that with optimal routing it is still
+//! (just) possible to route the network without congestion if all traffic
+//! increases by 30%", i.e. the min-cut (MinMax-optimal maximum utilization)
+//! sits at 1/1.3 ≈ 0.77. Because utilization is linear in volume, one
+//! MinMax solve gives the scale factor: `target / U*(tm)`.
+
+use lowlat_tmgen::TrafficMatrix;
+use lowlat_topology::Topology;
+
+use crate::pathgrow::{solve_minmax, GrowthConfig};
+use crate::pathset::PathCache;
+use crate::schemes::SchemeError;
+
+/// Maximum-utilization level of `tm` on `topology` under (pure) MinMax
+/// routing — the paper's "min-cut load" of a traffic matrix.
+pub fn min_cut_load(topology: &Topology, tm: &TrafficMatrix) -> Result<f64, SchemeError> {
+    let cache = PathCache::new(topology.graph());
+    min_cut_load_with_cache(&cache, tm)
+}
+
+/// As [`min_cut_load`], reusing a path cache.
+pub fn min_cut_load_with_cache(
+    cache: &PathCache<'_>,
+    tm: &TrafficMatrix,
+) -> Result<f64, SchemeError> {
+    let out = solve_minmax(cache, tm, None, &GrowthConfig::default())?;
+    // solve_minmax reports omax = max(U-1, 0); recover U from the placement.
+    let graph = cache.graph();
+    let loads = out.placement.link_loads(graph, tm);
+    let u = graph
+        .link_ids()
+        .map(|l| loads[l.idx()] / graph.link(l).capacity_mbps)
+        .fold(0.0, f64::max);
+    Ok(u)
+}
+
+/// Extension: scale a matrix so its min-cut load hits `target` (0.7 in most
+/// of the paper's figures, 0.6 in Figure 8).
+pub trait ScaleToLoad {
+    /// Returns a scaled copy with MinMax-optimal max utilization ≈ `target`.
+    ///
+    /// # Panics
+    /// Panics if `target` is not in (0, 1] or the LP fails (the synthetic
+    /// corpus never triggers the latter).
+    fn scaled_to_load(&self, topology: &Topology, target: f64) -> TrafficMatrix;
+}
+
+impl ScaleToLoad for TrafficMatrix {
+    fn scaled_to_load(&self, topology: &Topology, target: f64) -> TrafficMatrix {
+        assert!(target > 0.0 && target <= 1.0, "target load {target}");
+        let u = min_cut_load(topology, self).expect("MinMax LP failed during scaling");
+        assert!(u > 0.0, "matrix has no load");
+        self.scaled(target / u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowlat_tmgen::{GravityTmGen, TmGenConfig};
+    use lowlat_topology::zoo::named;
+
+    #[test]
+    fn scaling_hits_target_utilization() {
+        let topo = named::abilene();
+        let gen = GravityTmGen::new(TmGenConfig::default());
+        let tm = gen.generate(&topo, 0).scaled_to_load(&topo, 0.7);
+        let u = min_cut_load(&topo, &tm).unwrap();
+        assert!((u - 0.7).abs() < 0.02, "min-cut load {u}");
+    }
+
+    #[test]
+    fn linear_in_volume() {
+        let topo = named::abilene();
+        let gen = GravityTmGen::new(TmGenConfig::default());
+        let tm = gen.generate(&topo, 1);
+        let u1 = min_cut_load(&topo, &tm).unwrap();
+        let u2 = min_cut_load(&topo, &tm.scaled(2.0)).unwrap();
+        assert!((u2 - 2.0 * u1).abs() < 0.02 * u2.max(1.0), "{u1} vs {u2}");
+    }
+}

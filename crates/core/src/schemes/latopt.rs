@@ -1,0 +1,98 @@
+//! The latency-optimal scheme: Figure 12's LP driven by Figure 13's lazy
+//! path generation, with the §4 headroom dial.
+
+use lowlat_tmgen::TrafficMatrix;
+use lowlat_topology::Topology;
+
+use crate::pathgrow::{solve_latency_optimal, GrowOutcome, GrowthConfig};
+use crate::pathset::PathCache;
+use crate::placement::Placement;
+use crate::schemes::{RoutingScheme, SchemeError};
+
+/// Configuration for [`LatencyOptimal`].
+#[derive(Clone, Debug, Default)]
+pub struct LatOptConfig {
+    /// LP/growth machinery knobs, including the headroom fraction.
+    pub growth: GrowthConfig,
+}
+
+/// Latency-optimal routing (the paper's "Optimal latency" curves).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyOptimal {
+    config: LatOptConfig,
+}
+
+impl LatencyOptimal {
+    /// Creates the scheme.
+    pub fn new(config: LatOptConfig) -> Self {
+        LatencyOptimal { config }
+    }
+
+    /// Creates the scheme with a given headroom fraction (§4's dial),
+    /// everything else default.
+    pub fn with_headroom(headroom: f64) -> Self {
+        LatencyOptimal {
+            config: LatOptConfig { growth: GrowthConfig { headroom, ..Default::default() } },
+        }
+    }
+
+    /// Full outcome (placement + overload + LP stats) with cache reuse.
+    pub fn solve_with_cache(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+    ) -> Result<GrowOutcome, SchemeError> {
+        let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
+        Ok(solve_latency_optimal(cache, tm, &volumes, &self.config.growth)?)
+    }
+}
+
+impl RoutingScheme for LatencyOptimal {
+    fn name(&self) -> &'static str {
+        "LatOpt"
+    }
+
+    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        Ok(self.solve_with_cache(&PathCache::new(topology.graph()), tm)?.placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::PlacementEval;
+    use crate::schemes::sp::ShortestPathRouting;
+    use lowlat_tmgen::{GravityTmGen, TmGenConfig};
+    use lowlat_topology::zoo::named;
+
+    #[test]
+    fn never_worse_than_sp_on_congestion() {
+        let topo = named::abilene();
+        let gen = GravityTmGen::new(TmGenConfig { total_volume_mbps: 60_000.0, ..Default::default() });
+        let tm = gen.generate(&topo, 0);
+        let sp = ShortestPathRouting.place(&topo, &tm).unwrap();
+        let opt = LatencyOptimal::default().place(&topo, &tm).unwrap();
+        let ev_sp = PlacementEval::evaluate(&topo, &tm, &sp);
+        let ev_opt = PlacementEval::evaluate(&topo, &tm, &opt);
+        assert!(ev_opt.max_utilization() <= ev_sp.max_utilization() + 1e-6);
+        assert!(opt.validate(topo.graph(), &tm).is_ok());
+    }
+
+    #[test]
+    fn headroom_dial_raises_latency_monotonically() {
+        let topo = named::gts_like();
+        let gen = GravityTmGen::new(TmGenConfig { total_volume_mbps: 40_000.0, ..Default::default() });
+        let tm = gen.generate(&topo, 1);
+        let mut last_stretch = 0.0;
+        for h in [0.0, 0.23, 0.4] {
+            let pl = LatencyOptimal::with_headroom(h).place(&topo, &tm).unwrap();
+            let ev = PlacementEval::evaluate(&topo, &tm, &pl);
+            assert!(
+                ev.latency_stretch() >= last_stretch - 1e-6,
+                "headroom {h}: stretch {} under previous {last_stretch}",
+                ev.latency_stretch()
+            );
+            last_stretch = ev.latency_stretch();
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! LDR — Low Delay Routing (§5): the paper's practical scheme.
+//!
+//! LDR composes three pieces this crate already has:
+//!
+//! 1. **Prediction** (Algorithm 1): each aggregate's demand estimate `Ba`
+//!    starts from the conservative next-minute prediction of its measured
+//!    mean rate.
+//! 2. **Latency-optimal placement** (Figures 12/13): the iterative LP
+//!    places the predicted demands on the lowest-delay paths that avoid
+//!    congestion.
+//! 3. **Multiplexing appraisal** (Figure 14): for every link the proposed
+//!    solution loads near capacity, the temporal (B) and convolution (C)
+//!    tests check whether the aggregates sharing it statistically multiplex
+//!    within the queueing allowance. Where they don't, the offending
+//!    aggregates' `Ba` are scaled up — adding headroom *only where needed*,
+//!    which the paper argues beats scaling down link capacities — and the
+//!    optimizer runs again.
+//!
+//! Without traces (pure traffic-matrix input) LDR falls back to a static
+//! headroom fraction, which §4 suggests is ~10% for ISP backbones.
+
+use lowlat_tmgen::TrafficMatrix;
+use lowlat_topology::Topology;
+use lowlat_traffic::{AggregateTrace, MultiplexCheck, MultiplexConfig, Predictor};
+
+use crate::pathgrow::{solve_latency_optimal, GrowthConfig};
+use crate::pathset::PathCache;
+use crate::placement::Placement;
+use crate::schemes::{RoutingScheme, SchemeError};
+
+/// Configuration for [`Ldr`].
+#[derive(Clone, Debug)]
+pub struct LdrConfig {
+    /// LP/growth knobs. `growth.headroom` stays 0 when traces drive
+    /// per-aggregate headroom; see `static_headroom`.
+    pub growth: GrowthConfig,
+    /// Headroom used when no traces are available (the paper's §4 analysis
+    /// of the CAIDA data suggests ~10%).
+    pub static_headroom: f64,
+    /// Queueing allowance and quantization for the Figure-14 tests.
+    pub multiplex: MultiplexConfig,
+    /// Factor applied to `Ba` of aggregates on a failing link per iteration.
+    pub ba_inflation: f64,
+    /// Outer measure-check-tweak iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for LdrConfig {
+    fn default() -> Self {
+        LdrConfig {
+            growth: GrowthConfig::default(),
+            static_headroom: 0.1,
+            multiplex: MultiplexConfig::default(),
+            ba_inflation: 1.1,
+            max_iterations: 8,
+        }
+    }
+}
+
+/// Diagnostics of a trace-driven LDR run.
+#[derive(Clone, Debug)]
+pub struct LdrOutcome {
+    /// The final placement.
+    pub placement: Placement,
+    /// Outer iterations executed (1 = multiplexing passed immediately).
+    pub iterations: usize,
+    /// Final per-aggregate demand estimates (after inflation).
+    pub ba: Vec<f64>,
+    /// Final max overload from the LP (0 = fits).
+    pub omax: f64,
+    /// True when every link passed the multiplexing tests.
+    pub multiplexing_ok: bool,
+}
+
+/// The LDR scheme.
+#[derive(Clone, Debug, Default)]
+pub struct Ldr {
+    config: LdrConfig,
+}
+
+impl Ldr {
+    /// Creates LDR.
+    ///
+    /// # Panics
+    /// Panics on nonsensical parameters.
+    pub fn new(config: LdrConfig) -> Self {
+        assert!((0.0..1.0).contains(&config.static_headroom));
+        assert!(config.ba_inflation > 1.0);
+        assert!(config.max_iterations >= 1);
+        Ldr { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LdrConfig {
+        &self.config
+    }
+
+    /// Trace-free placement with cache reuse: latency-optimal under the
+    /// static headroom.
+    pub fn place_with_cache(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+    ) -> Result<Placement, SchemeError> {
+        let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
+        let cfg =
+            GrowthConfig { headroom: self.config.static_headroom, ..self.config.growth.clone() };
+        Ok(solve_latency_optimal(cache, tm, &volumes, &cfg)?.placement)
+    }
+
+    /// The full Figure-14 loop. `traces[i]` is the measured history of
+    /// aggregate `i` (aligned with `tm.aggregates()`); the last minute's
+    /// 100 ms samples feed the multiplexing tests and the minute means feed
+    /// Algorithm 1.
+    ///
+    /// # Panics
+    /// Panics if `traces` is not aligned with the matrix.
+    pub fn place_with_traces(
+        &self,
+        topology: &Topology,
+        tm: &TrafficMatrix,
+        traces: &[AggregateTrace],
+    ) -> Result<LdrOutcome, SchemeError> {
+        assert_eq!(traces.len(), tm.aggregates().len(), "one trace per aggregate");
+        let graph = topology.graph();
+        let cache = PathCache::new(graph);
+        let check = MultiplexCheck::new(self.config.multiplex.clone());
+
+        // Step 1: Algorithm-1 prediction of each aggregate's mean rate.
+        let mut ba: Vec<f64> = traces
+            .iter()
+            .map(|tr| {
+                let means = tr.minute_means();
+                let mut p = Predictor::new(means[0]);
+                for &m in &means[1..] {
+                    p.observe(m);
+                }
+                p.prediction()
+            })
+            .collect();
+        let last_minute: Vec<&[f64]> =
+            traces.iter().map(|tr| tr.samples(tr.minutes() - 1)).collect();
+
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            let out = solve_latency_optimal(&cache, tm, &ba, &self.config.growth)?;
+
+            // Step 2: appraise multiplexing per link.
+            let mut failing_links: Vec<usize> = Vec::new();
+            // Gather per-link (aggregate, fraction) incidence.
+            let mut per_link: Vec<Vec<(usize, f64)>> = vec![Vec::new(); graph.link_count()];
+            for a in 0..tm.aggregates().len() {
+                for (l, x) in out.placement.link_fractions_of(a) {
+                    per_link[l as usize].push((a, x));
+                }
+            }
+            let mut scaled_samples: Vec<Vec<f64>> = Vec::new();
+            for l in graph.link_ids() {
+                let members = &per_link[l.idx()];
+                if members.is_empty() {
+                    continue;
+                }
+                scaled_samples.clear();
+                for &(a, x) in members {
+                    scaled_samples.push(last_minute[a].iter().map(|s| s * x).collect());
+                }
+                let refs: Vec<&[f64]> = scaled_samples.iter().map(|v| v.as_slice()).collect();
+                let verdict = check.check_link(graph.link(l).capacity_mbps, &refs);
+                if !verdict.passed() {
+                    failing_links.push(l.idx());
+                }
+            }
+
+            if failing_links.is_empty() {
+                return Ok(LdrOutcome {
+                    placement: out.placement,
+                    iterations,
+                    ba,
+                    omax: out.omax,
+                    multiplexing_ok: true,
+                });
+            }
+            if iterations >= self.config.max_iterations {
+                return Ok(LdrOutcome {
+                    placement: out.placement,
+                    iterations,
+                    ba,
+                    omax: out.omax,
+                    multiplexing_ok: false,
+                });
+            }
+            // Step 3: tweak — inflate Ba of aggregates on failing links
+            // (adds headroom exactly where multiplexing is unsatisfactory).
+            let mut inflate = vec![false; ba.len()];
+            for &l in &failing_links {
+                for &(a, x) in &per_link[l] {
+                    if x > 1e-9 {
+                        inflate[a] = true;
+                    }
+                }
+            }
+            for (a, f) in inflate.iter().enumerate() {
+                if *f {
+                    ba[a] *= self.config.ba_inflation;
+                }
+            }
+        }
+    }
+}
+
+impl RoutingScheme for Ldr {
+    fn name(&self) -> &'static str {
+        "LDR"
+    }
+
+    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        self.place_with_cache(&PathCache::new(topology.graph()), tm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::PlacementEval;
+    use lowlat_netgraph::NodeId;
+    use lowlat_tmgen::Aggregate;
+    use lowlat_topology::{GeoPoint, TopologyBuilder};
+    use lowlat_traffic::{synthesize, TraceGenConfig};
+
+    fn two_path() -> Topology {
+        let mut b = TopologyBuilder::new("two");
+        let a = b.add_pop("A", GeoPoint::new(40.0, -100.0));
+        let m = b.add_pop("M", GeoPoint::new(41.0, -97.0));
+        let n = b.add_pop("N", GeoPoint::new(39.0, -97.0));
+        let z = b.add_pop("Z", GeoPoint::new(40.0, -94.0));
+        b.connect_with_delay(a, m, 1.0, 1000.0);
+        b.connect_with_delay(m, z, 1.0, 1000.0);
+        b.connect_with_delay(a, n, 3.0, 1000.0);
+        b.connect_with_delay(n, z, 3.0, 1000.0);
+        b.build()
+    }
+
+    fn tm_pair(v1: f64, v2: f64) -> TrafficMatrix {
+        TrafficMatrix::new(vec![
+            Aggregate { src: NodeId(0), dst: NodeId(3), volume_mbps: v1, flow_count: 10 },
+            Aggregate { src: NodeId(3), dst: NodeId(0), volume_mbps: v2, flow_count: 10 },
+        ])
+    }
+
+    #[test]
+    fn trace_free_uses_static_headroom() {
+        let topo = two_path();
+        let tm = tm_pair(950.0, 100.0);
+        // 950 with 10% headroom (effective 900) must split across paths.
+        let pl = Ldr::default().place(&topo, &tm).unwrap();
+        let ev = PlacementEval::evaluate(&topo, &tm, &pl);
+        assert!(ev.fits());
+        assert!(
+            pl.aggregate(0).splits.len() >= 2,
+            "the 950 aggregate cannot fit in 900 effective on one path"
+        );
+    }
+
+    #[test]
+    fn smooth_traffic_passes_first_iteration() {
+        let topo = two_path();
+        let tm = tm_pair(400.0, 300.0);
+        let traces: Vec<AggregateTrace> = [400.0, 300.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &mean)| {
+                synthesize(&TraceGenConfig {
+                    mean_mbps: mean,
+                    cv: 0.05,
+                    minutes: 10,
+                    bins_per_minute: 600,
+                    seed: 100 + i as u64,
+                    ..Default::default()
+                })
+            })
+            .collect();
+        let out = Ldr::default().place_with_traces(&topo, &tm, &traces).unwrap();
+        assert!(out.multiplexing_ok);
+        assert_eq!(out.iterations, 1);
+        // Predictions hedge 10% above means.
+        assert!(out.ba[0] > 400.0 && out.ba[0] < 520.0, "ba {}", out.ba[0]);
+    }
+
+    #[test]
+    fn bursty_traffic_forces_inflation() {
+        let topo = two_path();
+        // Two aggregates whose means fit one path but whose bursts don't.
+        let tm = tm_pair(450.0, 440.0);
+        let traces: Vec<AggregateTrace> = [450.0, 440.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &mean)| {
+                synthesize(&TraceGenConfig {
+                    mean_mbps: mean,
+                    cv: 0.6, // violent bursts
+                    minutes: 10,
+                    seed: 7 + i as u64,
+                    ..Default::default()
+                })
+            })
+            .collect();
+        // Same-direction aggregates sharing the fast path would burst over
+        // 1000; LDR should inflate and/or split.
+        let tm_same = TrafficMatrix::new(vec![
+            Aggregate { src: NodeId(0), dst: NodeId(3), volume_mbps: 450.0, flow_count: 10 },
+            Aggregate { src: NodeId(0), dst: NodeId(2), volume_mbps: 440.0, flow_count: 10 },
+        ]);
+        let out = Ldr::default().place_with_traces(&topo, &tm_same, &traces).unwrap();
+        let _ = tm;
+        assert!(out.iterations > 1, "bursty aggregates must trigger the tweak loop");
+        let inflated = out.ba.iter().zip([450.0, 440.0]).any(|(b, m)| *b > m * 1.2);
+        assert!(inflated, "some Ba must have been scaled up: {:?}", out.ba);
+    }
+}

@@ -1,0 +1,125 @@
+//! MinMax traffic engineering (TeXCP/MATE-style): minimize the maximum link
+//! utilization, tie-break on latency (§3 "MinMax based routing").
+
+use lowlat_tmgen::TrafficMatrix;
+use lowlat_topology::Topology;
+
+use crate::pathgrow::{solve_minmax, GrowOutcome, GrowthConfig};
+use crate::pathset::PathCache;
+use crate::placement::Placement;
+use crate::schemes::{RoutingScheme, SchemeError};
+
+/// Configuration for [`MinMaxRouting`].
+#[derive(Clone, Debug)]
+pub struct MinMaxConfig {
+    /// Cap each aggregate's path set at the k lowest-delay paths, as TeXCP
+    /// suggests with k = 10 (Figure 4d). `None` is pure MinMax (Figure 4c).
+    pub k_limit: Option<usize>,
+    /// LP machinery knobs (headroom is ignored: MinMax *is* the maximal
+    /// headroom extreme of the §4 dial).
+    pub growth: GrowthConfig,
+}
+
+impl Default for MinMaxConfig {
+    fn default() -> Self {
+        MinMaxConfig { k_limit: None, growth: GrowthConfig::default() }
+    }
+}
+
+/// MinMax utilization with latency tie-break.
+#[derive(Clone, Debug, Default)]
+pub struct MinMaxRouting {
+    config: MinMaxConfig,
+}
+
+impl MinMaxRouting {
+    /// Pure MinMax over all paths.
+    pub fn unrestricted() -> Self {
+        MinMaxRouting::default()
+    }
+
+    /// TeXCP-style MinMax restricted to the k shortest paths.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`.
+    pub fn with_k(k: usize) -> Self {
+        assert!(k >= 1);
+        MinMaxRouting { config: MinMaxConfig { k_limit: Some(k), ..Default::default() } }
+    }
+
+    /// Creates the scheme with explicit configuration.
+    pub fn new(config: MinMaxConfig) -> Self {
+        MinMaxRouting { config }
+    }
+
+    /// Full outcome with cache reuse.
+    pub fn solve_with_cache(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+    ) -> Result<GrowOutcome, SchemeError> {
+        Ok(solve_minmax(cache, tm, self.config.k_limit, &self.config.growth)?)
+    }
+}
+
+impl RoutingScheme for MinMaxRouting {
+    fn name(&self) -> &'static str {
+        if self.config.k_limit.is_some() {
+            "MinMaxK10"
+        } else {
+            "MinMax"
+        }
+    }
+
+    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        Ok(self.solve_with_cache(&PathCache::new(topology.graph()), tm)?.placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::PlacementEval;
+    use crate::schemes::latopt::LatencyOptimal;
+    use lowlat_tmgen::{GravityTmGen, TmGenConfig};
+    use lowlat_topology::zoo::named;
+
+    #[test]
+    fn minmax_never_congests_when_traffic_fits() {
+        let topo = named::gts_like();
+        let gen = GravityTmGen::new(TmGenConfig { total_volume_mbps: 30_000.0, ..Default::default() });
+        let tm = gen.generate(&topo, 0);
+        let pl = MinMaxRouting::unrestricted().place(&topo, &tm).unwrap();
+        let ev = PlacementEval::evaluate(&topo, &tm, &pl);
+        // Figure 4c: MinMax shows no congestion (when the traffic fits).
+        assert!(ev.fits(), "max util {}", ev.max_utilization());
+    }
+
+    #[test]
+    fn minmax_trades_latency_for_headroom() {
+        let topo = named::gts_like();
+        let gen = GravityTmGen::new(TmGenConfig { total_volume_mbps: 30_000.0, ..Default::default() });
+        let tm = gen.generate(&topo, 0);
+        let mm = MinMaxRouting::unrestricted().place(&topo, &tm).unwrap();
+        let opt = LatencyOptimal::default().place(&topo, &tm).unwrap();
+        let ev_mm = PlacementEval::evaluate(&topo, &tm, &mm);
+        let ev_opt = PlacementEval::evaluate(&topo, &tm, &opt);
+        // MinMax leaves more headroom...
+        assert!(ev_mm.max_utilization() <= ev_opt.max_utilization() + 1e-6);
+        // ...at equal or worse latency (§3's point, Figure 4c vs 4a).
+        assert!(ev_mm.latency_stretch() >= ev_opt.latency_stretch() - 1e-6);
+    }
+
+    #[test]
+    fn k_limit_bounds_path_choice() {
+        let topo = named::abilene();
+        let gen = GravityTmGen::new(TmGenConfig { total_volume_mbps: 40_000.0, ..Default::default() });
+        let tm = gen.generate(&topo, 2);
+        let pl = MinMaxRouting::with_k(2).place(&topo, &tm).unwrap();
+        for agg in pl.per_aggregate() {
+            assert!(agg.splits.len() <= 2);
+        }
+        assert_eq!(MinMaxRouting::with_k(10).name(), "MinMaxK10");
+        assert_eq!(MinMaxRouting::unrestricted().name(), "MinMax");
+    }
+}

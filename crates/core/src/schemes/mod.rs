@@ -1,0 +1,69 @@
+//! The routing schemes the paper evaluates (§3, §5, §6).
+//!
+//! All schemes implement [`RoutingScheme`] and produce a best-effort
+//! [`Placement`] even when the traffic cannot fit — congestion is a property
+//! the evaluator measures (as in the paper's figures), not an error. Errors
+//! are reserved for genuine solver failures.
+//!
+//! | scheme | paper role |
+//! |---|---|
+//! | [`sp::ShortestPathRouting`] | OSPF/IS-IS with delay-proportional costs (Figure 3) |
+//! | [`ecmp::EcmpRouting`] | deployed OSPF/IS-IS: even splits over equal-cost shortest paths |
+//! | [`b4::B4Routing`] | greedy progressive filling à la B4 (Figure 4b) |
+//! | [`mpls::MplsAutoBandwidth`] | sequential MPLS-TE auto-bandwidth, the §3 "one aggregate at a time" greedy |
+//! | [`minmax::MinMaxRouting`] | MinMax utilization, latency tie-break; optional k-shortest limit (Figures 4c, 4d) |
+//! | [`latopt::LatencyOptimal`] | the Figure-12 LP with Figure-13 path growth (Figure 4a) |
+//! | [`ldr::Ldr`] | LDR: latency-optimal + automatic headroom via Figure 14 |
+//! | [`linkbased::LinkBasedOptimal`] | link-based MCF formulation (the slow baseline of Figure 15) |
+
+pub mod b4;
+pub mod ecmp;
+pub mod latopt;
+pub mod ldr;
+pub mod linkbased;
+pub mod minmax;
+pub mod mpls;
+pub mod sp;
+
+use lowlat_linprog::LpError;
+use lowlat_tmgen::TrafficMatrix;
+use lowlat_topology::Topology;
+
+use crate::placement::Placement;
+
+/// Why a scheme failed outright (congestion is *not* a failure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeError {
+    /// The underlying LP solver failed.
+    Solver(LpError),
+    /// The link-based formulation was infeasible (demand exceeds capacity);
+    /// unlike the path-based schemes it has no overload variables.
+    Infeasible,
+}
+
+impl std::fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeError::Solver(e) => write!(f, "LP solver: {e}"),
+            SchemeError::Infeasible => write!(f, "demand exceeds capacity"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+impl From<LpError> for SchemeError {
+    fn from(e: LpError) -> Self {
+        SchemeError::Solver(e)
+    }
+}
+
+/// A traffic-placement algorithm.
+pub trait RoutingScheme {
+    /// Short stable name, used in experiment output ("SP", "B4", "MinMax",
+    /// "MinMaxK10", "LatOpt", "LDR", "LinkBased").
+    fn name(&self) -> &'static str;
+
+    /// Computes a placement for `tm` on `topology`.
+    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError>;
+}

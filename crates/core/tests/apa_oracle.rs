@@ -1,0 +1,91 @@
+//! Cross-checks the APA computation against an independent oracle: bridge
+//! detection. A cable that is a bridge can never be routed around, so every
+//! shortest path crossing it must lose APA credit for that hop — whatever
+//! the stretch limit or capacities.
+
+use proptest::prelude::*;
+
+use lowlat_core::llpd::{LlpdAnalysis, LlpdConfig};
+use lowlat_netgraph::bridges;
+use lowlat_topology::{zoo, GeoPoint, Topology, TopologyBuilder};
+
+/// Random sparse topology with guaranteed bridges: a backbone ring plus
+/// pendant chains hanging off it.
+fn arb_topology_with_pendants() -> impl Strategy<Value = Topology> {
+    (4usize..=7, 1usize..=3, any::<u64>()).prop_map(|(ring_n, pendants, seed)| {
+        let mut b = TopologyBuilder::new("pendant");
+        let ring: Vec<_> = (0..ring_n)
+            .map(|i| {
+                let ang = 2.0 * std::f64::consts::PI * i as f64 / ring_n as f64;
+                b.add_pop(
+                    format!("r{i}"),
+                    GeoPoint::new(45.0 + 4.0 * ang.sin(), -100.0 + 5.0 * ang.cos()),
+                )
+            })
+            .collect();
+        for i in 0..ring_n {
+            b.connect(ring[i], ring[(i + 1) % ring_n], 10_000.0);
+        }
+        for j in 0..pendants {
+            let attach = ring[(seed as usize + j * 3) % ring_n];
+            let p = b.add_pop(
+                format!("p{j}"),
+                GeoPoint::new(45.0 + 6.0 + j as f64, -100.0 + j as f64),
+            );
+            b.connect(attach, p, 10_000.0); // pendant cable = bridge
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pairs_crossing_bridges_lose_apa_credit(topo in arb_topology_with_pendants()) {
+        let graph = topo.graph();
+        let bridge_set: std::collections::HashSet<u32> = bridges(graph)
+            .into_iter()
+            .flat_map(|l| [l.0, topo.reverse_link(l).0])
+            .collect();
+        prop_assume!(!bridge_set.is_empty());
+        let analysis = LlpdAnalysis::compute(&topo, &LlpdConfig::default());
+        for ((s, d), &apa) in topo.unordered_pairs().iter().zip(analysis.apa_values()) {
+            let sp = lowlat_netgraph::shortest_path(graph, *s, *d, None, None).unwrap();
+            let bridge_hops =
+                sp.links().iter().filter(|l| bridge_set.contains(&l.0)).count();
+            let max_apa = 1.0 - bridge_hops as f64 / sp.links().len() as f64;
+            prop_assert!(
+                apa <= max_apa + 1e-9,
+                "pair {s:?}-{d:?}: APA {apa} exceeds bridge bound {max_apa} \
+                 ({bridge_hops} bridges on {} hops)",
+                sp.links().len()
+            );
+        }
+    }
+
+    #[test]
+    fn bridgeless_2_connected_graphs_have_positive_apa_somewhere(seed in any::<u64>()) {
+        // A chorded ring is 2-edge-connected: no bridges; with a generous
+        // stretch limit every link can be routed around in principle, so at
+        // least the best-served pair must have APA > 0.
+        let topo = zoo::ring(8, 2, zoo::EUROPE, seed % 512);
+        prop_assume!(bridges(topo.graph()).is_empty());
+        let generous = LlpdConfig { stretch_limit: 50.0, ..Default::default() };
+        let analysis = LlpdAnalysis::compute(&topo, &generous);
+        let best = analysis.apa_values().iter().cloned().fold(0.0, f64::max);
+        prop_assert!(best > 0.0, "2-edge-connected graph with zero APA everywhere");
+    }
+
+    #[test]
+    fn trees_are_all_bridges_and_zero_apa(n in 4usize..12, seed in any::<u64>()) {
+        let topo = zoo::tree(n, 0.4, zoo::USA, seed % 512);
+        // Every cable of a tree is a bridge...
+        prop_assert_eq!(bridges(topo.graph()).len(), topo.cables().len());
+        // ...so APA is zero for every pair, under any stretch limit.
+        let generous = LlpdConfig { stretch_limit: 100.0, ..Default::default() };
+        let analysis = LlpdAnalysis::compute(&topo, &generous);
+        prop_assert!(analysis.apa_values().iter().all(|&a| a == 0.0));
+        prop_assert_eq!(analysis.llpd(), 0.0);
+    }
+}

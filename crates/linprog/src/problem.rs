@@ -1,0 +1,198 @@
+//! Problem construction API.
+
+use crate::simplex::{solve_standard_form, LpError, Solution, SolverOptions, StandardForm};
+
+/// Relation of a constraint row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `<=`
+    Le,
+    /// `==`
+    Eq,
+    /// `>=`
+    Ge,
+}
+
+/// Identifier of a constraint row, returned by [`Problem::add_row`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RowId(pub usize);
+
+struct Row {
+    coeffs: Vec<(usize, f64)>,
+    rel: Relation,
+    rhs: f64,
+}
+
+/// A linear program `min c·x  s.t.  Ax {<=,==,>=} b,  0 <= x <= u`.
+///
+/// Variables are indexed `0..num_vars`, implicitly non-negative, and may
+/// carry an upper bound (handled natively by the simplex, not as a row —
+/// important for problems with one cap per variable, like the paper's
+/// locality-redistribution LP).
+pub struct Problem {
+    num_vars: usize,
+    objective: Vec<f64>,
+    upper: Vec<f64>,
+    rows: Vec<Row>,
+}
+
+impl Problem {
+    /// Creates a minimization problem over `num_vars` non-negative variables
+    /// with an all-zero objective and no upper bounds.
+    pub fn minimize(num_vars: usize) -> Self {
+        Problem {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            upper: vec![f64::INFINITY; num_vars],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Bounds variable `var` from above: `x_var <= upper`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range `var`, or a negative or NaN bound.
+    pub fn set_upper_bound(&mut self, var: usize, upper: f64) {
+        assert!(var < self.num_vars, "bound var {var} out of range");
+        assert!(!upper.is_nan() && upper >= 0.0, "bad upper bound {upper}");
+        self.upper[var] = upper;
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraint rows added so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective coefficient of variable `var` (adds to any previous
+    /// value so composite objectives can be accumulated term by term).
+    ///
+    /// # Panics
+    /// Panics on out-of-range `var` or non-finite coefficient.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) {
+        assert!(var < self.num_vars, "objective var {var} out of range");
+        assert!(coeff.is_finite(), "non-finite objective coefficient");
+        self.objective[var] += coeff;
+    }
+
+    /// Adds the constraint `sum(coeff_i * x_var_i) rel rhs`.
+    ///
+    /// Duplicate variable entries in `coeffs` are summed. Zero coefficients
+    /// are dropped.
+    ///
+    /// # Panics
+    /// Panics on out-of-range variables or non-finite values.
+    pub fn add_row(&mut self, rel: Relation, rhs: f64, coeffs: &[(usize, f64)]) -> RowId {
+        assert!(rhs.is_finite(), "non-finite rhs");
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(coeffs.len());
+        let mut sorted = coeffs.to_vec();
+        sorted.sort_by_key(|&(v, _)| v);
+        for &(var, c) in &sorted {
+            assert!(var < self.num_vars, "row var {var} out of range");
+            assert!(c.is_finite(), "non-finite row coefficient");
+            match merged.last_mut() {
+                Some((last_var, last_c)) if *last_var == var => *last_c += c,
+                _ => merged.push((var, c)),
+            }
+        }
+        merged.retain(|&(_, c)| c != 0.0);
+        let id = RowId(self.rows.len());
+        self.rows.push(Row { coeffs: merged, rel, rhs });
+        id
+    }
+
+    /// Solves with default [`SolverOptions`].
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        self.solve_with(&SolverOptions::default())
+    }
+
+    /// Solves with explicit options.
+    pub fn solve_with(&self, opts: &SolverOptions) -> Result<Solution, LpError> {
+        let sf = self.to_standard_form();
+        solve_standard_form(&sf, opts)
+    }
+
+    /// Converts to equality standard form: appends one slack (`<=`, coeff
+    /// +1) or surplus (`>=`, coeff -1) column per inequality row, then
+    /// negates rows as needed so every right-hand side is non-negative.
+    pub(crate) fn to_standard_form(&self) -> StandardForm {
+        let m = self.rows.len();
+        let n_structural = self.num_vars;
+        let n_slack = self.rows.iter().filter(|r| r.rel != Relation::Eq).count();
+        let n = n_structural + n_slack;
+
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut b = vec![0.0; m];
+        let mut c = vec![0.0; n];
+        c[..n_structural].copy_from_slice(&self.objective);
+        let mut upper = vec![f64::INFINITY; n];
+        upper[..n_structural].copy_from_slice(&self.upper);
+
+        let mut slack_idx = n_structural;
+        for (i, row) in self.rows.iter().enumerate() {
+            let negate = row.rhs < 0.0;
+            let sign = if negate { -1.0 } else { 1.0 };
+            b[i] = sign * row.rhs;
+            for &(var, coeff) in &row.coeffs {
+                cols[var].push((i, sign * coeff));
+            }
+            match row.rel {
+                Relation::Eq => {}
+                Relation::Le => {
+                    cols[slack_idx].push((i, sign));
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    cols[slack_idx].push((i, -sign));
+                    slack_idx += 1;
+                }
+            }
+        }
+        StandardForm { num_structural: n_structural, cols, b, c, upper }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_coeffs_merge() {
+        let mut p = Problem::minimize(2);
+        p.add_row(Relation::Le, 5.0, &[(0, 1.0), (0, 2.0), (1, 1.0), (1, -1.0)]);
+        let sf = p.to_standard_form();
+        assert_eq!(sf.cols[0], vec![(0, 3.0)]);
+        assert!(sf.cols[1].is_empty(), "cancelled coefficient dropped");
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        let mut p = Problem::minimize(1);
+        // x >= 2 written as  -x <= -2
+        p.add_row(Relation::Le, -2.0, &[(0, -1.0)]);
+        let sf = p.to_standard_form();
+        assert_eq!(sf.b, vec![2.0]);
+        assert_eq!(sf.cols[0], vec![(0, 1.0)]); // negated
+        assert_eq!(sf.cols[1], vec![(0, -1.0)]); // slack flipped too
+    }
+
+    #[test]
+    fn objective_accumulates() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, 1.5);
+        p.set_objective(0, 0.5);
+        let sf = p.to_standard_form();
+        assert_eq!(sf.c[0], 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_var_rejected() {
+        let mut p = Problem::minimize(1);
+        p.add_row(Relation::Le, 1.0, &[(1, 1.0)]);
+    }
+}

@@ -1,0 +1,878 @@
+//! Two-phase revised simplex over the equality standard form, with native
+//! variable upper bounds.
+//!
+//! The basis inverse is kept as a dense **column-major** matrix so the three
+//! hot operations — pricing vector `y = c_B B⁻¹`, entering column
+//! `w = B⁻¹ A_j`, and the eta update after a pivot — all stream over
+//! contiguous memory.
+//!
+//! Upper bounds are handled the standard way: a nonbasic variable may rest
+//! at either bound, entering variables move off whichever bound they sit at,
+//! and the ratio test admits three block events (a basic variable hitting
+//! zero, a basic variable hitting its own upper bound, or the entering
+//! variable flipping straight to its opposite bound without a basis change).
+//! This keeps row counts small for problems like the paper's locality
+//! redistribution LP, where every aggregate has a cap but only the per-node
+//! marginals are genuine rows.
+
+/// Equality standard form `min c·x  s.t.  A x = b (b >= 0), 0 <= x <= u`
+/// with sparse columns. Produced by [`crate::Problem::to_standard_form`].
+pub(crate) struct StandardForm {
+    /// Number of structural (caller-visible) variables; the rest are slacks.
+    pub num_structural: usize,
+    /// Sparse columns: `cols[j]` lists `(row, coeff)` with rows strictly
+    /// increasing.
+    pub cols: Vec<Vec<(usize, f64)>>,
+    /// Right-hand side, all entries non-negative.
+    pub b: Vec<f64>,
+    /// Objective (length `cols.len()`, slacks carry 0).
+    pub c: Vec<f64>,
+    /// Upper bounds per column (`f64::INFINITY` when absent).
+    pub upper: Vec<f64>,
+}
+
+/// Why the solver gave up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// No point satisfies all constraints.
+    Infeasible,
+    /// The objective can decrease without bound.
+    Unbounded,
+    /// Iteration limit hit (see [`SolverOptions::max_iterations`]).
+    IterationLimit,
+    /// The basis became numerically singular even after refactorization.
+    Numerical,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible"),
+            LpError::Unbounded => write!(f, "unbounded"),
+            LpError::IterationLimit => write!(f, "iteration limit exceeded"),
+            LpError::Numerical => write!(f, "numerical failure"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Solver tuning knobs. The defaults are used everywhere in this workspace.
+#[derive(Clone, Debug)]
+pub struct SolverOptions {
+    /// Hard pivot cap; `0` selects `20_000 + 100 * (rows + cols)`.
+    pub max_iterations: usize,
+    /// Base tolerance for reduced costs and pivot magnitudes.
+    pub tol: f64,
+    /// Refactorize the basis inverse every this many pivots.
+    pub refactor_every: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions { max_iterations: 0, tol: 1e-9, refactor_every: 2048 }
+    }
+}
+
+/// An optimal solution.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    x: Vec<f64>,
+    objective: f64,
+    iterations: usize,
+}
+
+impl Solution {
+    /// Value of structural variable `var`.
+    pub fn value(&self, var: usize) -> f64 {
+        self.x[var]
+    }
+
+    /// All structural variable values.
+    pub fn values(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Objective at the optimum.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Total simplex pivots across both phases.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+/// Where a nonbasic variable rests.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Rest {
+    Lower,
+    Upper,
+    Basic,
+}
+
+/// Dense column-major basis inverse with the working vectors of the revised
+/// simplex.
+struct Engine<'a> {
+    sf: &'a StandardForm,
+    m: usize,
+    /// Total columns including artificials.
+    total_n: usize,
+    /// First artificial column index (== sf.cols.len()).
+    art_start: usize,
+    /// For artificial j (>= art_start), its row is `art_row[j - art_start]`.
+    art_row: Vec<usize>,
+    /// Column-major m*m basis inverse: element (i,k) at `binv[k*m + i]`.
+    binv: Vec<f64>,
+    /// Basic variable per row.
+    basis: Vec<usize>,
+    rest: Vec<Rest>,
+    /// Current basic solution values (aligned with `basis`).
+    xb: Vec<f64>,
+    opts: SolverOptions,
+    iterations: usize,
+    /// Consecutive degenerate pivots; triggers Bland's rule.
+    stall: usize,
+    scratch_y: Vec<f64>,
+    scratch_w: Vec<f64>,
+}
+
+/// Outcome of the ratio test.
+enum Block {
+    /// Entering variable flips to its other bound; no basis change.
+    BoundFlip,
+    /// Basic variable in this row leaves at the given bound.
+    Leaves { row: usize, at_upper: bool },
+    /// Nothing blocks: unbounded direction.
+    None,
+}
+
+impl<'a> Engine<'a> {
+    fn new(sf: &'a StandardForm, opts: SolverOptions) -> Self {
+        let m = sf.b.len();
+        let n = sf.cols.len();
+
+        // Pick initial basic columns: slacks that are a bare +1 in their row.
+        let mut row_basic: Vec<Option<usize>> = vec![None; m];
+        for j in sf.num_structural..n {
+            if let [(r, v)] = sf.cols[j][..] {
+                if (v - 1.0).abs() < 1e-12 && row_basic[r].is_none() {
+                    row_basic[r] = Some(j);
+                }
+            }
+        }
+        let mut art_row = Vec::new();
+        let mut basis = vec![usize::MAX; m];
+        let mut rest = vec![Rest::Lower; n];
+        for (r, rb) in row_basic.iter().enumerate() {
+            match rb {
+                Some(j) => {
+                    basis[r] = *j;
+                    rest[*j] = Rest::Basic;
+                }
+                None => {
+                    basis[r] = n + art_row.len();
+                    art_row.push(r);
+                }
+            }
+        }
+        let total_n = n + art_row.len();
+        rest.resize(total_n, Rest::Basic);
+
+        // All initial basis columns are unit vectors => B = I, and every
+        // nonbasic starts at its lower bound => xb = b.
+        let mut binv = vec![0.0; m * m];
+        for k in 0..m {
+            binv[k * m + k] = 1.0;
+        }
+        Engine {
+            sf,
+            m,
+            total_n,
+            art_start: n,
+            art_row,
+            binv,
+            basis,
+            rest,
+            xb: sf.b.clone(),
+            opts,
+            iterations: 0,
+            stall: 0,
+            scratch_y: vec![0.0; m],
+            scratch_w: vec![0.0; m],
+        }
+    }
+
+    fn has_artificials(&self) -> bool {
+        self.total_n > self.art_start
+    }
+
+    fn upper(&self, j: usize) -> f64 {
+        if j < self.sf.upper.len() {
+            self.sf.upper[j]
+        } else {
+            f64::INFINITY // artificials
+        }
+    }
+
+    /// `w = B^-1 A_j` into `scratch_w`.
+    fn compute_w(&mut self, j: usize) {
+        let m = self.m;
+        let mut w = std::mem::take(&mut self.scratch_w);
+        w.iter_mut().for_each(|x| *x = 0.0);
+        if j < self.art_start {
+            for &(r, v) in &self.sf.cols[j] {
+                let colr = &self.binv[r * m..r * m + m];
+                for (wi, bi) in w.iter_mut().zip(colr) {
+                    *wi += v * bi;
+                }
+            }
+        } else {
+            let r = self.art_row[j - self.art_start];
+            w.copy_from_slice(&self.binv[r * m..r * m + m]);
+        }
+        self.scratch_w = w;
+    }
+
+    /// `y = c_B' B^-1` into `scratch_y` for the given phase costs.
+    fn compute_y(&mut self, cost: &dyn Fn(usize) -> f64) {
+        let m = self.m;
+        let mut y = std::mem::take(&mut self.scratch_y);
+        let cb: Vec<f64> = self.basis.iter().map(|&j| cost(j)).collect();
+        for (k, yk) in y.iter_mut().enumerate() {
+            let colk = &self.binv[k * m..k * m + m];
+            *yk = cb.iter().zip(colk).map(|(a, b)| a * b).sum();
+        }
+        self.scratch_y = y;
+    }
+
+    /// Reduced cost of column `j` given `scratch_y`.
+    fn reduced_cost(&self, j: usize, cost: &dyn Fn(usize) -> f64) -> f64 {
+        let mut dot = 0.0;
+        if j < self.art_start {
+            for &(r, v) in &self.sf.cols[j] {
+                dot += v * self.scratch_y[r];
+            }
+        } else {
+            dot = self.scratch_y[self.art_row[j - self.art_start]];
+        }
+        cost(j) - dot
+    }
+
+    /// One phase of the simplex: minimize `cost` from the current basis.
+    /// `barred(j)` columns may never enter. Returns Ok(()) at optimality.
+    fn run_phase(
+        &mut self,
+        cost: &dyn Fn(usize) -> f64,
+        barred: &dyn Fn(usize) -> bool,
+        max_iter: usize,
+    ) -> Result<(), LpError> {
+        let tol = self.opts.tol;
+        loop {
+            if self.iterations >= max_iter {
+                return Err(LpError::IterationLimit);
+            }
+            self.compute_y(cost);
+
+            // Pricing: Dantzig normally, Bland's rule while stalled. A
+            // variable at its upper bound enters by *decreasing*, so it is
+            // attractive when its reduced cost is positive.
+            let bland = self.stall > self.m + 64;
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..self.total_n {
+                if self.rest[j] == Rest::Basic || barred(j) {
+                    continue;
+                }
+                let d = self.reduced_cost(j, cost);
+                let score = match self.rest[j] {
+                    Rest::Lower => -d,
+                    Rest::Upper => d,
+                    Rest::Basic => unreachable!(),
+                };
+                if score > tol {
+                    if bland {
+                        entering = Some((j, score));
+                        break;
+                    }
+                    match entering {
+                        Some((_, best)) if score <= best => {}
+                        _ => entering = Some((j, score)),
+                    }
+                }
+            }
+            let Some((j, _)) = entering else {
+                return Ok(()); // optimal for this phase
+            };
+
+            self.compute_w(j);
+            let from_upper = self.rest[j] == Rest::Upper;
+            // Direction sign: moving off the lower bound increases x_j,
+            // off the upper bound decreases it; basic values change by
+            // -t * sign * w.
+            let sign = if from_upper { -1.0 } else { 1.0 };
+
+            let (theta, block) = self.ratio_test(j, sign, bland);
+            match block {
+                Block::None => return Err(LpError::Unbounded),
+                Block::BoundFlip => {
+                    // x_j travels its full range; no basis change.
+                    let span = self.upper(j);
+                    debug_assert!(span.is_finite());
+                    for i in 0..self.m {
+                        let v = self.xb[i] - span * sign * self.scratch_w[i];
+                        self.xb[i] = if v < 0.0 && v > -1e-7 { 0.0 } else { v };
+                    }
+                    self.rest[j] = if from_upper { Rest::Lower } else { Rest::Upper };
+                    self.iterations += 1;
+                    self.stall = if span <= 1e-12 { self.stall + 1 } else { 0 };
+                }
+                Block::Leaves { row, at_upper } => {
+                    self.stall = if theta <= 1e-12 { self.stall + 1 } else { 0 };
+                    self.pivot(j, row, theta, sign, from_upper, at_upper);
+                }
+            }
+
+            if self.iterations % self.opts.refactor_every == 0 {
+                self.refactorize()?;
+            }
+        }
+    }
+
+    /// Ratio test for entering variable `j` moving with direction `sign`
+    /// (`scratch_w` holds `B^-1 A_j`). Returns the step length `t >= 0` and
+    /// what blocked it.
+    fn ratio_test(&self, j: usize, sign: f64, bland: bool) -> (f64, Block) {
+        let piv_tol = 1e-9;
+        let mut theta = self.upper(j); // bound-flip distance
+        let mut block = if theta.is_finite() { Block::BoundFlip } else { Block::None };
+        let mut best_w = 0.0;
+        for i in 0..self.m {
+            let wi = sign * self.scratch_w[i];
+            // Basic value moves as xb_i - t * wi.
+            let (limit, at_upper) = if wi > piv_tol {
+                ((self.xb[i].max(0.0)) / wi, false)
+            } else if wi < -piv_tol {
+                let ub = self.upper(self.basis[i]);
+                if !ub.is_finite() {
+                    continue;
+                }
+                (((ub - self.xb[i]).max(0.0)) / -wi, true)
+            } else {
+                continue;
+            };
+            let better = if limit < theta - 1e-10 {
+                true
+            } else if limit <= theta + 1e-10 {
+                match block {
+                    Block::Leaves { row, .. } => {
+                        if bland {
+                            self.basis[i] < self.basis[row]
+                        } else {
+                            wi.abs() > best_w
+                        }
+                    }
+                    // Prefer a pivot over a bound flip at equal distance:
+                    // it changes the basis and helps escape degeneracy.
+                    _ => true,
+                }
+            } else {
+                false
+            };
+            if better {
+                theta = limit.max(0.0);
+                best_w = wi.abs();
+                block = Block::Leaves { row: i, at_upper };
+            }
+        }
+        let _ = j;
+        (theta, block)
+    }
+
+    /// Applies a basis-changing pivot: variable `j` enters moving `theta`
+    /// from its current bound (direction `sign`), the basic variable in
+    /// `row` leaves at lower (0) or upper bound.
+    fn pivot(&mut self, j: usize, r: usize, theta: f64, sign: f64, from_upper: bool, leave_at_upper: bool) {
+        let m = self.m;
+        let wr = self.scratch_w[r];
+        debug_assert!(wr.abs() > 1e-12, "pivot on ~zero element");
+
+        // Update basic values; forgive only round-off-sized negativity so
+        // genuine drift still surfaces (and is repaired by refactorization).
+        for i in 0..m {
+            if i != r {
+                let v = self.xb[i] - theta * sign * self.scratch_w[i];
+                self.xb[i] = if v < 0.0 && v > -1e-7 { 0.0 } else { v };
+            }
+        }
+        // Entering variable's new value.
+        self.xb[r] = if from_upper { self.upper(j) - theta } else { theta };
+
+        // Eta update of the column-major inverse: for every column k,
+        //   t = (B^-1)_{r,k};  (B^-1)_{i,k} -= w_i * t / w_r  (i != r);
+        //   (B^-1)_{r,k} = t / w_r.
+        for k in 0..m {
+            let colk = &mut self.binv[k * m..k * m + m];
+            let t = colk[r];
+            if t == 0.0 {
+                continue;
+            }
+            let scale = t / wr;
+            for i in 0..m {
+                colk[i] -= self.scratch_w[i] * scale;
+            }
+            // The loop above set colk[r] = t - wr * (t/wr) = 0; restore.
+            colk[r] = scale;
+        }
+
+        let old = self.basis[r];
+        self.rest[old] = if leave_at_upper { Rest::Upper } else { Rest::Lower };
+        self.basis[r] = j;
+        self.rest[j] = Rest::Basic;
+        self.iterations += 1;
+    }
+
+    /// Rebuilds `binv` from scratch by Gauss-Jordan elimination of the basis
+    /// matrix, then recomputes `xb = B^-1 (b - N x_N)`. Guards drift.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let m = self.m;
+        let mut bmat = vec![0.0; m * m];
+        for (k, &j) in self.basis.iter().enumerate() {
+            if j < self.art_start {
+                for &(r, v) in &self.sf.cols[j] {
+                    bmat[k * m + r] = v;
+                }
+            } else {
+                bmat[k * m + self.art_row[j - self.art_start]] = 1.0;
+            }
+        }
+        let inv = invert_column_major(&bmat, m).ok_or(LpError::Numerical)?;
+        self.binv = inv;
+        // Effective rhs: b minus contributions of nonbasics at upper bound.
+        let mut rhs = self.sf.b.clone();
+        for j in 0..self.art_start {
+            if self.rest[j] == Rest::Upper {
+                let u = self.sf.upper[j];
+                for &(r, v) in &self.sf.cols[j] {
+                    rhs[r] -= v * u;
+                }
+            }
+        }
+        for i in 0..m {
+            let mut acc = 0.0;
+            for k in 0..m {
+                acc += self.binv[k * m + i] * rhs[k];
+            }
+            self.xb[i] = if acc < 0.0 && acc > -1e-7 { 0.0 } else { acc };
+        }
+        Ok(())
+    }
+
+    /// After phase 1: pivot basic artificials out where possible so phase 2
+    /// cannot push them positive. Rows whose artificial cannot be displaced
+    /// are linearly dependent and inert (their `w` entry is zero for every
+    /// column), so leaving the artificial basic at 0 is safe.
+    fn drive_out_artificials(&mut self) {
+        let m = self.m;
+        for r in 0..m {
+            if self.basis[r] < self.art_start {
+                continue;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..self.art_start {
+                if self.rest[j] == Rest::Basic {
+                    continue;
+                }
+                let mut w_rj = 0.0;
+                for &(rr, v) in &self.sf.cols[j] {
+                    w_rj += v * self.binv[rr * m + r];
+                }
+                if w_rj.abs() > 1e-7 {
+                    match best {
+                        Some((_, bv)) if w_rj.abs() <= bv => {}
+                        _ => best = Some((j, w_rj.abs())),
+                    }
+                }
+            }
+            if let Some((j, _)) = best {
+                let from_upper = self.rest[j] == Rest::Upper;
+                self.compute_w(j);
+                if self.scratch_w[r].abs() <= 1e-12 {
+                    continue;
+                }
+                // Degenerate pivot: the artificial sits at ~0, so theta ~ 0
+                // and no basic value moves materially.
+                let sign = if from_upper { -1.0 } else { 1.0 };
+                let theta = (self.xb[r] / (sign * self.scratch_w[r])).max(0.0);
+                self.pivot(j, r, theta, sign, from_upper, false);
+            }
+        }
+    }
+
+    fn extract(&self) -> Solution {
+        let mut x = vec![0.0; self.sf.num_structural];
+        for j in 0..self.sf.num_structural {
+            if self.rest[j] == Rest::Upper {
+                x[j] = self.sf.upper[j];
+            }
+        }
+        for (r, &j) in self.basis.iter().enumerate() {
+            if j < self.sf.num_structural {
+                x[j] = self.xb[r].max(0.0);
+            }
+        }
+        let objective = x.iter().zip(&self.sf.c).map(|(xi, ci)| xi * ci).sum();
+        Solution { x, objective, iterations: self.iterations }
+    }
+}
+
+/// Inverts an m*m column-major matrix by Gauss-Jordan with partial pivoting.
+/// Returns `None` if (numerically) singular.
+fn invert_column_major(a: &[f64], m: usize) -> Option<Vec<f64>> {
+    // Work row-major for the elimination, convert at the edges.
+    let mut w = vec![0.0; m * m];
+    for k in 0..m {
+        for i in 0..m {
+            w[i * m + k] = a[k * m + i];
+        }
+    }
+    let mut inv = vec![0.0; m * m];
+    for i in 0..m {
+        inv[i * m + i] = 1.0;
+    }
+    for col in 0..m {
+        let mut piv = col;
+        let mut best = w[col * m + col].abs();
+        for i in col + 1..m {
+            let v = w[i * m + col].abs();
+            if v > best {
+                best = v;
+                piv = i;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if piv != col {
+            for k in 0..m {
+                w.swap(col * m + k, piv * m + k);
+                inv.swap(col * m + k, piv * m + k);
+            }
+        }
+        let d = w[col * m + col];
+        for k in 0..m {
+            w[col * m + k] /= d;
+            inv[col * m + k] /= d;
+        }
+        for i in 0..m {
+            if i != col {
+                let f = w[i * m + col];
+                if f != 0.0 {
+                    for k in 0..m {
+                        w[i * m + k] -= f * w[col * m + k];
+                        inv[i * m + k] -= f * inv[col * m + k];
+                    }
+                }
+            }
+        }
+    }
+    let mut out = vec![0.0; m * m];
+    for i in 0..m {
+        for k in 0..m {
+            out[k * m + i] = inv[i * m + k];
+        }
+    }
+    Some(out)
+}
+
+/// Entry point used by [`crate::Problem::solve_with`].
+pub(crate) fn solve_standard_form(
+    sf: &StandardForm,
+    opts: &SolverOptions,
+) -> Result<Solution, LpError> {
+    let m = sf.b.len();
+    let n = sf.cols.len();
+
+    // Trivial case: no constraints. Negative-cost variables run to their
+    // upper bound (or to infinity).
+    if m == 0 {
+        let mut x = vec![0.0; sf.num_structural];
+        for j in 0..sf.num_structural {
+            if sf.c[j] < -opts.tol {
+                if sf.upper[j].is_finite() {
+                    x[j] = sf.upper[j];
+                } else {
+                    return Err(LpError::Unbounded);
+                }
+            }
+        }
+        let objective = x.iter().zip(&sf.c).map(|(a, b)| a * b).sum();
+        return Ok(Solution { x, objective, iterations: 0 });
+    }
+
+    let max_iter = if opts.max_iterations == 0 { 20_000 + 100 * (m + n) } else { opts.max_iterations };
+    let mut eng = Engine::new(sf, opts.clone());
+
+    if eng.has_artificials() {
+        let art_start = eng.art_start;
+        let phase1_cost = move |j: usize| if j >= art_start { 1.0 } else { 0.0 };
+        match eng.run_phase(&phase1_cost, &|_| false, max_iter) {
+            Ok(()) => {}
+            Err(LpError::Unbounded) => {
+                // Phase-1 objective is bounded below by 0; this is numerics.
+                return Err(LpError::Numerical);
+            }
+            Err(e) => return Err(e),
+        }
+        let art_sum: f64 = eng
+            .basis
+            .iter()
+            .zip(&eng.xb)
+            .filter(|(&j, _)| j >= art_start)
+            .map(|(_, &v)| v)
+            .sum();
+        let scale = 1.0 + sf.b.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        if art_sum > 1e-7 * scale {
+            return Err(LpError::Infeasible);
+        }
+        eng.drive_out_artificials();
+    }
+
+    let art_start = eng.art_start;
+    let c = &sf.c;
+    let phase2_cost = move |j: usize| if j < c.len() { c[j] } else { 0.0 };
+    eng.run_phase(&phase2_cost, &|j| j >= art_start, max_iter)?;
+    Ok(eng.extract())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpError, Problem, Relation};
+
+    #[test]
+    fn textbook_2d_max() {
+        // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of negative)
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, -3.0);
+        p.set_objective(1, -5.0);
+        p.add_row(Relation::Le, 4.0, &[(0, 1.0)]);
+        p.add_row(Relation::Le, 12.0, &[(1, 2.0)]);
+        p.add_row(Relation::Le, 18.0, &[(0, 3.0), (1, 2.0)]);
+        let s = p.solve().unwrap();
+        assert!((s.objective() + 36.0).abs() < 1e-8, "got {}", s.objective());
+        assert!((s.value(0) - 2.0).abs() < 1e-8);
+        assert!((s.value(1) - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_rows_need_artificials() {
+        // min x + y  s.t. x + y = 2, x - y = 0  => x = y = 1
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0);
+        p.set_objective(1, 1.0);
+        p.add_row(Relation::Eq, 2.0, &[(0, 1.0), (1, 1.0)]);
+        p.add_row(Relation::Eq, 0.0, &[(0, 1.0), (1, -1.0)]);
+        let s = p.solve().unwrap();
+        assert!((s.value(0) - 1.0).abs() < 1e-8);
+        assert!((s.value(1) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ge_rows() {
+        // min 2x + 3y  s.t. x + y >= 10, x <= 6  => x=6, y=4, obj=24
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 2.0);
+        p.set_objective(1, 3.0);
+        p.add_row(Relation::Ge, 10.0, &[(0, 1.0), (1, 1.0)]);
+        p.add_row(Relation::Le, 6.0, &[(0, 1.0)]);
+        let s = p.solve().unwrap();
+        assert!((s.objective() - 24.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // min -x - y  s.t. x + y <= 10, x <= 3 (bound), y <= 4 (bound)
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, -1.0);
+        p.set_objective(1, -1.0);
+        p.set_upper_bound(0, 3.0);
+        p.set_upper_bound(1, 4.0);
+        p.add_row(Relation::Le, 10.0, &[(0, 1.0), (1, 1.0)]);
+        let s = p.solve().unwrap();
+        assert!((s.value(0) - 3.0).abs() < 1e-8);
+        assert!((s.value(1) - 4.0).abs() < 1e-8);
+        assert!((s.objective() + 7.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bound_flip_only_problem() {
+        // No rows at all: negative costs drive variables to their bounds.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, -2.0);
+        p.set_objective(1, 1.0);
+        p.set_upper_bound(0, 5.0);
+        let s = p.solve().unwrap();
+        assert!((s.value(0) - 5.0).abs() < 1e-9);
+        assert_eq!(s.value(1), 0.0);
+    }
+
+    #[test]
+    fn upper_bound_transport_matches_row_formulation() {
+        // Same LP expressed with bounds vs. with explicit cap rows.
+        let cases = [(2.0, 7.0), (3.5, 1.0), (1.0, 10.0)];
+        for (cap0, cap1) in cases {
+            let mut with_bounds = Problem::minimize(2);
+            with_bounds.set_objective(0, -3.0);
+            with_bounds.set_objective(1, -2.0);
+            with_bounds.set_upper_bound(0, cap0);
+            with_bounds.set_upper_bound(1, cap1);
+            with_bounds.add_row(Relation::Le, 8.0, &[(0, 1.0), (1, 1.0)]);
+
+            let mut with_rows = Problem::minimize(2);
+            with_rows.set_objective(0, -3.0);
+            with_rows.set_objective(1, -2.0);
+            with_rows.add_row(Relation::Le, cap0, &[(0, 1.0)]);
+            with_rows.add_row(Relation::Le, cap1, &[(1, 1.0)]);
+            with_rows.add_row(Relation::Le, 8.0, &[(0, 1.0), (1, 1.0)]);
+
+            let a = with_bounds.solve().unwrap();
+            let b = with_rows.solve().unwrap();
+            assert!((a.objective() - b.objective()).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::minimize(1);
+        p.add_row(Relation::Le, 1.0, &[(0, 1.0)]);
+        p.add_row(Relation::Ge, 2.0, &[(0, 1.0)]);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_by_bounds() {
+        let mut p = Problem::minimize(1);
+        p.set_upper_bound(0, 1.0);
+        p.add_row(Relation::Ge, 2.0, &[(0, 1.0)]);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, -1.0);
+        p.add_row(Relation::Ge, 0.0, &[(0, 1.0)]);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn bounded_variable_not_unbounded() {
+        let mut p = Problem::minimize(1);
+        p.set_objective(0, -1.0);
+        p.set_upper_bound(0, 9.0);
+        p.add_row(Relation::Ge, 0.0, &[(0, 1.0)]);
+        let s = p.solve().unwrap();
+        assert!((s.value(0) - 9.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        let mut p = Problem::minimize(3);
+        p.set_objective(0, -0.75);
+        p.set_objective(1, 150.0);
+        p.set_objective(2, -0.02);
+        p.add_row(Relation::Le, 0.0, &[(0, 0.25), (1, -60.0), (2, -0.04)]);
+        p.add_row(Relation::Le, 0.0, &[(0, 0.5), (1, -90.0), (2, -0.02)]);
+        p.add_row(Relation::Le, 1.0, &[(2, 1.0)]);
+        let s = p.solve().unwrap();
+        assert!(s.objective() <= 0.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0);
+        p.add_row(Relation::Eq, 2.0, &[(0, 1.0), (1, 1.0)]);
+        p.add_row(Relation::Eq, 2.0, &[(0, 1.0), (1, 1.0)]);
+        let s = p.solve().unwrap();
+        assert!((s.value(0) + s.value(1) - 2.0).abs() < 1e-8);
+        assert!(s.value(0).abs() < 1e-8, "minimizing x drives it to 0");
+    }
+
+    #[test]
+    fn zero_rhs_equality() {
+        let mut p = Problem::minimize(3);
+        p.set_objective(0, 5.0);
+        p.set_objective(1, 4.0);
+        p.set_objective(2, 3.0);
+        p.add_row(Relation::Eq, 1.0, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        p.add_row(Relation::Eq, 0.0, &[(0, 1.0), (1, -1.0)]);
+        let s = p.solve().unwrap();
+        assert!((s.objective() - 3.0).abs() < 1e-8);
+        assert!((s.value(2) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn free_column_variable_unbounded() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(1, -1.0);
+        p.add_row(Relation::Le, 1.0, &[(0, 1.0)]);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn no_constraints() {
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.objective(), 0.0);
+    }
+
+    #[test]
+    fn moderately_sized_transport_problem() {
+        let (ns, nd) = (4usize, 5usize);
+        let supply = [30.0, 20.0, 25.0, 25.0];
+        let demand = [20.0, 20.0, 20.0, 20.0, 20.0];
+        let mut p = Problem::minimize(ns * nd);
+        for i in 0..ns {
+            for j in 0..nd {
+                p.set_objective(i * nd + j, (i as f64 - j as f64).abs());
+            }
+        }
+        for (i, s) in supply.iter().enumerate() {
+            let coeffs: Vec<(usize, f64)> = (0..nd).map(|j| (i * nd + j, 1.0)).collect();
+            p.add_row(Relation::Eq, *s, &coeffs);
+        }
+        for (j, d) in demand.iter().enumerate() {
+            let coeffs: Vec<(usize, f64)> = (0..ns).map(|i| (i * nd + j, 1.0)).collect();
+            p.add_row(Relation::Eq, *d, &coeffs);
+        }
+        let s = p.solve().unwrap();
+        for i in 0..ns {
+            let row: f64 = (0..nd).map(|j| s.value(i * nd + j)).sum();
+            assert!((row - supply[i]).abs() < 1e-6);
+        }
+        for j in 0..nd {
+            let col: f64 = (0..ns).map(|i| s.value(i * nd + j)).sum();
+            assert!((col - demand[j]).abs() < 1e-6);
+        }
+        // Optimal cost equals the earth-mover distance between the supply and
+        // demand profiles on the line: sum over prefixes of |cum_supply -
+        // cum_demand| = 10 + 10 + 15 + 20 = 55.
+        assert!((s.objective() - 55.0).abs() < 1e-6, "got {}", s.objective());
+    }
+
+    #[test]
+    fn capped_transport_shifts_to_second_best() {
+        // One source, two sinks; cheap route capped, overflow to expensive.
+        let mut p = Problem::minimize(2);
+        p.set_objective(0, 1.0); // cheap
+        p.set_objective(1, 4.0); // detour
+        p.set_upper_bound(0, 6.0);
+        p.add_row(Relation::Eq, 10.0, &[(0, 1.0), (1, 1.0)]);
+        let s = p.solve().unwrap();
+        assert!((s.value(0) - 6.0).abs() < 1e-8);
+        assert!((s.value(1) - 4.0).abs() < 1e-8);
+        assert!((s.objective() - 22.0).abs() < 1e-8);
+    }
+}

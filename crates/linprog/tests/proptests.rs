@@ -1,0 +1,243 @@
+//! Property tests: the revised simplex is cross-checked against brute-force
+//! enumeration of basic feasible solutions on small random LPs, and its
+//! solutions are always verified to satisfy the constraints it was given.
+
+use proptest::prelude::*;
+
+use lowlat_linprog::{LpError, Problem, Relation};
+
+#[derive(Clone, Debug)]
+struct TinyLp {
+    n: usize,
+    c: Vec<f64>,
+    /// rows: (coeffs, relation, rhs)
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+}
+
+fn arb_tiny_lp() -> impl Strategy<Value = TinyLp> {
+    let coeff = -4i32..=4;
+    (2usize..=4, 1usize..=4).prop_flat_map(move |(n, m)| {
+        let c = proptest::collection::vec(-5i32..=5, n);
+        let rows = proptest::collection::vec(
+            (
+                proptest::collection::vec(coeff.clone(), n),
+                prop_oneof![Just(Relation::Le), Just(Relation::Eq), Just(Relation::Ge)],
+                -6i32..=10,
+            ),
+            m,
+        );
+        (c, rows).prop_map(move |(c, rows)| TinyLp {
+            n,
+            c: c.into_iter().map(|v| v as f64).collect(),
+            rows: rows
+                .into_iter()
+                .map(|(co, rel, rhs)| {
+                    (co.into_iter().map(|v| v as f64).collect(), rel, rhs as f64)
+                })
+                .collect(),
+        })
+    })
+}
+
+impl TinyLp {
+    fn to_problem(&self, bounding_box: f64) -> Problem {
+        let mut p = Problem::minimize(self.n);
+        for (j, &cj) in self.c.iter().enumerate() {
+            p.set_objective(j, cj);
+        }
+        for (coeffs, rel, rhs) in &self.rows {
+            let sparse: Vec<(usize, f64)> =
+                coeffs.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(j, &v)| (j, v)).collect();
+            p.add_row(*rel, *rhs, &sparse);
+        }
+        if bounding_box > 0.0 {
+            // Keep every instance bounded so brute force is meaningful.
+            let all: Vec<(usize, f64)> = (0..self.n).map(|j| (j, 1.0)).collect();
+            p.add_row(Relation::Le, bounding_box, &all);
+        }
+        p
+    }
+
+    /// Brute force over a fine grid of the simplex of feasible points would
+    /// be wrong; instead enumerate candidate vertices: solutions of every
+    /// square subsystem of active constraints (rows taken at equality +
+    /// variables pinned to 0), then filter to feasible and take the best.
+    fn brute_force(&self, bounding_box: f64) -> Option<f64> {
+        let n = self.n;
+        // Build the full inequality system including x >= 0 and the box.
+        // Each constraint: a.x (<=,==,>=) b.
+        let mut cons: Vec<(Vec<f64>, Relation, f64)> = self.rows.clone();
+        let all_one = vec![1.0; n];
+        cons.push((all_one, Relation::Le, bounding_box));
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            cons.push((e, Relation::Ge, 0.0));
+        }
+        let m = cons.len();
+        let mut best: Option<f64> = None;
+        // Choose n constraints to hold with equality.
+        let mut idx: Vec<usize> = (0..n).collect();
+        loop {
+            if let Some(x) = solve_square(&cons, &idx, n) {
+                if feasible(&cons, &x) {
+                    let obj: f64 = x.iter().zip(&self.c).map(|(a, b)| a * b).sum();
+                    best = Some(match best {
+                        Some(b) if b <= obj => b,
+                        _ => obj,
+                    });
+                }
+            }
+            // Next combination.
+            let mut i = n;
+            loop {
+                if i == 0 {
+                    return best;
+                }
+                i -= 1;
+                if idx[i] != i + m - n {
+                    idx[i] += 1;
+                    for k in i + 1..n {
+                        idx[k] = idx[k - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Solves the square system formed by taking constraints `idx` at equality.
+fn solve_square(cons: &[(Vec<f64>, Relation, f64)], idx: &[usize], n: usize) -> Option<Vec<f64>> {
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n];
+    for (r, &ci) in idx.iter().enumerate() {
+        for j in 0..n {
+            a[r * n + j] = cons[ci].0[j];
+        }
+        b[r] = cons[ci].2;
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..n {
+        let mut piv = col;
+        let mut bestv = a[col * n + col].abs();
+        for r in col + 1..n {
+            if a[r * n + col].abs() > bestv {
+                bestv = a[r * n + col].abs();
+                piv = r;
+            }
+        }
+        if bestv < 1e-9 {
+            return None;
+        }
+        if piv != col {
+            for j in 0..n {
+                a.swap(col * n + j, piv * n + j);
+            }
+            b.swap(col, piv);
+        }
+        for r in 0..n {
+            if r != col {
+                let f = a[r * n + col] / a[col * n + col];
+                if f != 0.0 {
+                    for j in 0..n {
+                        a[r * n + j] -= f * a[col * n + j];
+                    }
+                    b[r] -= f * b[col];
+                }
+            }
+        }
+    }
+    Some((0..n).map(|i| b[i] / a[i * n + i]).collect())
+}
+
+fn feasible(cons: &[(Vec<f64>, Relation, f64)], x: &[f64]) -> bool {
+    const TOL: f64 = 1e-6;
+    cons.iter().all(|(a, rel, b)| {
+        let lhs: f64 = a.iter().zip(x).map(|(ai, xi)| ai * xi).sum();
+        match rel {
+            Relation::Le => lhs <= b + TOL,
+            Relation::Eq => (lhs - b).abs() <= TOL,
+            Relation::Ge => lhs >= b - TOL,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simplex_matches_brute_force(lp in arb_tiny_lp()) {
+        const BOX: f64 = 50.0;
+        let p = lp.to_problem(BOX);
+        let brute = lp.brute_force(BOX);
+        match p.solve() {
+            Ok(sol) => {
+                let brute = brute.expect("simplex found a solution, brute force must too");
+                prop_assert!((sol.objective() - brute).abs() < 1e-5,
+                    "objective mismatch: simplex {} vs brute {brute}", sol.objective());
+                // Verify the reported point actually satisfies the rows.
+                for (coeffs, rel, rhs) in &lp.rows {
+                    let lhs: f64 = coeffs.iter().enumerate().map(|(j, v)| v * sol.value(j)).sum();
+                    let ok = match rel {
+                        Relation::Le => lhs <= rhs + 1e-6,
+                        Relation::Eq => (lhs - rhs).abs() <= 1e-6,
+                        Relation::Ge => lhs >= rhs - 1e-6,
+                    };
+                    prop_assert!(ok, "solution violates row {coeffs:?} {rel:?} {rhs}: lhs={lhs}");
+                }
+                for j in 0..lp.n {
+                    prop_assert!(sol.value(j) >= -1e-9);
+                }
+            }
+            Err(LpError::Infeasible) => {
+                prop_assert!(brute.is_none(),
+                    "simplex says infeasible but brute force found objective {brute:?}");
+            }
+            Err(LpError::Unbounded) => {
+                // Impossible: the bounding box keeps the feasible set compact.
+                prop_assert!(false, "bounded instance reported unbounded");
+            }
+            Err(e) => prop_assert!(false, "solver error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn solutions_respect_nonnegativity_and_rows(lp in arb_tiny_lp()) {
+        let p = lp.to_problem(100.0);
+        if let Ok(sol) = p.solve() {
+            for j in 0..lp.n {
+                prop_assert!(sol.value(j) >= -1e-9);
+                prop_assert!(sol.value(j).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn native_bounds_agree_with_cap_rows(
+        lp in arb_tiny_lp(),
+        bounds in proptest::collection::vec(0u32..12, 4),
+    ) {
+        // Express per-variable caps once as native bounds, once as rows;
+        // the two formulations must agree exactly (status and objective).
+        let mut with_bounds = lp.to_problem(50.0);
+        let mut with_rows = lp.to_problem(50.0);
+        for j in 0..lp.n {
+            let u = bounds[j % bounds.len()] as f64;
+            with_bounds.set_upper_bound(j, u);
+            with_rows.add_row(Relation::Le, u, &[(j, 1.0)]);
+        }
+        match (with_bounds.solve(), with_rows.solve()) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!((a.objective() - b.objective()).abs() < 1e-5,
+                    "bounds {} vs rows {}", a.objective(), b.objective());
+                for j in 0..lp.n {
+                    let u = bounds[j % bounds.len()] as f64;
+                    prop_assert!(a.value(j) <= u + 1e-7, "bound violated");
+                }
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+            (a, b) => prop_assert!(false, "status mismatch: {a:?} vs {b:?}"),
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! A tiny fixed-capacity bit set used for link/node masks.
+//!
+//! `Vec<bool>` would work, but masks are created and cleared in the inner
+//! loops of Yen's algorithm; a word-packed set keeps that cheap and gives us
+//! O(words) clearing.
+
+/// Fixed-capacity bit set over `usize` indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Number of indices the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `idx`. Panics if out of range.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) {
+        assert!(idx < self.len, "BitSet index {idx} out of range {}", self.len);
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Removes `idx`.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) {
+        assert!(idx < self.len, "BitSet index {idx} out of range {}", self.len);
+        self.words[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of elements currently in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert_eq!(s.count(), 4);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut s = BitSet::new(200);
+        for i in [5usize, 9, 64, 65, 199] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![5, 9, 64, 65, 199]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::new(10);
+        s.insert(3);
+        s.insert(7);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut s = BitSet::new(8);
+        s.insert(8);
+    }
+}

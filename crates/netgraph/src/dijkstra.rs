@@ -1,0 +1,230 @@
+//! Dijkstra shortest paths by propagation delay, with link/node masking.
+//!
+//! Masking is first-class because two of the paper's core procedures need it:
+//! the APA probe removes one shortest-path link and asks for alternates (§2),
+//! and Yen's algorithm repeatedly hides links and root-path nodes.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::bitset::BitSet;
+use crate::graph::{Graph, LinkId, NodeId};
+use crate::path::Path;
+
+/// Heap entry ordered by (distance, node) — node id as a deterministic tie
+/// break so runs are reproducible across platforms.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the min distance first.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of a single-source Dijkstra run: distances and parent links.
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    /// `dist_ms[v]` = shortest delay from source to v; `f64::INFINITY` if
+    /// unreachable under the mask.
+    dist_ms: Vec<f64>,
+    /// Parent link on the shortest path to v (None for source/unreachable).
+    parent: Vec<Option<LinkId>>,
+}
+
+impl ShortestPathTree {
+    /// The source node of the tree.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Shortest delay to `v` in ms (`INFINITY` if unreachable).
+    #[inline]
+    pub fn dist_ms(&self, v: NodeId) -> f64 {
+        self.dist_ms[v.idx()]
+    }
+
+    /// True if `v` is reachable.
+    pub fn reachable(&self, v: NodeId) -> bool {
+        self.dist_ms[v.idx()].is_finite()
+    }
+
+    /// Reconstructs the shortest path to `t`, or `None` if unreachable or
+    /// `t == source`.
+    pub fn path_to(&self, graph: &Graph, t: NodeId) -> Option<Path> {
+        if t == self.source || !self.reachable(t) {
+            return None;
+        }
+        let mut links = Vec::new();
+        let mut at = t;
+        while at != self.source {
+            let l = self.parent[at.idx()]?;
+            links.push(l);
+            at = graph.link(l).src;
+        }
+        links.reverse();
+        Some(Path::new(graph, links))
+    }
+}
+
+/// Runs Dijkstra from `source` over links *not* in `link_mask` and nodes
+/// *not* in `node_mask` (either mask may be `None`).
+///
+/// Delays are the `delay_ms` attributes; ties are broken deterministically.
+pub fn shortest_path_tree(
+    graph: &Graph,
+    source: NodeId,
+    link_mask: Option<&BitSet>,
+    node_mask: Option<&BitSet>,
+) -> ShortestPathTree {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<LinkId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let masked_node = |v: NodeId| node_mask.map_or(false, |m| m.contains(v.idx()));
+    let masked_link = |l: LinkId| link_mask.map_or(false, |m| m.contains(l.idx()));
+
+    if !masked_node(source) {
+        dist[source.idx()] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { dist: 0.0, node: source });
+        while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+            if done[u.idx()] {
+                continue;
+            }
+            done[u.idx()] = true;
+            for &l in graph.out_links(u) {
+                if masked_link(l) {
+                    continue;
+                }
+                let link = graph.link(l);
+                if masked_node(link.dst) {
+                    continue;
+                }
+                let nd = d + link.delay_ms;
+                let v = link.dst.idx();
+                // Strict improvement or deterministic tie-break on link id so
+                // equal-delay graphs always produce the same tree.
+                if nd < dist[v] - 1e-15
+                    || (nd <= dist[v] + 1e-15 && parent[v].map_or(false, |pl| l < pl) && !done[v])
+                {
+                    dist[v] = nd;
+                    parent[v] = Some(l);
+                    heap.push(HeapEntry { dist: nd, node: link.dst });
+                }
+            }
+        }
+    }
+    ShortestPathTree { source, dist_ms: dist, parent }
+}
+
+/// Convenience: the shortest path from `s` to `t` under optional masks.
+pub fn shortest_path(
+    graph: &Graph,
+    s: NodeId,
+    t: NodeId,
+    link_mask: Option<&BitSet>,
+    node_mask: Option<&BitSet>,
+) -> Option<Path> {
+    shortest_path_tree(graph, s, link_mask, node_mask).path_to(graph, t)
+}
+
+/// All-pairs shortest delays (ms) via repeated Dijkstra; `INFINITY` where
+/// unreachable. Row = source.
+pub fn all_pairs_delays(graph: &Graph) -> Vec<Vec<f64>> {
+    graph
+        .nodes()
+        .map(|s| shortest_path_tree(graph, s, None, None).dist_ms)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// 0 --1ms-- 1 --1ms-- 2 and a direct 0 --5ms-- 2.
+    fn diamondish() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_duplex(NodeId(0), NodeId(1), 1.0, 10.0);
+        b.add_duplex(NodeId(1), NodeId(2), 1.0, 10.0);
+        b.add_duplex(NodeId(0), NodeId(2), 5.0, 10.0);
+        b.build()
+    }
+
+    #[test]
+    fn picks_two_hop_shorter_path() {
+        let g = diamondish();
+        let p = shortest_path(&g, NodeId(0), NodeId(2), None, None).unwrap();
+        assert_eq!(p.delay_ms(), 2.0);
+        assert_eq!(p.hop_count(), 2);
+    }
+
+    #[test]
+    fn link_mask_forces_detour() {
+        let g = diamondish();
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let mut mask = BitSet::new(g.link_count());
+        mask.insert(l01.idx());
+        let p = shortest_path(&g, NodeId(0), NodeId(2), Some(&mask), None).unwrap();
+        assert_eq!(p.delay_ms(), 5.0);
+        assert_eq!(p.hop_count(), 1);
+    }
+
+    #[test]
+    fn node_mask_forces_detour() {
+        let g = diamondish();
+        let mut mask = BitSet::new(g.node_count());
+        mask.insert(1);
+        let p = shortest_path(&g, NodeId(0), NodeId(2), None, Some(&mask)).unwrap();
+        assert_eq!(p.delay_ms(), 5.0);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_duplex(NodeId(0), NodeId(1), 1.0, 10.0);
+        let g = b.build();
+        assert!(shortest_path(&g, NodeId(0), NodeId(2), None, None).is_none());
+        let tree = shortest_path_tree(&g, NodeId(0), None, None);
+        assert!(!tree.reachable(NodeId(2)));
+        assert!(tree.dist_ms(NodeId(2)).is_infinite());
+    }
+
+    #[test]
+    fn source_to_source() {
+        let g = diamondish();
+        let tree = shortest_path_tree(&g, NodeId(0), None, None);
+        assert_eq!(tree.dist_ms(NodeId(0)), 0.0);
+        assert!(tree.path_to(&g, NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn all_pairs_symmetric_for_duplex_graph() {
+        let g = diamondish();
+        let d = all_pairs_delays(&g);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((d[i][j] - d[j][i]).abs() < 1e-12);
+            }
+        }
+        assert_eq!(d[0][2], 2.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 1: CDF of APA per network, path stretch limit 1.4.
+//!
+//! Usage: `cargo run --release --bin fig01_apa_cdf -- [--quick|--std|--full]`
+
+fn main() {
+    let scale = lowlat_sim::runner::Scale::from_args();
+    let series = lowlat_sim::figures::fig01_apa::run(scale);
+    lowlat_sim::figures::emit("Figure 1: CDF of APA per network, path stretch limit 1.4", &series);
+}

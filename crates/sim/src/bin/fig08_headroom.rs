@@ -1,0 +1,9 @@
+//! Regenerates Figure 8: median latency stretch vs LLPD as headroom rises.
+//!
+//! Usage: `cargo run --release --bin fig08_headroom -- [--quick|--std|--full]`
+
+fn main() {
+    let scale = lowlat_sim::runner::Scale::from_args();
+    let series = lowlat_sim::figures::fig08_headroom::run(scale);
+    lowlat_sim::figures::emit("Figure 8: median latency stretch vs LLPD as headroom rises", &series);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 9: CDF of measured/predicted bitrate (Algorithm 1).
+//!
+//! Usage: `cargo run --release --bin fig09_prediction -- [--quick|--std|--full]`
+
+fn main() {
+    let scale = lowlat_sim::runner::Scale::from_args();
+    let series = lowlat_sim::figures::fig09_prediction::run(scale);
+    lowlat_sim::figures::emit("Figure 9: CDF of measured/predicted bitrate (Algorithm 1)", &series);
+}

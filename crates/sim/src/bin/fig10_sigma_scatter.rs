@@ -1,0 +1,9 @@
+//! Regenerates Figure 10: sigma(t) vs sigma(t+1) scatter.
+//!
+//! Usage: `cargo run --release --bin fig10_sigma_scatter -- [--quick|--std|--full]`
+
+fn main() {
+    let scale = lowlat_sim::runner::Scale::from_args();
+    let series = lowlat_sim::figures::fig10_sigma::run(scale);
+    lowlat_sim::figures::emit("Figure 10: sigma(t) vs sigma(t+1) scatter", &series);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 15: runtime CDFs (LDR warm/cold, link-based).
+//!
+//! Usage: `cargo run --release --bin fig15_runtime -- [--quick|--std|--full]`
+
+fn main() {
+    let scale = lowlat_sim::runner::Scale::from_args();
+    let series = lowlat_sim::figures::fig15_runtime::run(scale);
+    lowlat_sim::figures::emit("Figure 15: runtime CDFs (LDR warm/cold, link-based)", &series);
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 16 (a-c): CDFs of max path stretch by LLPD band and
+//! headroom.
+//!
+//! Usage: `cargo run --release --bin fig16_max_stretch -- [--quick|--std|--full]`
+
+use lowlat_sim::figures::fig16_stretch::{run, Panel};
+
+fn main() {
+    let scale = lowlat_sim::runner::Scale::from_args();
+    for (panel, title) in [
+        (Panel::LowLlpd, "Figure 16a: LLPD < 0.5, no headroom"),
+        (Panel::HighLlpd, "Figure 16b: LLPD > 0.5, no headroom"),
+        (Panel::HighLlpdHeadroom, "Figure 16c: LLPD > 0.5, 10% headroom"),
+    ] {
+        let series = run(scale, panel);
+        lowlat_sim::figures::emit(title, &series);
+    }
+}

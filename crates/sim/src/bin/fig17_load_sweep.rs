@@ -1,0 +1,9 @@
+//! Regenerates Figure 17: median max stretch vs load (LLPD > 0.5).
+//!
+//! Usage: `cargo run --release --bin fig17_load_sweep -- [--quick|--std|--full]`
+
+fn main() {
+    let scale = lowlat_sim::runner::Scale::from_args();
+    let series = lowlat_sim::figures::fig17_load::run(scale);
+    lowlat_sim::figures::emit("Figure 17: median max stretch vs load (LLPD > 0.5)", &series);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 18: median max stretch vs locality (LLPD > 0.5).
+//!
+//! Usage: `cargo run --release --bin fig18_locality_sweep -- [--quick|--std|--full]`
+
+fn main() {
+    let scale = lowlat_sim::runner::Scale::from_args();
+    let series = lowlat_sim::figures::fig18_locality::run(scale);
+    lowlat_sim::figures::emit("Figure 18: median max stretch vs locality (LLPD > 0.5)", &series);
+}

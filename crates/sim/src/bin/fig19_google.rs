@@ -1,0 +1,9 @@
+//! Regenerates Figure 19: Figure 3 plus the Google-like WAN datapoint.
+//!
+//! Usage: `cargo run --release --bin fig19_google -- [--quick|--std|--full]`
+
+fn main() {
+    let scale = lowlat_sim::runner::Scale::from_args();
+    let series = lowlat_sim::figures::fig19_google::run(scale);
+    lowlat_sim::figures::emit("Figure 19: Figure 3 plus the Google-like WAN datapoint", &series);
+}

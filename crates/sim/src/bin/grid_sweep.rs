@@ -1,0 +1,88 @@
+//! Free-form parameter sweep over the corpus: pick load, locality and
+//! schemes from the command line and get one TSV row per (network, matrix,
+//! scheme) — the raw-records interface behind all the aggregated figures.
+//!
+//! Usage:
+//! `cargo run --release --bin grid_sweep -- [--quick|--std|--full]
+//!     [--load 0.7] [--locality 1.0] [--schemes SP,ECMP,B4,MinMax,MinMaxK10,LatOpt,LDR]`
+
+use lowlat_sim::runner::{run_grid, RunGrid, Scale, SchemeKind};
+
+fn parse_schemes(spec: &str) -> Vec<SchemeKind> {
+    spec.split(',')
+        .map(|s| match s.trim() {
+            "SP" => SchemeKind::Sp,
+            "B4" => SchemeKind::B4 { headroom: 0.0 },
+            "MinMax" => SchemeKind::MinMax,
+            "MinMaxK10" => SchemeKind::MinMaxK(10),
+            "LatOpt" => SchemeKind::LatOpt { headroom: 0.0 },
+            "LDR" => SchemeKind::Ldr { headroom: 0.1 },
+            other => {
+                eprintln!("unknown scheme '{other}', expected SP,B4,MinMax,MinMaxK10,LatOpt,LDR");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut load = 0.7f64;
+    let mut locality = 1.0f64;
+    let mut schemes = vec![
+        SchemeKind::Sp,
+        SchemeKind::B4 { headroom: 0.0 },
+        SchemeKind::MinMax,
+        SchemeKind::LatOpt { headroom: 0.0 },
+        SchemeKind::Ldr { headroom: 0.1 },
+    ];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--load" => {
+                load = args.get(i + 1).and_then(|v| v.parse().ok()).expect("--load <f64>");
+                i += 1;
+            }
+            "--locality" => {
+                locality =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).expect("--locality <f64>");
+                i += 1;
+            }
+            "--schemes" => {
+                schemes = parse_schemes(args.get(i + 1).expect("--schemes <list>"));
+                i += 1;
+            }
+            _ => {} // --quick/--std/--full handled by Scale::from_args
+        }
+        i += 1;
+    }
+    let scale = Scale::from_args_filtered(&["--load", "--locality", "--schemes"]);
+    let nets = scale.select_networks(lowlat_topology::zoo::synthetic_zoo());
+    let grid = RunGrid { load, locality, tms_per_network: scale.tms_per_network(), schemes };
+    eprintln!(
+        "sweeping {} networks x {} matrices x {} schemes at load {load}, locality {locality}...",
+        nets.len(),
+        grid.tms_per_network,
+        grid.schemes.len()
+    );
+    let records = run_grid(&nets, &grid);
+    println!(
+        "network\tclass\tllpd\ttm\tscheme\tcongested_fraction\tlatency_stretch\tmax_stretch\tmax_util\tfits\truntime_ms"
+    );
+    for r in &records {
+        println!(
+            "{}\t{:?}\t{:.4}\t{}\t{}\t{:.6}\t{:.6}\t{:.4}\t{:.4}\t{}\t{:.2}",
+            r.network,
+            r.class,
+            r.llpd,
+            r.tm_index,
+            r.scheme,
+            r.congested_fraction,
+            r.latency_stretch,
+            r.max_flow_stretch,
+            r.max_utilization,
+            r.fits,
+            r.runtime_ms
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 8: median change in total delay vs LLPD as headroom rises
+//! (0%, 11%, 23%, 40%), at the lighter 0.6 min-cut load.
+
+use crate::output::Series;
+use crate::runner::{by_llpd, run_grid, RunGrid, Scale, SchemeKind};
+
+/// Headroom values the paper sweeps.
+pub const HEADROOMS: [f64; 4] = [0.0, 0.11, 0.23, 0.40];
+
+/// One series per headroom: (llpd, median latency stretch).
+pub fn run(scale: Scale) -> Vec<Series> {
+    let nets = scale.select_networks(lowlat_topology::zoo::synthetic_zoo());
+    let grid = RunGrid {
+        load: 0.6,
+        locality: 1.0,
+        tms_per_network: scale.tms_per_network(),
+        schemes: HEADROOMS.iter().map(|&h| SchemeKind::LatOpt { headroom: h }).collect(),
+    };
+    let records = run_grid(&nets, &grid);
+    HEADROOMS
+        .iter()
+        .map(|&h| {
+            let name = SchemeKind::LatOpt { headroom: h }.name();
+            let rows = by_llpd(&records, &name, |r| r.latency_stretch);
+            Series::new(
+                format!("{}% headroom", (h * 100.0).round() as u32),
+                rows.iter().map(|&(l, m, _)| (l, m)).collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stretch_rises_with_headroom_but_moderately() {
+        let series = run(Scale::Quick);
+        assert_eq!(series.len(), 4);
+        let avg = |s: &Series| s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64;
+        // Monotone in headroom on average.
+        for w in series.windows(2) {
+            assert!(
+                avg(&w[1]) >= avg(&w[0]) - 1e-6,
+                "stretch should not drop as headroom grows"
+            );
+        }
+        // The paper's observation: moderate headroom costs little delay.
+        assert!(
+            avg(&series[1]) < avg(&series[0]) * 1.2 + 0.05,
+            "11% headroom should cost only a little stretch"
+        );
+    }
+}

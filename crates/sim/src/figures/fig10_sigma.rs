@@ -1,0 +1,50 @@
+//! Figure 10: scatter of within-minute σ at minute t vs minute t+1 —
+//! traffic variability is stable enough to predict.
+
+use lowlat_traffic::trace::caida_like_traces;
+
+use crate::output::Series;
+use crate::runner::Scale;
+
+/// One scatter series per trace: points (σ_t, σ_{t+1}) in Gbps.
+pub fn run(scale: Scale) -> Vec<Series> {
+    let (links, per_link) = match scale {
+        Scale::Quick => (1, 3),
+        Scale::Std => (4, 10),
+        Scale::Full => (4, 40),
+    };
+    caida_like_traces(links, per_link, 2013)
+        .into_iter()
+        .enumerate()
+        .map(|(i, trace)| {
+            let sigmas: Vec<f64> = (0..trace.minutes()).map(|m| trace.sigma(m) / 1000.0).collect();
+            let pts = sigmas.windows(2).map(|w| (w[0], w[1])).collect();
+            Series::new(format!("trace{i}"), pts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_cluster_around_diagonal() {
+        let series = run(Scale::Quick);
+        let mut total = 0usize;
+        let mut near = 0usize;
+        for s in &series {
+            for &(a, b) in &s.points {
+                total += 1;
+                if (a - b).abs() <= 0.5 * a.max(b) {
+                    near += 1;
+                }
+            }
+        }
+        assert!(total > 50);
+        assert!(
+            near as f64 / total as f64 > 0.9,
+            "σ must be stable minute to minute ({near}/{total} near diagonal)"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! One driver per data figure in the paper.
+//!
+//! Each `figNN` module exposes `run(scale) -> Vec<Series>`; the matching
+//! binary in `src/bin/` prints the series as TSV plus an ASCII sketch.
+//! EXPERIMENTS.md records the measured output against the paper's claims.
+
+pub mod fig01_apa;
+pub mod fig03_sp;
+pub mod fig04_schemes;
+pub mod fig07_util;
+pub mod fig08_headroom;
+pub mod fig09_prediction;
+pub mod fig10_sigma;
+pub mod fig15_runtime;
+pub mod fig16_stretch;
+pub mod fig17_load;
+pub mod fig18_locality;
+pub mod fig19_google;
+pub mod fig20_growth;
+
+use crate::output::{ascii_plot, print_tsv, Series};
+
+/// Prints a figure's series (TSV to stdout + ASCII sketch to stderr).
+pub fn emit(title: &str, series: &[Series]) {
+    print_tsv(title, series, std::io::stdout().lock()).expect("stdout");
+    eprintln!("{}", ascii_plot(title, series, 72, 18));
+}
+
+/// The corpus restricted to networks the figure wants (LLPD filtering is
+/// common enough to share).
+pub fn networks_with_llpd(
+    scale: crate::runner::Scale,
+    filter: impl Fn(f64) -> bool,
+) -> Vec<(lowlat_topology::Topology, f64)> {
+    let nets = scale.select_networks(lowlat_topology::zoo::synthetic_zoo());
+    let llpds = crate::runner::llpd_map(&nets, &lowlat_core::llpd::LlpdConfig::default());
+    nets.into_iter().zip(llpds).filter(|(_, l)| filter(*l)).collect()
+}

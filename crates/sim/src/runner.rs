@@ -1,0 +1,363 @@
+//! Parallel (network × traffic-matrix × scheme) experiment execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use lowlat_core::eval::PlacementEval;
+use lowlat_core::llpd::{LlpdAnalysis, LlpdConfig};
+use lowlat_core::pathset::PathCache;
+use lowlat_core::scale::min_cut_load_with_cache;
+use lowlat_core::schemes::b4::{B4Config, B4Routing};
+use lowlat_core::schemes::latopt::LatencyOptimal;
+use lowlat_core::schemes::ldr::Ldr;
+use lowlat_core::schemes::minmax::MinMaxRouting;
+use lowlat_core::schemes::sp::ShortestPathRouting;
+use lowlat_core::Placement;
+use lowlat_tmgen::{GravityTmGen, TmGenConfig, TrafficMatrix};
+use lowlat_topology::zoo::ZooClass;
+use lowlat_topology::Topology;
+
+/// Experiment size, selected by `--quick` / `--std` / `--full`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized: a handful of small networks, one matrix each.
+    Quick,
+    /// Default: the whole corpus, a few matrices each.
+    Std,
+    /// The paper's sweep: the whole corpus, many matrices.
+    Full,
+}
+
+impl Scale {
+    /// Parses process arguments (`--quick`, `--std`, `--full`).
+    pub fn from_args() -> Scale {
+        Scale::from_args_filtered(&[])
+    }
+
+    /// As [`Scale::from_args`], but treats each flag in `value_flags` (and
+    /// the argument following it) as belonging to the caller, so binaries
+    /// with extra options don't trigger unknown-argument warnings.
+    pub fn from_args_filtered(value_flags: &[&str]) -> Scale {
+        let mut scale = Scale::Std;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => scale = Scale::Quick,
+                "--std" => scale = Scale::Std,
+                "--full" => scale = Scale::Full,
+                other if value_flags.contains(&other) => i += 1, // skip value
+                other => {
+                    eprintln!("ignoring unknown argument {other} (expected --quick/--std/--full)")
+                }
+            }
+            i += 1;
+        }
+        scale
+    }
+
+    /// Subsets the corpus for this scale.
+    pub fn select_networks(&self, zoo: Vec<Topology>) -> Vec<Topology> {
+        match self {
+            Scale::Quick => zoo
+                .into_iter()
+                .enumerate()
+                .filter(|(i, t)| i % 8 == 0 && t.pop_count() <= 30)
+                .map(|(_, t)| t)
+                .collect(),
+            _ => zoo,
+        }
+    }
+
+    /// Traffic matrices per network.
+    pub fn tms_per_network(&self) -> u64 {
+        match self {
+            Scale::Quick => 1,
+            Scale::Std => 3,
+            Scale::Full => 10,
+        }
+    }
+}
+
+/// Which scheme to run, with its figure-specific knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SchemeKind {
+    /// Delay-weighted shortest path.
+    Sp,
+    /// B4-style greedy with the given headroom.
+    B4 {
+        /// Reserved capacity fraction (0 in Figure 4).
+        headroom: f64,
+    },
+    /// Pure MinMax.
+    MinMax,
+    /// MinMax over the k shortest paths.
+    MinMaxK(usize),
+    /// Latency-optimal with the given headroom.
+    LatOpt {
+        /// Reserved capacity fraction.
+        headroom: f64,
+    },
+    /// LDR with its static headroom (trace-free mode).
+    Ldr {
+        /// Reserved capacity fraction.
+        headroom: f64,
+    },
+}
+
+impl SchemeKind {
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> String {
+        match self {
+            SchemeKind::Sp => "SP".into(),
+            SchemeKind::B4 { headroom } if *headroom == 0.0 => "B4".into(),
+            SchemeKind::B4 { headroom } => format!("B4-h{:02}", (headroom * 100.0) as u32),
+            SchemeKind::MinMax => "MinMax".into(),
+            SchemeKind::MinMaxK(k) => format!("MinMaxK{k}"),
+            SchemeKind::LatOpt { headroom } if *headroom == 0.0 => "LatOpt".into(),
+            SchemeKind::LatOpt { headroom } => format!("LatOpt-h{:02}", (headroom * 100.0) as u32),
+            SchemeKind::Ldr { .. } => "LDR".into(),
+        }
+    }
+
+    fn run(&self, cache: &PathCache<'_>, topo: &Topology, tm: &TrafficMatrix) -> Option<Placement> {
+        match self {
+            SchemeKind::Sp => ShortestPathRouting.place_with_cache(cache, tm).ok(),
+            SchemeKind::B4 { headroom } => B4Routing::new(B4Config { headroom: *headroom, ..Default::default() })
+                .place_with_cache(cache, tm)
+                .ok(),
+            SchemeKind::MinMax => MinMaxRouting::unrestricted()
+                .solve_with_cache(cache, tm)
+                .ok()
+                .map(|o| o.placement),
+            SchemeKind::MinMaxK(k) => MinMaxRouting::with_k(*k)
+                .solve_with_cache(cache, tm)
+                .ok()
+                .map(|o| o.placement),
+            SchemeKind::LatOpt { headroom } => LatencyOptimal::with_headroom(*headroom)
+                .solve_with_cache(cache, tm)
+                .ok()
+                .map(|o| o.placement),
+            SchemeKind::Ldr { headroom } => {
+                let mut cfg = lowlat_core::schemes::ldr::LdrConfig::default();
+                cfg.static_headroom = *headroom;
+                Ldr::new(cfg).place_with_cache(cache, tm).ok()
+            }
+        }
+        .map(|p| {
+            debug_assert!(p.validate(topo.graph(), tm).is_ok());
+            p
+        })
+    }
+}
+
+/// Grid parameters shared by most figures.
+#[derive(Clone, Debug)]
+pub struct RunGrid {
+    /// Target min-cut load after scaling (0.7 in Figures 3/4/16, 0.6 in 8).
+    pub load: f64,
+    /// Gravity locality parameter (1.0 unless stated otherwise).
+    pub locality: f64,
+    /// Matrices per network.
+    pub tms_per_network: u64,
+    /// Schemes to evaluate.
+    pub schemes: Vec<SchemeKind>,
+}
+
+/// One (network, matrix, scheme) measurement.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Network name.
+    pub network: String,
+    /// Structural class.
+    pub class: ZooClass,
+    /// Network LLPD (paper x-axes).
+    pub llpd: f64,
+    /// Matrix index.
+    pub tm_index: u64,
+    /// Scheme display name.
+    pub scheme: String,
+    /// Fraction of pairs crossing a saturated link.
+    pub congested_fraction: f64,
+    /// Flow-weighted latency stretch.
+    pub latency_stretch: f64,
+    /// Max per-aggregate stretch.
+    pub max_flow_stretch: f64,
+    /// Peak link utilization.
+    pub max_utilization: f64,
+    /// No link over capacity.
+    pub fits: bool,
+    /// Placement wall time.
+    pub runtime_ms: f64,
+}
+
+/// Computes LLPD for many networks in parallel. Returns values aligned with
+/// the input order.
+pub fn llpd_map(networks: &[Topology], config: &LlpdConfig) -> Vec<f64> {
+    let results: Vec<Mutex<f64>> = networks.iter().map(|_| Mutex::new(0.0)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers.min(networks.len()) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= networks.len() {
+                    break;
+                }
+                let llpd = LlpdAnalysis::compute(&networks[i], config).llpd();
+                *results[i].lock().expect("poisoned") = llpd;
+            });
+        }
+    })
+    .expect("worker panicked");
+    results.into_iter().map(|m| m.into_inner().expect("poisoned")).collect()
+}
+
+/// Runs the grid over the given networks, parallel across networks.
+pub fn run_grid(networks: &[Topology], grid: &RunGrid) -> Vec<RunRecord> {
+    let llpds = llpd_map(networks, &LlpdConfig::default());
+    let all: Vec<Mutex<Vec<RunRecord>>> = networks.iter().map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers.min(networks.len()) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= networks.len() {
+                    break;
+                }
+                let records = run_network(&networks[i], llpds[i], grid);
+                *all[i].lock().expect("poisoned") = records;
+            });
+        }
+    })
+    .expect("worker panicked");
+    all.into_iter().flat_map(|m| m.into_inner().expect("poisoned")).collect()
+}
+
+/// Runs one network's share of the grid (sequential; parallelism lives one
+/// level up).
+pub fn run_network(topo: &Topology, llpd: f64, grid: &RunGrid) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    let gen = GravityTmGen::new(TmGenConfig { locality: grid.locality, ..Default::default() });
+    let cache = PathCache::new(topo.graph());
+    for tm_index in 0..grid.tms_per_network {
+        let raw = gen.generate(topo, tm_index);
+        let Ok(u0) = min_cut_load_with_cache(&cache, &raw) else {
+            continue; // LP failure: skip this matrix, keep the run alive
+        };
+        if u0 <= 0.0 {
+            continue;
+        }
+        let tm = raw.scaled(grid.load / u0);
+        for scheme in &grid.schemes {
+            let started = Instant::now();
+            let Some(placement) = scheme.run(&cache, topo, &tm) else {
+                continue;
+            };
+            let runtime_ms = started.elapsed().as_secs_f64() * 1000.0;
+            let ev = PlacementEval::evaluate(topo, &tm, &placement);
+            records.push(RunRecord {
+                network: topo.name().to_string(),
+                class: ZooClass::of(topo),
+                llpd,
+                tm_index,
+                scheme: scheme.name(),
+                congested_fraction: ev.congested_pair_fraction(),
+                latency_stretch: ev.latency_stretch(),
+                max_flow_stretch: ev.max_flow_stretch(),
+                max_utilization: ev.max_utilization(),
+                fits: ev.fits(),
+                runtime_ms,
+            });
+        }
+    }
+    records
+}
+
+/// Groups records by network and reduces a metric to (llpd, median, p90)
+/// triples sorted by LLPD — the paper's standard presentation (Figures 3
+/// and 4).
+pub fn by_llpd(
+    records: &[RunRecord],
+    scheme: &str,
+    metric: impl Fn(&RunRecord) -> f64,
+) -> Vec<(f64, f64, f64)> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<String, (f64, Vec<f64>)> = BTreeMap::new();
+    for r in records.iter().filter(|r| r.scheme == scheme) {
+        groups.entry(r.network.clone()).or_insert((r.llpd, Vec::new())).1.push(metric(r));
+    }
+    let mut out: Vec<(f64, f64, f64)> = groups
+        .into_values()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(llpd, v)| {
+            (llpd, crate::stats::median_of(&v), crate::stats::quantile_of(&v, 0.9))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite LLPD"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowlat_topology::zoo::named;
+
+    #[test]
+    fn grid_runs_all_schemes_on_abilene() {
+        let topo = named::abilene();
+        let grid = RunGrid {
+            load: 0.7,
+            locality: 1.0,
+            tms_per_network: 1,
+            schemes: vec![
+                SchemeKind::Sp,
+                SchemeKind::B4 { headroom: 0.0 },
+                SchemeKind::MinMax,
+                SchemeKind::MinMaxK(10),
+                SchemeKind::LatOpt { headroom: 0.0 },
+                SchemeKind::Ldr { headroom: 0.1 },
+            ],
+        };
+        let records = run_grid(&[topo], &grid);
+        assert_eq!(records.len(), 6, "one record per scheme");
+        for r in &records {
+            assert!(r.latency_stretch >= 1.0 - 1e-6, "{}: stretch {}", r.scheme, r.latency_stretch);
+            assert!(r.runtime_ms >= 0.0);
+        }
+        // MinMax must fit traffic scaled to 0.7 min-cut load.
+        let mm = records.iter().find(|r| r.scheme == "MinMax").unwrap();
+        assert!(mm.fits, "minmax at 0.7 load must fit (util {})", mm.max_utilization);
+        assert!((mm.max_utilization - 0.7).abs() < 0.05);
+        // LatOpt at zero headroom must also fit.
+        let lo = records.iter().find(|r| r.scheme == "LatOpt").unwrap();
+        assert!(lo.fits);
+        // SP and B4 at least produce sane numbers.
+        let sp = records.iter().find(|r| r.scheme == "SP").unwrap();
+        assert!((sp.latency_stretch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn by_llpd_reduction() {
+        let rec = |net: &str, llpd: f64, v: f64| RunRecord {
+            network: net.into(),
+            class: ZooClass::Named,
+            llpd,
+            tm_index: 0,
+            scheme: "SP".into(),
+            congested_fraction: v,
+            latency_stretch: 1.0,
+            max_flow_stretch: 1.0,
+            max_utilization: 0.5,
+            fits: true,
+            runtime_ms: 0.0,
+        };
+        let records = vec![rec("a", 0.2, 0.1), rec("a", 0.2, 0.3), rec("b", 0.1, 0.9)];
+        let rows = by_llpd(&records, "SP", |r| r.congested_fraction);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 0.1, "sorted by llpd");
+        assert_eq!(rows[1].1, 0.1, "median of {{0.1, 0.3}} nearest-rank = 0.1");
+    }
+}

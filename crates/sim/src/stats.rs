@@ -1,0 +1,120 @@
+//! Percentiles and empirical CDFs.
+
+/// An empirical CDF over f64 samples.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF; non-finite samples are rejected.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-finite sample set.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "empty sample set");
+        assert!(samples.iter().all(|s| s.is_finite()), "non-finite sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction rejects empty sets); mirrors `Vec::is_empty`.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The q-quantile (0 <= q <= 1), nearest-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q}");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[idx - 1]
+    }
+
+    /// Median (0.5 quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples <= x.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Smallest and largest sample.
+    pub fn range(&self) -> (f64, f64) {
+        (self.sorted[0], *self.sorted.last().expect("non-empty"))
+    }
+
+    /// `(x, F(x))` points at `n` evenly spaced sample ranks — what the
+    /// figure binaries print as a series.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2);
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1) as f64;
+                (self.quantile(q.max(1.0 / self.sorted.len() as f64)), q)
+            })
+            .collect()
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+/// Median of a slice (convenience for per-group reductions).
+pub fn median_of(values: &[f64]) -> f64 {
+    Cdf::new(values.to_vec()).median()
+}
+
+/// q-quantile of a slice.
+pub fn quantile_of(values: &[f64], q: f64) -> f64 {
+    Cdf::new(values.to_vec()).quantile(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.median(), 2.0);
+        assert_eq!(c.quantile(0.75), 3.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.range(), (1.0, 4.0));
+        assert_eq!(c.mean(), 2.5);
+    }
+
+    #[test]
+    fn fraction_below() {
+        let c = Cdf::new(vec![1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(c.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(c.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(c.fraction_at_or_below(5.0), 1.0);
+    }
+
+    #[test]
+    fn points_monotone() {
+        let c = Cdf::new((0..100).map(|i| i as f64).collect());
+        let pts = c.points(11);
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        Cdf::new(vec![]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # lowlat-tmgen
+//!
+//! Gravity-model traffic-matrix generation with a **locality** dial,
+//! reproducing §3 of the paper (and its companion tool *tm-gen*, reference
+//! \[20\]):
+//!
+//! 1. PoP "masses" are drawn from a Zipf distribution (real-world traffic
+//!    aggregates are Zipf-ish, reference \[39\]); aggregate volume between a
+//!    PoP pair is proportional to the product of their masses.
+//! 2. The original gravity model ignores geography, but CDNs place content
+//!    near users, so the paper redistributes load toward short-distance
+//!    aggregates: a locality parameter ℓ lets each short-distance aggregate
+//!    grow by up to ℓ× its original demand while per-PoP ingress/egress
+//!    totals stay fixed. We express that exactly as a transportation LP
+//!    ([`locality`]).
+//! 3. The matrix is finally scaled to a target network load; the scale
+//!    factor search lives in `lowlat-core` (it needs the MinMax routing
+//!    machinery), exposed as `scaled_to_load`.
+//!
+//! All generation is deterministic in the (seed, matrix index) pair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gravity;
+pub mod locality;
+pub mod tm;
+pub mod zipf;
+
+pub use gravity::{GravityTmGen, TmGenConfig};
+pub use tm::{Aggregate, TrafficMatrix};

@@ -1,0 +1,152 @@
+//! Traffic matrices: one aggregate per ordered PoP pair.
+
+use lowlat_topology::PopId;
+
+/// A directed traffic aggregate: the demand from one PoP to another.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aggregate {
+    /// Ingress PoP.
+    pub src: PopId,
+    /// Egress PoP.
+    pub dst: PopId,
+    /// Mean offered load in Mbps (the paper's `Ba`).
+    pub volume_mbps: f64,
+    /// Number of flows in the aggregate (the paper's `na`). Our generator
+    /// keeps this proportional to volume, as tm-gen does.
+    pub flow_count: u64,
+}
+
+/// A traffic matrix: every ordered PoP pair with non-zero demand.
+#[derive(Clone, Debug)]
+pub struct TrafficMatrix {
+    aggregates: Vec<Aggregate>,
+}
+
+impl TrafficMatrix {
+    /// Builds a matrix from aggregates, dropping zero-volume entries.
+    ///
+    /// # Panics
+    /// Panics if any aggregate has `src == dst`, a negative/non-finite
+    /// volume, or if a (src, dst) pair repeats.
+    pub fn new(mut aggregates: Vec<Aggregate>) -> Self {
+        aggregates.retain(|a| a.volume_mbps > 0.0);
+        let mut seen = std::collections::HashSet::new();
+        for a in &aggregates {
+            assert!(a.src != a.dst, "self-aggregate {:?}", a.src);
+            assert!(a.volume_mbps.is_finite() && a.volume_mbps > 0.0);
+            assert!(seen.insert((a.src, a.dst)), "duplicate aggregate {:?}->{:?}", a.src, a.dst);
+        }
+        aggregates.sort_by_key(|a| (a.src, a.dst));
+        TrafficMatrix { aggregates }
+    }
+
+    /// The aggregates, sorted by (src, dst).
+    pub fn aggregates(&self) -> &[Aggregate] {
+        &self.aggregates
+    }
+
+    /// Number of aggregates.
+    pub fn len(&self) -> usize {
+        self.aggregates.len()
+    }
+
+    /// True when there is no demand at all.
+    pub fn is_empty(&self) -> bool {
+        self.aggregates.is_empty()
+    }
+
+    /// Demand from `src` to `dst` in Mbps (0 when absent).
+    pub fn volume_between(&self, src: PopId, dst: PopId) -> f64 {
+        self.aggregates
+            .binary_search_by_key(&(src, dst), |a| (a.src, a.dst))
+            .map(|i| self.aggregates[i].volume_mbps)
+            .unwrap_or(0.0)
+    }
+
+    /// Total offered load in Mbps.
+    pub fn total_volume_mbps(&self) -> f64 {
+        self.aggregates.iter().map(|a| a.volume_mbps).sum()
+    }
+
+    /// A copy with every volume (and flow count) multiplied by `factor`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite factor.
+    pub fn scaled(&self, factor: f64) -> TrafficMatrix {
+        assert!(factor.is_finite() && factor > 0.0, "bad scale factor {factor}");
+        TrafficMatrix {
+            aggregates: self
+                .aggregates
+                .iter()
+                .map(|a| Aggregate {
+                    volume_mbps: a.volume_mbps * factor,
+                    flow_count: ((a.flow_count as f64 * factor).round() as u64).max(1),
+                    ..*a
+                })
+                .collect(),
+        }
+    }
+
+    /// Per-PoP egress totals (Mbps), keyed by PoP index.
+    pub fn egress_by_pop(&self, pop_count: usize) -> Vec<f64> {
+        let mut out = vec![0.0; pop_count];
+        for a in &self.aggregates {
+            out[a.src.idx()] += a.volume_mbps;
+        }
+        out
+    }
+
+    /// Per-PoP ingress totals (Mbps), keyed by PoP index.
+    pub fn ingress_by_pop(&self, pop_count: usize) -> Vec<f64> {
+        let mut out = vec![0.0; pop_count];
+        for a in &self.aggregates {
+            out[a.dst.idx()] += a.volume_mbps;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lowlat_netgraph::NodeId;
+
+    fn agg(s: u32, d: u32, v: f64) -> Aggregate {
+        Aggregate { src: NodeId(s), dst: NodeId(d), volume_mbps: v, flow_count: v.ceil() as u64 }
+    }
+
+    #[test]
+    fn lookup_and_totals() {
+        let tm = TrafficMatrix::new(vec![agg(0, 1, 10.0), agg(1, 0, 5.0), agg(0, 2, 2.5)]);
+        assert_eq!(tm.len(), 3);
+        assert_eq!(tm.volume_between(NodeId(0), NodeId(1)), 10.0);
+        assert_eq!(tm.volume_between(NodeId(2), NodeId(0)), 0.0);
+        assert!((tm.total_volume_mbps() - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_volume_dropped() {
+        let tm = TrafficMatrix::new(vec![agg(0, 1, 10.0), agg(1, 2, 0.0)]);
+        assert_eq!(tm.len(), 1);
+    }
+
+    #[test]
+    fn scaling() {
+        let tm = TrafficMatrix::new(vec![agg(0, 1, 10.0)]).scaled(1.3);
+        assert!((tm.total_volume_mbps() - 13.0).abs() < 1e-12);
+        assert_eq!(tm.aggregates()[0].flow_count, 13);
+    }
+
+    #[test]
+    fn marginals() {
+        let tm = TrafficMatrix::new(vec![agg(0, 1, 10.0), agg(0, 2, 4.0), agg(2, 0, 1.0)]);
+        assert_eq!(tm.egress_by_pop(3), vec![14.0, 0.0, 1.0]);
+        assert_eq!(tm.ingress_by_pop(3), vec![1.0, 10.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_pair_rejected() {
+        TrafficMatrix::new(vec![agg(0, 1, 1.0), agg(0, 1, 2.0)]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Zipf-distributed PoP masses for the gravity model.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Returns `n` masses following a Zipf law with exponent `alpha`
+/// (`mass_of_rank_k ∝ 1 / k^alpha`), normalized to sum to 1, assigned to
+/// indices in a random order drawn from `rng`.
+///
+/// Shuffling matters: without it, PoP 0 would always be the heaviest in
+/// every generated matrix and the corpus would correlate topology position
+/// with load.
+///
+/// # Panics
+/// Panics if `n == 0` or `alpha < 0`.
+pub fn zipf_masses(n: usize, alpha: f64, rng: &mut StdRng) -> Vec<f64> {
+    assert!(n > 0, "no PoPs");
+    assert!(alpha >= 0.0, "negative Zipf exponent {alpha}");
+    let mut masses: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
+    let total: f64 = masses.iter().sum();
+    masses.iter_mut().for_each(|m| *m /= total);
+    masses.shuffle(rng);
+    masses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = zipf_masses(20, 1.0, &mut rng);
+        assert_eq!(m.len(), 20);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(m.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = zipf_masses(10, 0.0, &mut rng);
+        for &x in &m {
+            assert!((x - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let low = zipf_masses(50, 0.5, &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let high = zipf_masses(50, 2.0, &mut rng);
+        let max_low = low.iter().cloned().fold(0.0, f64::max);
+        let max_high = high.iter().cloned().fold(0.0, f64::max);
+        assert!(max_high > max_low, "heavier tail should concentrate mass");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = zipf_masses(12, 1.0, &mut StdRng::seed_from_u64(7));
+        let b = zipf_masses(12, 1.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

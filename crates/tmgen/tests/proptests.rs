@@ -1,0 +1,82 @@
+//! Property tests for the traffic-matrix generator: the locality LP must
+//! preserve gravity marginals for any topology, locality, and seed.
+
+use proptest::prelude::*;
+
+use lowlat_tmgen::{GravityTmGen, TmGenConfig};
+use lowlat_topology::zoo;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn locality_preserves_marginals(
+        seed in any::<u64>(),
+        locality in 0.0f64..2.5,
+        index in 0u64..4,
+    ) {
+        let topo = zoo::ring(7, 2, zoo::EUROPE, seed % 1000);
+        let base = GravityTmGen::new(TmGenConfig {
+            locality: 0.0,
+            seed,
+            ..Default::default()
+        });
+        let local = GravityTmGen::new(TmGenConfig {
+            locality,
+            seed,
+            ..Default::default()
+        });
+        let tm0 = base.generate(&topo, index);
+        let tm1 = local.generate(&topo, index);
+        let n = topo.pop_count();
+        let (e0, e1) = (tm0.egress_by_pop(n), tm1.egress_by_pop(n));
+        let (i0, i1) = (tm0.ingress_by_pop(n), tm1.ingress_by_pop(n));
+        for p in 0..n {
+            prop_assert!((e0[p] - e1[p]).abs() < 1e-4 * (1.0 + e0[p]),
+                "egress of pop {p}: {} vs {}", e0[p], e1[p]);
+            prop_assert!((i0[p] - i1[p]).abs() < 1e-4 * (1.0 + i0[p]),
+                "ingress of pop {p}: {} vs {}", i0[p], i1[p]);
+        }
+        // Caps respected: no aggregate grows beyond (1 + locality)x.
+        for a in tm1.aggregates() {
+            let orig = tm0.volume_between(a.src, a.dst);
+            prop_assert!(a.volume_mbps <= (1.0 + locality) * orig + 1e-6,
+                "aggregate {:?}->{:?} grew {} from {orig}", a.src, a.dst, a.volume_mbps);
+        }
+    }
+
+    #[test]
+    fn scaled_matrices_scale_everything(
+        seed in any::<u64>(),
+        factor in 0.1f64..5.0,
+    ) {
+        let topo = zoo::grid(3, 3, 0.2, zoo::USA, seed % 1000);
+        let gen = GravityTmGen::new(TmGenConfig { seed, ..Default::default() });
+        let tm = gen.generate(&topo, 0);
+        let scaled = tm.scaled(factor);
+        prop_assert_eq!(tm.len(), scaled.len());
+        prop_assert!((scaled.total_volume_mbps() - factor * tm.total_volume_mbps()).abs()
+            < 1e-6 * tm.total_volume_mbps());
+        for (a, b) in tm.aggregates().iter().zip(scaled.aggregates()) {
+            prop_assert_eq!(a.src, b.src);
+            prop_assert_eq!(a.dst, b.dst);
+            prop_assert!(b.flow_count >= 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed_and_index(
+        seed in any::<u64>(),
+        index in 0u64..8,
+    ) {
+        let topo = zoo::mesh(8, 800.0, zoo::EUROPE, 3);
+        let gen = GravityTmGen::new(TmGenConfig { seed, ..Default::default() });
+        let a = gen.generate(&topo, index);
+        let b = gen.generate(&topo, index);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.aggregates().iter().zip(b.aggregates()) {
+            prop_assert_eq!(x.volume_mbps.to_bits(), y.volume_mbps.to_bits(),
+                "generation must be bit-reproducible");
+        }
+    }
+}

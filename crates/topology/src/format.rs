@@ -1,0 +1,311 @@
+//! A minimal line-oriented text format for topologies, so users can load
+//! their own networks (e.g. converted from Topology Zoo GraphML) without
+//! this crate growing a serialization dependency.
+//!
+//! ```text
+//! # lowlat topology v1
+//! name Abilene
+//! pop Seattle 47.61 -122.33
+//! pop Denver 39.74 -104.99
+//! cable Seattle Denver 10000          # delay derived from geography
+//! cable Seattle Denver 10000 8.25     # explicit delay in ms
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. PoP names may not contain
+//! whitespace. Every error carries its line number.
+
+use std::fmt;
+
+use crate::geo::GeoPoint;
+use crate::model::{Topology, TopologyBuilder};
+
+/// A parse failure, with its 1-based line number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line the error was found on (0 for end-of-input errors).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The kinds of parse failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseErrorKind {
+    /// Line does not start with a known keyword.
+    UnknownDirective(String),
+    /// Wrong number of fields for the directive.
+    FieldCount {
+        /// The directive's expected shape.
+        expected: &'static str,
+        /// Fields actually present.
+        got: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// A cable references an undeclared PoP.
+    UnknownPop(String),
+    /// The same PoP name declared twice.
+    DuplicatePop(String),
+    /// No `name` directive, or no PoPs/cables at all.
+    Incomplete(&'static str),
+    /// The finished topology is not connected (builder would panic).
+    Disconnected,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::UnknownDirective(d) => write!(f, "unknown directive '{d}'"),
+            ParseErrorKind::FieldCount { expected, got } => {
+                write!(f, "expected {expected} fields, got {got}")
+            }
+            ParseErrorKind::BadNumber(s) => write!(f, "bad number '{s}'"),
+            ParseErrorKind::UnknownPop(p) => write!(f, "unknown pop '{p}'"),
+            ParseErrorKind::DuplicatePop(p) => write!(f, "duplicate pop '{p}'"),
+            ParseErrorKind::Incomplete(what) => write!(f, "incomplete topology: missing {what}"),
+            ParseErrorKind::Disconnected => write!(f, "topology is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a topology to the text format (round-trips through
+/// [`from_text`]).
+pub fn to_text(topology: &Topology) -> String {
+    let mut out = String::from("# lowlat topology v1\n");
+    out.push_str(&format!("name {}\n", topology.name()));
+    for p in topology.graph().nodes() {
+        let loc = topology.location(p);
+        out.push_str(&format!(
+            "pop {} {:.6} {:.6}\n",
+            topology.pop_name(p),
+            loc.lat_deg,
+            loc.lon_deg
+        ));
+    }
+    for &cable in &topology.cables() {
+        let link = topology.graph().link(cable);
+        out.push_str(&format!(
+            "cable {} {} {} {:.6}\n",
+            topology.pop_name(link.src),
+            topology.pop_name(link.dst),
+            link.capacity_mbps,
+            link.delay_ms
+        ));
+    }
+    out
+}
+
+/// Parses the text format.
+pub fn from_text(text: &str) -> Result<Topology, ParseError> {
+    let mut name: Option<String> = None;
+    let mut builder: Option<TopologyBuilder> = None;
+    let mut pops: std::collections::HashMap<String, crate::model::PopId> = Default::default();
+    let mut cable_count = 0usize;
+
+    let err = |line: usize, kind: ParseErrorKind| ParseError { line, kind };
+    let num = |line: usize, s: &str| -> Result<f64, ParseError> {
+        s.parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| err(line, ParseErrorKind::BadNumber(s.to_string())))
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "name" => {
+                if fields.len() != 2 {
+                    return Err(err(line_no, ParseErrorKind::FieldCount { expected: "name <id>", got: fields.len() }));
+                }
+                name = Some(fields[1].to_string());
+                builder = Some(TopologyBuilder::new(fields[1]));
+            }
+            "pop" => {
+                if fields.len() != 4 {
+                    return Err(err(line_no, ParseErrorKind::FieldCount { expected: "pop <id> <lat> <lon>", got: fields.len() }));
+                }
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, ParseErrorKind::Incomplete("name before pops")))?;
+                let (lat, lon) = (num(line_no, fields[2])?, num(line_no, fields[3])?);
+                if !(-90.0..=90.0).contains(&lat) || !(-180.0..=360.0).contains(&lon) {
+                    return Err(err(line_no, ParseErrorKind::BadNumber(format!("{lat} {lon}"))));
+                }
+                let id = b.add_pop(fields[1], GeoPoint::new(lat, lon));
+                if pops.insert(fields[1].to_string(), id).is_some() {
+                    return Err(err(line_no, ParseErrorKind::DuplicatePop(fields[1].into())));
+                }
+            }
+            "cable" => {
+                if !(4..=5).contains(&fields.len()) {
+                    return Err(err(line_no, ParseErrorKind::FieldCount { expected: "cable <a> <b> <mbps> [delay_ms]", got: fields.len() }));
+                }
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(line_no, ParseErrorKind::Incomplete("name before cables")))?;
+                let a = *pops
+                    .get(fields[1])
+                    .ok_or_else(|| err(line_no, ParseErrorKind::UnknownPop(fields[1].into())))?;
+                let z = *pops
+                    .get(fields[2])
+                    .ok_or_else(|| err(line_no, ParseErrorKind::UnknownPop(fields[2].into())))?;
+                let cap = num(line_no, fields[3])?;
+                if cap <= 0.0 {
+                    return Err(err(line_no, ParseErrorKind::BadNumber(fields[3].into())));
+                }
+                if let Some(d) = fields.get(4) {
+                    let delay = num(line_no, d)?;
+                    if delay < 0.0 {
+                        return Err(err(line_no, ParseErrorKind::BadNumber((*d).into())));
+                    }
+                    b.connect_with_delay(a, z, delay.max(0.05), cap);
+                } else {
+                    b.connect(a, z, cap);
+                }
+                cable_count += 1;
+            }
+            other => return Err(err(line_no, ParseErrorKind::UnknownDirective(other.into()))),
+        }
+    }
+
+    let builder = builder.ok_or_else(|| err(0, ParseErrorKind::Incomplete("name")))?;
+    let _ = name;
+    if pops.is_empty() {
+        return Err(err(0, ParseErrorKind::Incomplete("pops")));
+    }
+    if cable_count == 0 {
+        return Err(err(0, ParseErrorKind::Incomplete("cables")));
+    }
+    // Check connectivity before build() so the caller gets an error, not a
+    // panic, on untrusted input.
+    {
+        let endpoints = builder.cable_endpoints();
+        let n = pops.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, b) in endpoints {
+            adj[a.idx()].push(b.idx());
+            adj[b.idx()].push(a.idx());
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut cnt = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    cnt += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        if cnt != n {
+            return Err(err(0, ParseErrorKind::Disconnected));
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn round_trip_named_networks() {
+        for original in [
+            zoo::named::abilene(),
+            zoo::named::gts_like(),
+            zoo::named::cogent_like(),
+            zoo::named::google_like(),
+        ] {
+            let text = to_text(&original);
+            let parsed = from_text(&text).expect("round trip");
+            assert_eq!(parsed.name(), original.name());
+            assert_eq!(parsed.pop_count(), original.pop_count());
+            assert_eq!(parsed.link_count(), original.link_count());
+            for l in original.graph().link_ids() {
+                let (a, b) = (original.graph().link(l), parsed.graph().link(l));
+                assert_eq!(a.src, b.src);
+                assert_eq!(a.dst, b.dst);
+                assert!((a.delay_ms - b.delay_ms).abs() < 1e-5);
+                assert_eq!(a.capacity_mbps, b.capacity_mbps);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_whole_zoo_spot_check() {
+        for t in zoo::synthetic_zoo().into_iter().step_by(9) {
+            let parsed = from_text(&to_text(&t)).expect("round trip");
+            assert_eq!(parsed.pop_count(), t.pop_count());
+            assert_eq!(parsed.cables().len(), t.cables().len());
+            assert!((parsed.diameter_ms() - t.diameter_ms()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\nname t\npop A 10 20 # inline\n\npop B 11 21\ncable A B 1000\n";
+        let t = from_text(text).unwrap();
+        assert_eq!(t.pop_count(), 2);
+        assert_eq!(t.cables().len(), 1);
+    }
+
+    #[test]
+    fn explicit_delay_honored() {
+        let text = "name t\npop A 10 20\npop B 11 21\ncable A B 1000 7.5\n";
+        let t = from_text(text).unwrap();
+        let l = t.cables()[0];
+        assert_eq!(t.graph().link(l).delay_ms, 7.5);
+    }
+
+    #[test]
+    fn error_reporting() {
+        let cases: Vec<(&str, usize)> = vec![
+            ("name t\nfrob A\n", 2),                              // unknown directive
+            ("name t\npop A 10\n", 2),                            // field count
+            ("name t\npop A ten 20\n", 2),                        // bad number
+            ("name t\npop A 10 20\ncable A B 100\n", 3),          // unknown pop
+            ("name t\npop A 10 20\npop A 11 21\n", 3),            // duplicate pop
+            ("pop A 10 20\n", 1),                                 // pops before name
+            ("name t\npop A 99 20\n", 2),                         // latitude range
+            ("name t\npop A 10 20\npop B 11 21\ncable A B 0\n", 4), // zero capacity
+        ];
+        for (text, line) in cases {
+            let e = from_text(text).unwrap_err();
+            assert_eq!(e.line, line, "wrong line for {text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn incomplete_and_disconnected() {
+        assert!(matches!(
+            from_text("").unwrap_err().kind,
+            ParseErrorKind::Incomplete(_)
+        ));
+        assert!(matches!(
+            from_text("name t\npop A 10 20\npop B 11 21\n").unwrap_err().kind,
+            ParseErrorKind::Incomplete(_)
+        ));
+        let disconnected =
+            "name t\npop A 10 20\npop B 11 21\npop C 12 22\npop D 13 23\ncable A B 100\ncable C D 100\n";
+        assert_eq!(from_text(disconnected).unwrap_err().kind, ParseErrorKind::Disconnected);
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = from_text("name t\npop A ten 20\n").unwrap_err();
+        let msg = format!("{e}");
+        assert!(msg.contains("line 2"));
+        assert!(msg.contains("ten"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Geographic coordinates and propagation-delay modelling.
+
+/// Speed of light in fibre, expressed in km per millisecond (~2/3 c).
+pub const FIBRE_KM_PER_MS: f64 = 200.0;
+
+/// Mean Earth radius in km.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// A point on the Earth's surface.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point, validating ranges.
+    ///
+    /// # Panics
+    /// Panics if latitude is outside [-90, 90] or longitude outside
+    /// [-180, 360] (the slack above 180 tolerates unnormalized inputs).
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat_deg), "bad latitude {lat_deg}");
+        assert!((-180.0..=360.0).contains(&lon_deg), "bad longitude {lon_deg}");
+        GeoPoint { lat_deg, lon_deg }
+    }
+
+    /// Great-circle distance to `other` in km (haversine formula).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat_deg.to_radians(), self.lon_deg.to_radians());
+        let (lat2, lon2) = (other.lat_deg.to_radians(), other.lon_deg.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+
+    /// Propagation delay to `other` in ms along a great-circle fibre run.
+    pub fn delay_ms_to(&self, other: &GeoPoint) -> f64 {
+        self.distance_km(other) / FIBRE_KM_PER_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = GeoPoint::new(48.2, 16.37); // Vienna
+        assert!(p.distance_km(&p) < 1e-9);
+    }
+
+    #[test]
+    fn london_new_york_roughly_5570_km() {
+        let lon = GeoPoint::new(51.5074, -0.1278);
+        let nyc = GeoPoint::new(40.7128, -74.0060);
+        let d = lon.distance_km(&nyc);
+        assert!((d - 5570.0).abs() < 60.0, "got {d}");
+        // ~28 ms one-way in fibre.
+        let delay = lon.delay_ms_to(&nyc);
+        assert!((delay - 27.85).abs() < 0.5, "got {delay}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = GeoPoint::new(52.52, 13.405); // Berlin
+        let b = GeoPoint::new(47.4979, 19.0402); // Budapest
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipodal_is_half_circumference() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 180.0);
+        let d = a.distance_km(&b);
+        assert!((d - std::f64::consts::PI * EARTH_RADIUS_KM).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_latitude_rejected() {
+        GeoPoint::new(91.0, 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Probability mass functions over bitrate, quantized for FFT convolution.
+//!
+//! The paper treats each aggregate's 100 ms bandwidth measurements as a PMF
+//! and, per link, convolves the PMFs of the aggregates sharing that link to
+//! get the distribution of their *sum* (they are assumed independent once
+//! temporal correlation has been tested separately). 1024 quantization
+//! levels "yields good performance" (§5); that is our default too.
+
+use crate::fft::convolve;
+
+/// Default quantization levels, per the paper.
+pub const DEFAULT_LEVELS: usize = 1024;
+
+/// A PMF over bitrate on a uniform grid: `probs[i]` is the probability of
+/// the rate falling in bin `i`, bins are `bin_width` Mbps wide starting
+/// at 0.
+#[derive(Clone, Debug)]
+pub struct Pmf {
+    bin_width: f64,
+    probs: Vec<f64>,
+}
+
+impl Pmf {
+    /// Quantizes samples onto `levels` bins of width `bin_width`.
+    /// Samples above the grid are clamped into the last bin.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set, non-positive width, or zero levels.
+    pub fn from_samples(samples: &[f64], bin_width: f64, levels: usize) -> Self {
+        assert!(!samples.is_empty(), "empty sample set");
+        assert!(bin_width > 0.0 && levels > 0);
+        let mut probs = vec![0.0; levels];
+        let w = 1.0 / samples.len() as f64;
+        for &s in samples {
+            let bin = ((s / bin_width) as usize).min(levels - 1);
+            probs[bin] += w;
+        }
+        Pmf { bin_width, probs }
+    }
+
+    /// Builds a PMF with explicit probabilities (testing / composition).
+    ///
+    /// # Panics
+    /// Panics if probabilities are negative or don't sum to ~1.
+    pub fn from_probs(probs: Vec<f64>, bin_width: f64) -> Self {
+        assert!(bin_width > 0.0);
+        assert!(probs.iter().all(|&p| p >= -1e-12));
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "probabilities sum to {total}");
+        Pmf { bin_width, probs }
+    }
+
+    /// Bin width in Mbps.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// The probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Mean of the distribution (Mbps), using the lower-edge convention
+    /// (`bin i` represents rate `i * bin_width`). Lower edges make means
+    /// *exactly* additive under convolution, since convolution adds bin
+    /// indices.
+    pub fn mean(&self) -> f64 {
+        self.probs.iter().enumerate().map(|(i, &p)| i as f64 * self.bin_width * p).sum()
+    }
+
+    /// P(rate > threshold). Bins are attributed by their upper edge, which
+    /// over-counts by at most one bin — conservative in the direction the
+    /// admission test cares about.
+    pub fn prob_exceeds(&self, threshold_mbps: f64) -> f64 {
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            let upper = (i as f64 + 1.0) * self.bin_width;
+            if upper > threshold_mbps {
+                acc += p;
+            }
+        }
+        acc.min(1.0)
+    }
+
+    /// Distribution of the sum of two independent rates (same grid).
+    ///
+    /// # Panics
+    /// Panics when grids differ.
+    pub fn convolve_with(&self, other: &Pmf) -> Pmf {
+        assert!(
+            (self.bin_width - other.bin_width).abs() < 1e-9 * self.bin_width.max(other.bin_width),
+            "convolving PMFs on different grids"
+        );
+        let probs = convolve(&self.probs, &other.probs);
+        Pmf { bin_width: self.bin_width, probs }
+    }
+}
+
+/// Convolves the PMFs of many aggregates sharing a link, on a common grid
+/// sized so the sum of peaks fits: the Figure-14 test C workhorse.
+///
+/// `sample_sets` holds per-aggregate 100 ms samples *already scaled* by the
+/// fraction of that aggregate placed on the link.
+pub fn convolve_group(sample_sets: &[&[f64]], levels: usize) -> Option<Pmf> {
+    if sample_sets.is_empty() {
+        return None;
+    }
+    let sum_of_peaks: f64 = sample_sets
+        .iter()
+        .map(|s| s.iter().cloned().fold(0.0, f64::max))
+        .sum();
+    if sum_of_peaks <= 0.0 {
+        return None;
+    }
+    // The summed support must fit inside the final grid; individual PMFs use
+    // the same bin width so convolution is exact on the grid.
+    let bin_width = sum_of_peaks / (levels as f64 - 1.0);
+    let mut acc: Option<Pmf> = None;
+    for s in sample_sets {
+        let pmf = Pmf::from_samples(s, bin_width, levels);
+        acc = Some(match acc {
+            None => pmf,
+            Some(a) => a.convolve_with(&pmf),
+        });
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_and_mean() {
+        let samples = vec![0.5, 1.5, 2.5, 3.5];
+        let pmf = Pmf::from_samples(&samples, 1.0, 8);
+        assert!((pmf.probs()[0] - 0.25).abs() < 1e-12);
+        // Lower-edge convention: bins 0..=3 each with mass 1/4.
+        assert!((pmf.mean() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamping_into_last_bin() {
+        let pmf = Pmf::from_samples(&[100.0], 1.0, 4);
+        assert!((pmf.probs()[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_exceeds_basics() {
+        let pmf = Pmf::from_probs(vec![0.5, 0.3, 0.2], 10.0);
+        // Bins cover (0,10], (10,20], (20,30].
+        assert!((pmf.prob_exceeds(10.0) - 0.5).abs() < 1e-12);
+        assert!((pmf.prob_exceeds(25.0) - 0.2).abs() < 1e-12);
+        assert_eq!(pmf.prob_exceeds(30.0), 0.0);
+        assert_eq!(pmf.prob_exceeds(0.0), 1.0);
+    }
+
+    #[test]
+    fn convolution_adds_means() {
+        let a = Pmf::from_probs(vec![0.5, 0.5], 1.0);
+        let b = Pmf::from_probs(vec![0.25, 0.75], 1.0);
+        let c = a.convolve_with(&b);
+        assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-9);
+        let total: f64 = c.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_convolution_two_constant_flows() {
+        // Two constant 5 Mbps flows: their sum is constant 10 Mbps.
+        let s1 = vec![5.0; 100];
+        let s2 = vec![5.0; 100];
+        let pmf = convolve_group(&[&s1, &s2], 1024).unwrap();
+        assert!(pmf.prob_exceeds(11.0) < 1e-9, "sum never exceeds 10");
+        assert!(pmf.prob_exceeds(9.0) > 0.99, "sum is always ~10");
+    }
+
+    #[test]
+    fn group_convolution_detects_tail() {
+        // A bursty flow: 10% of the time it doubles; pair of them exceeds
+        // 2.2x base more than ~1% - (independent) - of the time.
+        let mut s = vec![10.0; 90];
+        s.extend(vec![20.0; 10]);
+        let pmf = convolve_group(&[&s, &s], 1024).unwrap();
+        let p = pmf.prob_exceeds(30.0);
+        assert!((p - 0.01).abs() < 0.005, "P(both burst) ~ 0.01, got {p}");
+    }
+
+    #[test]
+    fn empty_group_is_none() {
+        assert!(convolve_group(&[], 1024).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's Algorithm 1: predicting next minute's mean traffic level.
+//!
+//! The strategy is deliberately conservative: predictions ride 10% above the
+//! last measured minute (the *hedge*, so an aggregate can grow by 10% before
+//! exceeding its reservation) and decay by only 2% per minute when traffic
+//! drops (so a transient dip doesn't strand the prediction low before a
+//! rebound).
+
+/// Streaming implementation of Algorithm 1.
+///
+/// ```
+/// use lowlat_traffic::Predictor;
+/// let mut p = Predictor::new(100.0);
+/// // Traffic stays flat: predictions sit ~10% above it.
+/// let pred = p.observe(100.0);
+/// assert!((pred - 110.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Predictor {
+    prev_prediction: f64,
+    decay_multiplier: f64,
+    fixed_hedge: f64,
+}
+
+impl Predictor {
+    /// Default decay when the level drops (2% per minute).
+    pub const DECAY: f64 = 0.98;
+    /// Default hedge against growth (10%).
+    pub const HEDGE: f64 = 1.1;
+
+    /// Creates a predictor primed with one observed minute.
+    pub fn new(first_minute_mean: f64) -> Self {
+        Self::with_parameters(first_minute_mean, Self::DECAY, Self::HEDGE)
+    }
+
+    /// Creates a predictor with explicit decay/hedge parameters.
+    ///
+    /// # Panics
+    /// Panics unless `0 < decay <= 1 <= hedge`.
+    pub fn with_parameters(first_minute_mean: f64, decay: f64, hedge: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "bad decay {decay}");
+        assert!(hedge >= 1.0, "bad hedge {hedge}");
+        Predictor {
+            prev_prediction: first_minute_mean.max(0.0) * hedge,
+            decay_multiplier: decay,
+            fixed_hedge: hedge,
+        }
+    }
+
+    /// Feeds the mean level measured over the last minute and returns the
+    /// prediction for the next minute. This is Algorithm 1 verbatim.
+    pub fn observe(&mut self, prev_value: f64) -> f64 {
+        let scaled_est = prev_value.max(0.0) * self.fixed_hedge;
+        let next = if scaled_est > self.prev_prediction {
+            scaled_est
+        } else {
+            let decay_prediction = self.prev_prediction * self.decay_multiplier;
+            decay_prediction.max(scaled_est)
+        };
+        self.prev_prediction = next;
+        next
+    }
+
+    /// The current prediction (for the upcoming minute).
+    pub fn prediction(&self) -> f64 {
+        self.prev_prediction
+    }
+}
+
+/// Runs Algorithm 1 over a whole series of per-minute means, returning for
+/// each minute `t >= 1` the ratio `measured(t) / predicted(t)` — the
+/// quantity Figure 9 plots as a CDF.
+pub fn prediction_ratios(minute_means: &[f64]) -> Vec<f64> {
+    if minute_means.len() < 2 {
+        return Vec::new();
+    }
+    let mut p = Predictor::new(minute_means[0]);
+    let mut out = Vec::with_capacity(minute_means.len() - 1);
+    for t in 1..minute_means.len() {
+        let predicted = p.prediction();
+        out.push(minute_means[t] / predicted);
+        p.observe(minute_means[t]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_traffic_ratio_is_1_over_hedge() {
+        let means = vec![100.0; 30];
+        for r in prediction_ratios(&means) {
+            assert!((r - 1.0 / 1.1).abs() < 1e-9, "got {r}");
+        }
+    }
+
+    #[test]
+    fn growth_tracked_with_hedge() {
+        let mut p = Predictor::new(100.0);
+        // Jump to 200: prediction follows immediately (200*1.1).
+        let pred = p.observe(200.0);
+        assert!((pred - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_is_slow() {
+        let mut p = Predictor::new(100.0); // prediction 110
+        // Drop to 10: scaled_est = 11, decayed = 107.8 -> prediction decays.
+        let pred = p.observe(10.0);
+        assert!((pred - 107.8).abs() < 1e-9);
+        // Stays near the old level for a while (conservative).
+        let pred2 = p.observe(10.0);
+        assert!((pred2 - 105.644).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decay_floors_at_scaled_estimate() {
+        let mut p = Predictor::with_parameters(100.0, 0.5, 1.1);
+        // Aggressive decay would undershoot; floor is prev_value * hedge.
+        let pred = p.observe(90.0);
+        assert!((pred - 99.0).abs() < 1e-9, "55 < 99 so floor wins, got {pred}");
+    }
+
+    #[test]
+    fn ten_percent_growth_stays_within_prediction() {
+        // The design goal: an aggregate may grow 10% per minute without
+        // exceeding the reservation.
+        let mut level = 100.0;
+        let mut p = Predictor::new(level);
+        for _ in 0..20 {
+            let predicted = p.prediction();
+            level *= 1.10;
+            assert!(level <= predicted + 1e-9, "10% growth exceeded prediction");
+            p.observe(level);
+        }
+    }
+
+    #[test]
+    fn ratios_empty_for_short_series() {
+        assert!(prediction_ratios(&[5.0]).is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! Per-aggregate traffic traces and the synthetic CAIDA-like generator.
+//!
+//! The paper measures two properties on CAIDA's Tier-1 backbone traces
+//! (four 10 Gb/s links, 40 one-hour traces each, 1-3 Gb/s mean):
+//!
+//! 1. minute-to-minute mean rates are predictable (Algorithm 1 overshoots
+//!    only ~0.5% of the time — Figure 9);
+//! 2. the within-minute standard deviation of 1 ms bitrates barely changes
+//!    from one minute to the next (Figure 10).
+//!
+//! The traces themselves are not redistributable, so [`synthesize`] builds
+//! series with exactly these properties by construction: a slow
+//! mean-reverting random walk for minute means, lognormal burst noise with
+//! AR(1) temporal correlation inside each minute, and a slowly drifting
+//!	burst variance. The violation rates are controllable, so tests can probe
+//! both the passing and failing regimes of the multiplexing checks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`synthesize`].
+#[derive(Clone, Debug)]
+pub struct TraceGenConfig {
+    /// Long-run mean rate (Mbps). CAIDA's links run 1000-3000.
+    pub mean_mbps: f64,
+    /// Maximum relative drift of the minute mean per minute (Google's WAN
+    /// paper reports < 10%; default 0.05).
+    pub minute_drift: f64,
+    /// Coefficient of variation of the 100 ms samples around the minute
+    /// mean (burstiness). Default 0.25.
+    pub cv: f64,
+    /// AR(1) coefficient of the burst noise inside a minute, creating the
+    /// short-range dependence real traffic shows. Default 0.5.
+    pub ar1: f64,
+    /// Relative drift of the burst σ per minute; small, so σ(t) ≈ σ(t+1)
+    /// as in Figure 10. Default 0.05.
+    pub sigma_drift: f64,
+    /// Number of minutes to generate. The paper uses one-hour traces.
+    pub minutes: usize,
+    /// 100 ms bins per minute (600 for real time).
+    pub bins_per_minute: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TraceGenConfig {
+    fn default() -> Self {
+        TraceGenConfig {
+            mean_mbps: 2000.0,
+            minute_drift: 0.05,
+            cv: 0.25,
+            ar1: 0.5,
+            sigma_drift: 0.05,
+            minutes: 60,
+            bins_per_minute: 600,
+            seed: 1,
+        }
+    }
+}
+
+/// A traffic time series: consecutive minutes of 100 ms rate samples.
+#[derive(Clone, Debug)]
+pub struct AggregateTrace {
+    bins_per_minute: usize,
+    /// All samples, minute-major: `samples[m * bins_per_minute + i]`, Mbps.
+    samples_mbps: Vec<f64>,
+}
+
+impl AggregateTrace {
+    /// Wraps raw samples.
+    ///
+    /// # Panics
+    /// Panics if the sample count is not a whole number of minutes or any
+    /// sample is negative/non-finite.
+    pub fn from_samples(samples_mbps: Vec<f64>, bins_per_minute: usize) -> Self {
+        assert!(bins_per_minute > 0);
+        assert_eq!(samples_mbps.len() % bins_per_minute, 0, "ragged trace");
+        assert!(samples_mbps.iter().all(|s| s.is_finite() && *s >= 0.0));
+        AggregateTrace { bins_per_minute, samples_mbps }
+    }
+
+    /// Number of whole minutes.
+    pub fn minutes(&self) -> usize {
+        self.samples_mbps.len() / self.bins_per_minute
+    }
+
+    /// 100 ms bins per minute.
+    pub fn bins_per_minute(&self) -> usize {
+        self.bins_per_minute
+    }
+
+    /// The 100 ms samples of minute `m`.
+    pub fn samples(&self, m: usize) -> &[f64] {
+        let start = m * self.bins_per_minute;
+        &self.samples_mbps[start..start + self.bins_per_minute]
+    }
+
+    /// Mean rate over minute `m` (Mbps).
+    pub fn minute_mean(&self, m: usize) -> f64 {
+        let s = self.samples(m);
+        s.iter().sum::<f64>() / s.len() as f64
+    }
+
+    /// All per-minute means.
+    pub fn minute_means(&self) -> Vec<f64> {
+        (0..self.minutes()).map(|m| self.minute_mean(m)).collect()
+    }
+
+    /// Peak 100 ms rate within minute `m`.
+    pub fn peak(&self, m: usize) -> f64 {
+        self.samples(m).iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Standard deviation of the 100 ms rates within minute `m` — the σ of
+    /// Figure 10.
+    pub fn sigma(&self, m: usize) -> f64 {
+        let s = self.samples(m);
+        let mean = self.minute_mean(m);
+        let var = s.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / s.len() as f64;
+        var.sqrt()
+    }
+
+    /// The first `minutes` of the trace — what a controller has *seen* at
+    /// decision time (used by the timeline simulator to avoid peeking).
+    ///
+    /// # Panics
+    /// Panics if `minutes` is 0 or exceeds the trace length.
+    pub fn truncated(&self, minutes: usize) -> AggregateTrace {
+        assert!(minutes >= 1 && minutes <= self.minutes(), "bad prefix {minutes}");
+        AggregateTrace {
+            bins_per_minute: self.bins_per_minute,
+            samples_mbps: self.samples_mbps[..minutes * self.bins_per_minute].to_vec(),
+        }
+    }
+}
+
+/// Draws one standard normal via Box-Muller.
+fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates a synthetic trace per [`TraceGenConfig`] (deterministic).
+pub fn synthesize(config: &TraceGenConfig) -> AggregateTrace {
+    assert!(config.mean_mbps > 0.0 && config.cv >= 0.0);
+    assert!((0.0..1.0).contains(&config.ar1.abs()) || config.ar1.abs() < 1.0);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7472_6163);
+    let mut samples = Vec::with_capacity(config.minutes * config.bins_per_minute);
+
+    let mut minute_mean = config.mean_mbps;
+    let mut sigma_rel = config.cv;
+    // AR(1) state carries across minute boundaries: bursts don't reset on
+    // the minute, only our bookkeeping does.
+    let mut z = 0.0f64;
+    let innov = (1.0 - config.ar1 * config.ar1).sqrt();
+    for _minute in 0..config.minutes {
+        // Mean-reverting random walk for the minute mean.
+        let drift = rng.gen_range(-config.minute_drift..=config.minute_drift);
+        let reversion = 0.05 * (config.mean_mbps - minute_mean) / config.mean_mbps;
+        minute_mean = (minute_mean * (1.0 + drift + reversion))
+            .clamp(0.2 * config.mean_mbps, 3.0 * config.mean_mbps);
+        // σ drifts slowly (Figure 10's x≈y clustering).
+        let sdrift = rng.gen_range(-config.sigma_drift..=config.sigma_drift);
+        sigma_rel = (sigma_rel * (1.0 + sdrift)).clamp(0.25 * config.cv, 4.0 * config.cv);
+
+        for _ in 0..config.bins_per_minute {
+            z = config.ar1 * z + innov * std_normal(&mut rng);
+            // Lognormal-style positive noise with unit mean.
+            let s = sigma_rel;
+            let factor = (s * z - s * s / 2.0).exp();
+            samples.push(minute_mean * factor);
+        }
+    }
+    AggregateTrace::from_samples(samples, config.bins_per_minute)
+}
+
+/// A CAIDA-like trace set: `links x traces_per_link` one-hour traces with
+/// means spread over 1-3 Gb/s, deterministic in `seed` — the corpus behind
+/// Figures 9 and 10.
+pub fn caida_like_traces(links: usize, traces_per_link: usize, seed: u64) -> Vec<AggregateTrace> {
+    let mut out = Vec::with_capacity(links * traces_per_link);
+    for l in 0..links {
+        for t in 0..traces_per_link {
+            let idx = (l * traces_per_link + t) as u64;
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(idx).wrapping_mul(0x9E37_79B9));
+            let mean = rng.gen_range(1000.0..3000.0);
+            let cv = rng.gen_range(0.15..0.4);
+            out.push(synthesize(&TraceGenConfig {
+                mean_mbps: mean,
+                cv,
+                seed: seed ^ (idx << 8),
+                ..Default::default()
+            }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let cfg = TraceGenConfig { minutes: 5, bins_per_minute: 100, ..Default::default() };
+        let a = synthesize(&cfg);
+        let b = synthesize(&cfg);
+        assert_eq!(a.minutes(), 5);
+        assert_eq!(a.samples(0).len(), 100);
+        assert_eq!(a.samples_mbps, b.samples_mbps);
+    }
+
+    #[test]
+    fn means_hover_near_configured_level() {
+        let cfg = TraceGenConfig { minutes: 30, ..Default::default() };
+        let tr = synthesize(&cfg);
+        let grand_mean: f64 = tr.minute_means().iter().sum::<f64>() / 30.0;
+        assert!(
+            (grand_mean - cfg.mean_mbps).abs() < 0.35 * cfg.mean_mbps,
+            "grand mean {grand_mean} strays from {}",
+            cfg.mean_mbps
+        );
+    }
+
+    #[test]
+    fn minute_drift_bounded() {
+        let cfg = TraceGenConfig { minutes: 40, cv: 0.1, ..Default::default() };
+        let tr = synthesize(&cfg);
+        let means = tr.minute_means();
+        for w in means.windows(2) {
+            let rel = (w[1] - w[0]).abs() / w[0];
+            // drift + reversion + sampling noise; must stay well under 25%.
+            assert!(rel < 0.25, "minute mean jumped by {rel}");
+        }
+    }
+
+    #[test]
+    fn sigma_stable_across_minutes() {
+        // The Figure-10 property: σ(t+1) within a factor ~2 of σ(t).
+        let cfg = TraceGenConfig { minutes: 30, ..Default::default() };
+        let tr = synthesize(&cfg);
+        for m in 0..29 {
+            let (a, b) = (tr.sigma(m), tr.sigma(m + 1));
+            assert!(b / a < 2.5 && a / b < 2.5, "σ jumped {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn peak_at_least_mean() {
+        let tr = synthesize(&TraceGenConfig { minutes: 3, ..Default::default() });
+        for m in 0..3 {
+            assert!(tr.peak(m) >= tr.minute_mean(m));
+        }
+    }
+
+    #[test]
+    fn caida_like_corpus_shape() {
+        let set = caida_like_traces(2, 3, 9);
+        assert_eq!(set.len(), 6);
+        for tr in &set {
+            assert_eq!(tr.minutes(), 60);
+            let mean = tr.minute_mean(0);
+            assert!(mean > 300.0 && mean < 9000.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_trace_rejected() {
+        AggregateTrace::from_samples(vec![1.0; 7], 3);
+    }
+}

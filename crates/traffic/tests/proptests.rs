@@ -1,0 +1,112 @@
+//! Property tests for the traffic machinery.
+
+use proptest::prelude::*;
+
+use lowlat_traffic::fft::convolve;
+use lowlat_traffic::pmf::{convolve_group, Pmf};
+use lowlat_traffic::predictor::{prediction_ratios, Predictor};
+use lowlat_traffic::trace::{synthesize, TraceGenConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The design goal of Algorithm 1: traffic growing at most 10% per
+    /// minute never exceeds its prediction.
+    #[test]
+    fn predictor_covers_bounded_growth(
+        start in 10.0f64..10_000.0,
+        growths in proptest::collection::vec(0.0f64..0.10, 1..40),
+    ) {
+        let mut level = start;
+        let mut p = Predictor::new(level);
+        for g in growths {
+            let predicted = p.prediction();
+            level *= 1.0 + g;
+            prop_assert!(level <= predicted * (1.0 + 1e-12),
+                "level {level} exceeded prediction {predicted}");
+            p.observe(level);
+        }
+    }
+
+    /// Predictions never undershoot the hedge over the last observation and
+    /// decay by at most 2% per minute.
+    #[test]
+    fn predictor_bounds(values in proptest::collection::vec(0.1f64..1e5, 2..50)) {
+        let mut p = Predictor::new(values[0]);
+        let mut prev = p.prediction();
+        for &v in &values[1..] {
+            let next = p.observe(v);
+            prop_assert!(next >= v * 1.1 - 1e-9, "hedge floor violated");
+            prop_assert!(next >= prev * 0.98 - 1e-9 || next >= v * 1.1 - 1e-9,
+                "decayed too fast: {prev} -> {next}");
+            prev = next;
+        }
+    }
+
+    /// Ratios are finite and positive for positive traffic.
+    #[test]
+    fn prediction_ratios_sane(values in proptest::collection::vec(1.0f64..1e4, 2..60)) {
+        for r in prediction_ratios(&values) {
+            prop_assert!(r.is_finite() && r > 0.0);
+            // Can never exceed 1/1.1 by more than the level jump allows:
+            // measured/predicted <= measured/(1.1 * prev_measured * 0.98...).
+        }
+    }
+
+    /// FFT convolution agrees with the naive quadratic convolution.
+    #[test]
+    fn fft_convolve_matches_naive(
+        a in proptest::collection::vec(0.0f64..10.0, 1..40),
+        b in proptest::collection::vec(0.0f64..10.0, 1..40),
+    ) {
+        let fast = convolve(&a, &b);
+        let mut slow = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                slow[i + j] += x * y;
+            }
+        }
+        prop_assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!((f - s).abs() < 1e-6 * (1.0 + s.abs()), "{f} vs {s}");
+        }
+    }
+
+    /// P(X > t) is non-increasing in t, hits 0 beyond the support, and the
+    /// group convolution's mean is the sum of the parts' means.
+    #[test]
+    fn pmf_tail_monotone_and_means_add(
+        s1 in proptest::collection::vec(0.5f64..100.0, 5..50),
+        s2 in proptest::collection::vec(0.5f64..100.0, 5..50),
+    ) {
+        let pmf = convolve_group(&[&s1, &s2], 256).expect("non-empty");
+        let mut last = 1.0;
+        for i in 0..20 {
+            let t = i as f64 * 15.0;
+            let p = pmf.prob_exceeds(t);
+            prop_assert!(p <= last + 1e-12, "tail must fall");
+            last = p;
+        }
+        prop_assert!(pmf.prob_exceeds(205.0) < 1e-9, "beyond max sum");
+        let grid = pmf.bin_width();
+        let m1 = Pmf::from_samples(&s1, grid, 256).mean();
+        let m2 = Pmf::from_samples(&s2, grid, 256).mean();
+        prop_assert!((pmf.mean() - (m1 + m2)).abs() < 1e-6 * (1.0 + m1 + m2));
+    }
+
+    /// Synthetic traces are shaped as configured and non-negative.
+    #[test]
+    fn trace_generator_shape(seed in any::<u64>(), minutes in 1usize..6) {
+        let cfg = TraceGenConfig { minutes, bins_per_minute: 60, seed, ..Default::default() };
+        let tr = synthesize(&cfg);
+        prop_assert_eq!(tr.minutes(), minutes);
+        for m in 0..minutes {
+            prop_assert!(tr.minute_mean(m) > 0.0);
+            prop_assert!(tr.peak(m) >= tr.minute_mean(m) - 1e-9);
+            prop_assert!(tr.sigma(m) >= 0.0);
+            for &s in tr.samples(m) {
+                prop_assert!(s.is_finite() && s >= 0.0);
+            }
+        }
+    }
+}

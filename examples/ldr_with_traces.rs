@@ -1,0 +1,51 @@
+//! LDR end-to-end with measured traffic: Algorithm-1 prediction, the
+//! Figure-14 multiplexing loop, and per-aggregate headroom — including a
+//! fault-injection run with violently bursty traffic to show the tweak
+//! loop engaging.
+//!
+//! Run: `cargo run --release --example ldr_with_traces`
+
+use lowlat::prelude::*;
+
+fn main() {
+    let topo = named::abilene();
+    let tm = GravityTmGen::new(TmGenConfig::default()).generate(&topo, 0).scaled_to_load(&topo, 0.7);
+
+    for (label, cv) in [("smooth traffic (cv 0.1)", 0.1), ("bursty traffic (cv 0.8)", 0.8)] {
+        // One measured trace per aggregate, means matching the matrix.
+        let traces: Vec<AggregateTrace> = tm
+            .aggregates()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                synthesize(&TraceGenConfig {
+                    mean_mbps: a.volume_mbps,
+                    cv,
+                    minutes: 15,
+                    seed: 7_000 + i as u64,
+                    ..Default::default()
+                })
+            })
+            .collect();
+
+        let out = Ldr::default()
+            .place_with_traces(&topo, &tm, &traces)
+            .expect("LDR failed");
+        let ev = PlacementEval::evaluate(&topo, &tm, &out.placement);
+        let inflated = out
+            .ba
+            .iter()
+            .zip(tm.aggregates())
+            .filter(|(b, a)| **b > a.volume_mbps * 1.15)
+            .count();
+        println!("{label}:");
+        println!("  outer iterations : {}", out.iterations);
+        println!("  multiplexing ok  : {}", out.multiplexing_ok);
+        println!("  aggregates inflated beyond the 10% hedge: {inflated}/{}", tm.len());
+        println!("  latency stretch  : {:.4}", ev.latency_stretch());
+        println!("  max utilization  : {:.3}\n", ev.max_utilization());
+    }
+    println!("Smooth traffic passes the Figure-14 tests immediately; bursty");
+    println!("traffic drives the convolution test to add headroom exactly where");
+    println!("aggregates fail to multiplex.");
+}
