@@ -16,9 +16,7 @@ fn bench_schemes(c: &mut Criterion) {
     let tm = standard_tm(&topo, 0);
     let mut g = c.benchmark_group("fig04_schemes_on_gts");
     g.sample_size(10);
-    g.bench_function("B4", |b| {
-        b.iter(|| B4Routing::default().place(&topo, &tm).expect("b4"))
-    });
+    g.bench_function("B4", |b| b.iter(|| B4Routing::default().place(&topo, &tm).expect("b4")));
     g.bench_function("MinMax", |b| {
         b.iter(|| MinMaxRouting::unrestricted().place(&topo, &tm).expect("minmax"))
     });

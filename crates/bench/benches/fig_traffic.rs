@@ -18,9 +18,7 @@ fn bench_trace_synthesis(c: &mut Criterion) {
 fn bench_prediction(c: &mut Criterion) {
     let trace = synthesize(&TraceGenConfig::default());
     let means = trace.minute_means();
-    c.bench_function("fig09_algorithm1/60min", |b| {
-        b.iter(|| prediction_ratios(black_box(&means)))
-    });
+    c.bench_function("fig09_algorithm1/60min", |b| b.iter(|| prediction_ratios(black_box(&means))));
 }
 
 fn bench_multiplex_check(c: &mut Criterion) {

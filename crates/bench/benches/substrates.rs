@@ -34,9 +34,7 @@ fn bench_dinic(c: &mut Criterion) {
     let topo = gts();
     let g = topo.graph();
     let far = NodeId((topo.pop_count() - 1) as u32);
-    c.bench_function("dinic/gts/maxflow", |b| {
-        b.iter(|| max_flow(g, black_box(NodeId(0)), far))
-    });
+    c.bench_function("dinic/gts/maxflow", |b| b.iter(|| max_flow(g, black_box(NodeId(0)), far)));
 }
 
 fn bench_simplex(c: &mut Criterion) {

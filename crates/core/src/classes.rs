@@ -68,7 +68,6 @@ pub fn place_with_classes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lowlat_netgraph::NodeId;
     use lowlat_tmgen::Aggregate;
     use lowlat_topology::{GeoPoint, TopologyBuilder};
 
@@ -143,17 +142,12 @@ mod tests {
     fn equal_weights_reduce_to_plain_latopt() {
         let (topo, tm) = contested();
         let classes = [TrafficClass::BestEffort, TrafficClass::BestEffort];
-        let weighted =
-            place_with_classes(&topo, &tm, &classes, &ClassConfig::default()).unwrap();
+        let weighted = place_with_classes(&topo, &tm, &classes, &ClassConfig::default()).unwrap();
         let cache = PathCache::new(topo.graph());
         let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
-        let plain = crate::pathgrow::solve_latency_optimal(
-            &cache,
-            &tm,
-            &volumes,
-            &GrowthConfig::default(),
-        )
-        .unwrap();
+        let plain =
+            crate::pathgrow::solve_latency_optimal(&cache, &tm, &volumes, &GrowthConfig::default())
+                .unwrap();
         let total = |o: &GrowOutcome| -> f64 {
             o.placement.per_aggregate().iter().map(|p| p.mean_delay_ms()).sum()
         };

@@ -200,10 +200,7 @@ mod tests {
         let l12 = g.find_link(NodeId(1), NodeId(2)).unwrap();
         let direct = g.find_link(NodeId(0), NodeId(2)).unwrap();
         let pl = Placement::new(vec![AggregatePlacement {
-            splits: vec![
-                (Path::new(g, vec![l01, l12]), 0.5),
-                (Path::new(g, vec![direct]), 0.5),
-            ],
+            splits: vec![(Path::new(g, vec![l01, l12]), 0.5), (Path::new(g, vec![direct]), 0.5)],
         }]);
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
         // Mean delay (2+5)/2 = 3.5 over sp 2 => 1.75; max stretch 2.5.

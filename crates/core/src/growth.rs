@@ -52,7 +52,8 @@ pub struct GrowthPlan {
 /// count grew by `config.link_increase` (at least one cable).
 pub fn grow_by_llpd(topology: &Topology, config: &GrowthPlanConfig) -> GrowthPlan {
     let initial_llpd = LlpdAnalysis::compute(topology, &config.llpd).llpd();
-    let target_new = ((topology.cables().len() as f64 * config.link_increase).ceil() as usize).max(1);
+    let target_new =
+        ((topology.cables().len() as f64 * config.link_increase).ceil() as usize).max(1);
 
     let mut current = topology.clone();
     let mut added = Vec::new();
@@ -91,7 +92,7 @@ fn best_addition(topology: &Topology, config: &GrowthPlanConfig) -> Option<((Pop
     for (_, pair) in candidates {
         let grown = topology.with_added_cable(pair.0, pair.1, config.new_cable_capacity);
         let llpd = LlpdAnalysis::compute(&grown, &config.llpd).llpd();
-        if best.as_ref().map_or(true, |&(_, b)| llpd > b) {
+        if best.as_ref().is_none_or(|&(_, b)| llpd > b) {
             best = Some((pair, llpd));
         }
     }

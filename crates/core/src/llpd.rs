@@ -57,7 +57,8 @@ impl LlpdAnalysis {
             apa_per_pair.push(apa_of_pair(topology, s, d, config));
         }
         let good = apa_per_pair.iter().filter(|&&a| a >= config.apa_threshold).count();
-        let llpd = if apa_per_pair.is_empty() { 0.0 } else { good as f64 / apa_per_pair.len() as f64 };
+        let llpd =
+            if apa_per_pair.is_empty() { 0.0 } else { good as f64 / apa_per_pair.len() as f64 };
         LlpdAnalysis { apa_per_pair, llpd, config: config.clone() }
     }
 
@@ -86,8 +87,8 @@ fn apa_of_pair(
     config: &LlpdConfig,
 ) -> f64 {
     let graph = topology.graph();
-    let shortest = lowlat_netgraph::shortest_path(graph, s, d, None, None)
-        .expect("topologies are connected");
+    let shortest =
+        lowlat_netgraph::shortest_path(graph, s, d, None, None).expect("topologies are connected");
     let ds = shortest.delay_ms();
     let bottleneck = shortest.bottleneck_mbps(graph);
     let mut routable = 0usize;

@@ -79,6 +79,8 @@ struct AggInfo {
 }
 
 /// What the LP optimizes.
+// The shared Min prefix is the point: all three are minimization modes.
+#[allow(clippy::enum_variant_names)]
 enum LpMode {
     /// Minimize the maximum overload `omax` (+ tiny spread term).
     MinOverload,
@@ -262,7 +264,8 @@ fn solve_lp(
         })
         .collect();
 
-    let (level, critical_links) = critical_links_of(graph, &sol, mode, &used_links, o_var_base, aux);
+    let (level, critical_links) =
+        critical_links_of(graph, &sol, mode, &used_links, o_var_base, aux);
     Ok(LpOutcome { fractions, level, pivots: sol.iterations(), critical_links })
 }
 
@@ -324,10 +327,7 @@ fn agg_infos(cache: &PathCache<'_>, tm: &TrafficMatrix, weights: Option<&[f64]>)
         .iter()
         .enumerate()
         .map(|(i, a)| {
-            let sp = cache
-                .shortest(a.src, a.dst)
-                .expect("connected topology")
-                .delay_ms();
+            let sp = cache.shortest(a.src, a.dst).expect("connected topology").delay_ms();
             let w = weights.map_or(1.0, |ws| ws[i]);
             assert!(w.is_finite() && w > 0.0, "bad class weight {w}");
             AggInfo { flows: a.flow_count as f64 * w, sp_delay: sp }
@@ -431,15 +431,17 @@ pub fn solve_latency_optimal_weighted(
     assert!((0.0..1.0).contains(&config.headroom));
     let graph = cache.graph();
     if tm.is_empty() {
-        return Ok(GrowOutcome { placement: Placement::new(Vec::new()), omax: 0.0, lp_pivots: 0, rounds: 0 });
+        return Ok(GrowOutcome {
+            placement: Placement::new(Vec::new()),
+            omax: 0.0,
+            lp_pivots: 0,
+            rounds: 0,
+        });
     }
     let aggs = agg_infos(cache, tm, class_weights);
     let cap_scale = 1.0 - config.headroom;
-    let mut path_sets: Vec<Vec<Path>> = tm
-        .aggregates()
-        .iter()
-        .map(|a| cache.paths(a.src, a.dst, 1))
-        .collect();
+    let mut path_sets: Vec<Vec<Path>> =
+        tm.aggregates().iter().map(|a| cache.paths(a.src, a.dst, 1)).collect();
 
     let mut pivots = 0usize;
     let mut rounds = 0usize;
@@ -447,13 +449,28 @@ pub fn solve_latency_optimal_weighted(
     // Phase 1: drive overload to zero, growing across overloaded links.
     loop {
         rounds += 1;
-        let out = solve_lp(graph, &aggs, &path_sets, volumes, cap_scale, config.m1, &LpMode::MinOverload)?;
+        let out = solve_lp(
+            graph,
+            &aggs,
+            &path_sets,
+            volumes,
+            cap_scale,
+            config.m1,
+            &LpMode::MinOverload,
+        )?;
         pivots += out.pivots;
         omax = out.level;
         if omax <= 1e-7 || rounds >= config.max_rounds {
             break;
         }
-        if !grow_crossing(cache, tm, &mut path_sets, &out.fractions, &out.critical_links, config.growth_step) {
+        if !grow_crossing(
+            cache,
+            tm,
+            &mut path_sets,
+            &out.fractions,
+            &out.critical_links,
+            config.growth_step,
+        ) {
             break; // all alternatives exhausted: congestion unavoidable
         }
     }
@@ -475,7 +492,8 @@ pub fn solve_latency_optimal_weighted(
         if saturated.is_empty() {
             break;
         }
-        if !grow_crossing(cache, tm, &mut path_sets, &out.fractions, &saturated, config.growth_step) {
+        if !grow_crossing(cache, tm, &mut path_sets, &out.fractions, &saturated, config.growth_step)
+        {
             break;
         }
         let next = solve_lp(graph, &aggs, &path_sets, volumes, cap_scale, config.m1, &mode)?;
@@ -484,7 +502,12 @@ pub fn solve_latency_optimal_weighted(
         rounds += 1;
     }
 
-    Ok(GrowOutcome { placement: to_placement(&path_sets, &out.fractions), omax, lp_pivots: pivots, rounds })
+    Ok(GrowOutcome {
+        placement: to_placement(&path_sets, &out.fractions),
+        omax,
+        lp_pivots: pivots,
+        rounds,
+    })
 }
 
 /// MinMax: minimize the maximum link utilization, tie-broken by the delay
@@ -499,7 +522,12 @@ pub fn solve_minmax(
 ) -> Result<GrowOutcome, LpError> {
     let graph = cache.graph();
     if tm.is_empty() {
-        return Ok(GrowOutcome { placement: Placement::new(Vec::new()), omax: 0.0, lp_pivots: 0, rounds: 0 });
+        return Ok(GrowOutcome {
+            placement: Placement::new(Vec::new()),
+            omax: 0.0,
+            lp_pivots: 0,
+            rounds: 0,
+        });
     }
     let aggs = agg_infos(cache, tm, None);
     let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
@@ -515,7 +543,8 @@ pub fn solve_minmax(
     let mut best_u = f64::INFINITY;
     loop {
         rounds += 1;
-        let out = solve_lp(graph, &aggs, &path_sets, &volumes, 1.0, config.m1, &LpMode::MinUtilization)?;
+        let out =
+            solve_lp(graph, &aggs, &path_sets, &volumes, 1.0, config.m1, &LpMode::MinUtilization)?;
         pivots += out.pivots;
         let improved = out.level < best_u * (1.0 - 1e-4);
         best_u = best_u.min(out.level);
@@ -542,7 +571,12 @@ pub fn solve_minmax(
     let out = solve_lp(graph, &aggs, &path_sets, &volumes, 1.0, config.m1, &mode)?;
     pivots += out.pivots;
     let omax = (best_u - 1.0).max(0.0);
-    Ok(GrowOutcome { placement: to_placement(&path_sets, &out.fractions), omax, lp_pivots: pivots, rounds })
+    Ok(GrowOutcome {
+        placement: to_placement(&path_sets, &out.fractions),
+        omax,
+        lp_pivots: pivots,
+        rounds,
+    })
 }
 
 #[cfg(test)]

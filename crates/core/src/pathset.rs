@@ -34,9 +34,7 @@ impl<'g> PathCache<'g> {
     /// the graph has fewer), cloned out of the cache.
     pub fn paths(&self, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
         let mut map = self.map.lock();
-        let gen = map
-            .entry((src, dst))
-            .or_insert_with(|| KspGenerator::new(self.graph, src, dst));
+        let gen = map.entry((src, dst)).or_insert_with(|| KspGenerator::new(self.graph, src, dst));
         let produced = gen.take_up_to(k);
         produced[..produced.len().min(k)].to_vec()
     }

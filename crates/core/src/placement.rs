@@ -18,11 +18,7 @@ impl AggregatePlacement {
 
     /// Worst-case (maximum) delay over paths actually used.
     pub fn max_delay_ms(&self) -> f64 {
-        self.splits
-            .iter()
-            .filter(|(_, x)| *x > 1e-9)
-            .map(|(p, _)| p.delay_ms())
-            .fold(0.0, f64::max)
+        self.splits.iter().filter(|(_, x)| *x > 1e-9).map(|(p, _)| p.delay_ms()).fold(0.0, f64::max)
     }
 }
 

@@ -29,10 +29,8 @@ pub fn min_cut_load_with_cache(
     // solve_minmax reports omax = max(U-1, 0); recover U from the placement.
     let graph = cache.graph();
     let loads = out.placement.link_loads(graph, tm);
-    let u = graph
-        .link_ids()
-        .map(|l| loads[l.idx()] / graph.link(l).capacity_mbps)
-        .fold(0.0, f64::max);
+    let u =
+        graph.link_ids().map(|l| loads[l.idx()] / graph.link(l).capacity_mbps).fold(0.0, f64::max);
     Ok(u)
 }
 

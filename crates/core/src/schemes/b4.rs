@@ -71,8 +71,7 @@ impl B4Routing {
             .map(|l| graph.link(l).capacity_mbps * (1.0 - self.config.headroom))
             .collect();
         let mut allocations: Vec<Vec<(Path, f64)>> = vec![Vec::new(); n];
-        let mut remaining: Vec<f64> =
-            tm.aggregates().iter().map(|a| a.volume_mbps).collect();
+        let mut remaining: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
         let stuck = self.fill(cache, tm, &mut residual, &mut allocations, &mut remaining);
 
         // Pass 2 (§6): stragglers may eat into the reserve.
@@ -108,10 +107,7 @@ impl B4Routing {
                 debug_assert!(!allocs.is_empty());
                 let total: f64 = allocs.iter().map(|(_, v)| v).sum();
                 AggregatePlacement {
-                    splits: allocs
-                        .into_iter()
-                        .map(|(p, v)| (p, v / total.max(1e-12)))
-                        .collect(),
+                    splits: allocs.into_iter().map(|(p, v)| (p, v / total.max(1e-12))).collect(),
                 }
             })
             .collect();
@@ -146,7 +142,14 @@ impl B4Routing {
                 current[a] = None;
                 continue;
             }
-            match self.next_usable_path(cache, agg.src, agg.dst, &mut path_rank[a], residual, &has_room) {
+            match self.next_usable_path(
+                cache,
+                agg.src,
+                agg.dst,
+                &mut path_rank[a],
+                residual,
+                &has_room,
+            ) {
                 Some(p) => current[a] = Some(p),
                 None => {
                     stuck.push(a);
@@ -209,7 +212,14 @@ impl B4Routing {
                 }
                 if !has_room(&p, residual) {
                     let agg = &tm.aggregates()[a];
-                    match self.next_usable_path(cache, agg.src, agg.dst, &mut path_rank[a], residual, &has_room) {
+                    match self.next_usable_path(
+                        cache,
+                        agg.src,
+                        agg.dst,
+                        &mut path_rank[a],
+                        residual,
+                        &has_room,
+                    ) {
                         Some(np) => current[a] = Some(np),
                         None => {
                             stuck.push(a);
@@ -363,9 +373,11 @@ mod tests {
         let g = b.add_pop("G", GeoPoint::new(47.69, 17.63));
         let e = b.add_pop("E", GeoPoint::new(47.50, 19.04)); // east hub
         let w = b.add_pop("W", GeoPoint::new(48.15, 17.11)); // west hub
+
         // V's only two links:
         b.connect_with_delay(v, e, 1.0, 100.0); // link 1
         b.connect_with_delay(v, w, 1.0, 100.0); // link 2
+
         // G reachable from both hubs; also a long southern detour E-W.
         b.connect_with_delay(g, e, 1.2, 1000.0);
         b.connect_with_delay(g, w, 1.2, 1000.0);
@@ -412,9 +424,8 @@ mod tests {
         // 190 with 10% headroom: pass 1 caps at 90+90 = 180, leaving 10
         // stuck; pass 2 places the remainder into the reserve.
         let tm = one(190.0);
-        let with = B4Routing::new(B4Config { headroom: 0.1, max_paths: 24 })
-            .place(&topo, &tm)
-            .unwrap();
+        let with =
+            B4Routing::new(B4Config { headroom: 0.1, max_paths: 24 }).place(&topo, &tm).unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &with);
         assert!(ev.fits(), "second pass uses the reserve, no congestion");
     }

@@ -201,10 +201,7 @@ mod tests {
         let sp = ShortestPathRouting.place(&topo, &t).unwrap();
         let ecmp = EcmpRouting.place(&topo, &t).unwrap();
         assert_eq!(ecmp.aggregate(0).splits.len(), 1);
-        assert_eq!(
-            ecmp.aggregate(0).splits[0].0.links(),
-            sp.aggregate(0).splits[0].0.links()
-        );
+        assert_eq!(ecmp.aggregate(0).splits[0].0.links(), sp.aggregate(0).splits[0].0.links());
     }
 
     #[test]

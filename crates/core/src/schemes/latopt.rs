@@ -68,7 +68,8 @@ mod tests {
     #[test]
     fn never_worse_than_sp_on_congestion() {
         let topo = named::abilene();
-        let gen = GravityTmGen::new(TmGenConfig { total_volume_mbps: 60_000.0, ..Default::default() });
+        let gen =
+            GravityTmGen::new(TmGenConfig { total_volume_mbps: 60_000.0, ..Default::default() });
         let tm = gen.generate(&topo, 0);
         let sp = ShortestPathRouting.place(&topo, &tm).unwrap();
         let opt = LatencyOptimal::default().place(&topo, &tm).unwrap();
@@ -81,7 +82,8 @@ mod tests {
     #[test]
     fn headroom_dial_raises_latency_monotonically() {
         let topo = named::gts_like();
-        let gen = GravityTmGen::new(TmGenConfig { total_volume_mbps: 40_000.0, ..Default::default() });
+        let gen =
+            GravityTmGen::new(TmGenConfig { total_volume_mbps: 40_000.0, ..Default::default() });
         let tm = gen.generate(&topo, 1);
         let mut last_stretch = 0.0;
         for h in [0.0, 0.23, 0.4] {

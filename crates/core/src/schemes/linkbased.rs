@@ -70,7 +70,11 @@ impl LinkBasedOptimal {
     /// One commodity per aggregate: variables f[a][l], conservation at
     /// every node per aggregate. O(aggregates × links) variables — the
     /// scaling the paper warns about.
-    fn solve_per_aggregate(&self, graph: &Graph, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+    fn solve_per_aggregate(
+        &self,
+        graph: &Graph,
+        tm: &TrafficMatrix,
+    ) -> Result<Placement, SchemeError> {
         let nl = graph.link_count();
         let na = tm.aggregates().len();
         let mut p = Problem::minimize(na * nl);
@@ -100,7 +104,11 @@ impl LinkBasedOptimal {
         let cap_scale = 1.0 - self.headroom;
         for l in 0..nl {
             let coeffs: Vec<(usize, f64)> = (0..na).map(|a| (var(a, l), 1.0)).collect();
-            p.add_row(Relation::Le, graph.link(LinkId(l as u32)).capacity_mbps * cap_scale, &coeffs);
+            p.add_row(
+                Relation::Le,
+                graph.link(LinkId(l as u32)).capacity_mbps * cap_scale,
+                &coeffs,
+            );
         }
         let sol = match p.solve() {
             Ok(s) => s,
@@ -116,14 +124,19 @@ impl LinkBasedOptimal {
         Ok(Placement::new(per_aggregate))
     }
 
-    fn solve_per_destination(&self, graph: &Graph, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+    fn solve_per_destination(
+        &self,
+        graph: &Graph,
+        tm: &TrafficMatrix,
+    ) -> Result<Placement, SchemeError> {
         let nl = graph.link_count();
 
         // Destinations with demand, and demand per (src, dst).
         let mut dests: Vec<NodeId> = tm.aggregates().iter().map(|a| a.dst).collect();
         dests.sort();
         dests.dedup();
-        let dest_index: HashMap<NodeId, usize> = dests.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        let dest_index: HashMap<NodeId, usize> =
+            dests.iter().enumerate().map(|(i, &d)| (d, i)).collect();
 
         // Variable layout: f[t][l] = var t * nl + l.
         let num_vars = dests.len() * nl;
@@ -212,11 +225,7 @@ fn decompose(
         let Some(path) = lowlat_netgraph::shortest_path(graph, s, t, Some(&mask), None) else {
             break;
         };
-        let bottleneck = path
-            .links()
-            .iter()
-            .map(|&l| flow[l.idx()])
-            .fold(f64::INFINITY, f64::min);
+        let bottleneck = path.links().iter().map(|&l| flow[l.idx()]).fold(f64::INFINITY, f64::min);
         let take = bottleneck.min(remaining);
         for &l in path.links() {
             flow[l.idx()] -= take;
@@ -342,10 +351,8 @@ mod tests {
         ]);
         let lb = LinkBasedOptimal::per_aggregate(0.0).place(&topo, &tm).unwrap();
         let pb = LatencyOptimal::default().place(&topo, &tm).unwrap();
-        let (e1, e2) = (
-            PlacementEval::evaluate(&topo, &tm, &lb),
-            PlacementEval::evaluate(&topo, &tm, &pb),
-        );
+        let (e1, e2) =
+            (PlacementEval::evaluate(&topo, &tm, &lb), PlacementEval::evaluate(&topo, &tm, &pb));
         assert!(
             (e1.latency_stretch() - e2.latency_stretch()).abs() < 1e-4,
             "link {} vs path {}",

@@ -10,7 +10,7 @@ use crate::placement::Placement;
 use crate::schemes::{RoutingScheme, SchemeError};
 
 /// Configuration for [`MinMaxRouting`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct MinMaxConfig {
     /// Cap each aggregate's path set at the k lowest-delay paths, as TeXCP
     /// suggests with k = 10 (Figure 4d). `None` is pure MinMax (Figure 4c).
@@ -18,12 +18,6 @@ pub struct MinMaxConfig {
     /// LP machinery knobs (headroom is ignored: MinMax *is* the maximal
     /// headroom extreme of the §4 dial).
     pub growth: GrowthConfig,
-}
-
-impl Default for MinMaxConfig {
-    fn default() -> Self {
-        MinMaxConfig { k_limit: None, growth: GrowthConfig::default() }
-    }
 }
 
 /// MinMax utilization with latency tie-break.
@@ -87,7 +81,8 @@ mod tests {
     #[test]
     fn minmax_never_congests_when_traffic_fits() {
         let topo = named::gts_like();
-        let gen = GravityTmGen::new(TmGenConfig { total_volume_mbps: 30_000.0, ..Default::default() });
+        let gen =
+            GravityTmGen::new(TmGenConfig { total_volume_mbps: 30_000.0, ..Default::default() });
         let tm = gen.generate(&topo, 0);
         let pl = MinMaxRouting::unrestricted().place(&topo, &tm).unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
@@ -98,7 +93,8 @@ mod tests {
     #[test]
     fn minmax_trades_latency_for_headroom() {
         let topo = named::gts_like();
-        let gen = GravityTmGen::new(TmGenConfig { total_volume_mbps: 30_000.0, ..Default::default() });
+        let gen =
+            GravityTmGen::new(TmGenConfig { total_volume_mbps: 30_000.0, ..Default::default() });
         let tm = gen.generate(&topo, 0);
         let mm = MinMaxRouting::unrestricted().place(&topo, &tm).unwrap();
         let opt = LatencyOptimal::default().place(&topo, &tm).unwrap();
@@ -113,7 +109,8 @@ mod tests {
     #[test]
     fn k_limit_bounds_path_choice() {
         let topo = named::abilene();
-        let gen = GravityTmGen::new(TmGenConfig { total_volume_mbps: 40_000.0, ..Default::default() });
+        let gen =
+            GravityTmGen::new(TmGenConfig { total_volume_mbps: 40_000.0, ..Default::default() });
         let tm = gen.generate(&topo, 2);
         let pl = MinMaxRouting::with_k(2).place(&topo, &tm).unwrap();
         for agg in pl.per_aggregate() {

@@ -114,9 +114,8 @@ impl MplsAutoBandwidth {
             }
             // No path fits the whole LSP: signal it on the shortest path
             // anyway (the congestion the paper measures).
-            let path = chosen.unwrap_or_else(|| {
-                cache.shortest(agg.src, agg.dst).expect("connected topology")
-            });
+            let path = chosen
+                .unwrap_or_else(|| cache.shortest(agg.src, agg.dst).expect("connected topology"));
             for &l in path.links() {
                 residual[l.idx()] -= volume; // may go negative: congestion
             }
@@ -158,7 +157,12 @@ mod tests {
     }
 
     fn agg(s: u32, d: u32, v: f64) -> Aggregate {
-        Aggregate { src: NodeId(s), dst: NodeId(d), volume_mbps: v, flow_count: (v / 5.0) as u64 + 1 }
+        Aggregate {
+            src: NodeId(s),
+            dst: NodeId(d),
+            volume_mbps: v,
+            flow_count: (v / 5.0) as u64 + 1,
+        }
     }
 
     #[test]
@@ -180,8 +184,7 @@ mod tests {
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
         assert!(ev.fits(), "both fit, one detours");
         // One of the two 60s pays the detour in full.
-        let delays: Vec<f64> =
-            pl.per_aggregate().iter().map(|p| p.mean_delay_ms()).collect();
+        let delays: Vec<f64> = pl.per_aggregate().iter().map(|p| p.mean_delay_ms()).collect();
         assert!(delays.iter().any(|&d| d > 2.5), "someone took the slow path: {delays:?}");
     }
 

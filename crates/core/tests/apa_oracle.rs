@@ -28,10 +28,8 @@ fn arb_topology_with_pendants() -> impl Strategy<Value = Topology> {
         }
         for j in 0..pendants {
             let attach = ring[(seed as usize + j * 3) % ring_n];
-            let p = b.add_pop(
-                format!("p{j}"),
-                GeoPoint::new(45.0 + 6.0 + j as f64, -100.0 + j as f64),
-            );
+            let p =
+                b.add_pop(format!("p{j}"), GeoPoint::new(45.0 + 6.0 + j as f64, -100.0 + j as f64));
             b.connect(attach, p, 10_000.0); // pendant cable = bridge
         }
         b.build()

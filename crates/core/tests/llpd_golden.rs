@@ -1,0 +1,97 @@
+//! Golden regression values for the paper's headline metric.
+//!
+//! `LlpdAnalysis::compute` on the named topologies is fully deterministic,
+//! so its output is pinned here exactly: LLPD is the fraction of PoP pairs
+//! whose APA clears the default 0.7 threshold, making `llpd * pairs` an
+//! integer count we can assert without tolerance games. If a refactor moves
+//! any of these numbers, it changed the metric, not just the code — update
+//! the constants only with an explanation of why the new values are more
+//! faithful to the paper.
+
+use lowlat_core::llpd::{LlpdAnalysis, LlpdConfig};
+use lowlat_topology::zoo::named;
+use lowlat_topology::Topology;
+
+struct Golden {
+    name: &'static str,
+    build: fn() -> Topology,
+    /// Unordered PoP pairs (n choose 2).
+    pairs: usize,
+    /// Pairs with APA >= 0.7, i.e. `llpd * pairs`.
+    pairs_above_threshold: usize,
+    /// Mean APA across all pairs.
+    mean_apa: f64,
+}
+
+const GOLDEN: [Golden; 4] = [
+    Golden {
+        name: "abilene",
+        build: named::abilene,
+        pairs: 55,
+        pairs_above_threshold: 21,
+        mean_apa: 0.447_878_787_878_788,
+    },
+    Golden {
+        name: "gts_like",
+        build: named::gts_like,
+        pairs: 325,
+        pairs_above_threshold: 142,
+        mean_apa: 0.543_025_641_025_641,
+    },
+    Golden {
+        name: "cogent_like",
+        build: named::cogent_like,
+        pairs: 325,
+        pairs_above_threshold: 224,
+        mean_apa: 0.739_692_307_692_308,
+    },
+    Golden {
+        name: "google_like",
+        build: named::google_like,
+        pairs: 153,
+        pairs_above_threshold: 118,
+        mean_apa: 0.810_457_516_339_869,
+    },
+];
+
+#[test]
+fn named_topology_llpd_matches_golden_values() {
+    for g in &GOLDEN {
+        let topo = (g.build)();
+        let analysis = LlpdAnalysis::compute(&topo, &LlpdConfig::default());
+        let apa = analysis.apa_values();
+        assert_eq!(apa.len(), g.pairs, "{}: pair count drifted", g.name);
+        let above = apa.iter().filter(|&&a| a >= 0.7).count();
+        assert_eq!(above, g.pairs_above_threshold, "{}: APA threshold count drifted", g.name);
+        let expect_llpd = g.pairs_above_threshold as f64 / g.pairs as f64;
+        assert!(
+            (analysis.llpd() - expect_llpd).abs() < 1e-12,
+            "{}: llpd {} != {}/{}",
+            g.name,
+            analysis.llpd(),
+            g.pairs_above_threshold,
+            g.pairs
+        );
+        let mean: f64 = apa.iter().sum::<f64>() / apa.len() as f64;
+        assert!(
+            (mean - g.mean_apa).abs() < 1e-12,
+            "{}: mean APA {mean:.15} != {:.15}",
+            g.name,
+            g.mean_apa
+        );
+    }
+}
+
+#[test]
+fn llpd_is_stable_across_recomputation() {
+    // The analysis must be a pure function of (topology, config): recompute
+    // and compare bit-for-bit, guarding against latent iteration-order or
+    // caching nondeterminism sneaking into the metric.
+    let topo = named::gts_like();
+    let a = LlpdAnalysis::compute(&topo, &LlpdConfig::default());
+    let b = LlpdAnalysis::compute(&topo, &LlpdConfig::default());
+    assert_eq!(a.llpd().to_bits(), b.llpd().to_bits());
+    for (x, y) in a.apa_values().iter().zip(b.apa_values()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

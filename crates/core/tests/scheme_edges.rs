@@ -98,9 +98,8 @@ fn b4_with_max_paths_one_is_sp_with_overflow() {
         volume_mbps: 150.0,
         flow_count: 1,
     }]);
-    let pl = B4Routing::new(B4Config { max_paths: 1, ..Default::default() })
-        .place(&topo, &tm)
-        .unwrap();
+    let pl =
+        B4Routing::new(B4Config { max_paths: 1, ..Default::default() }).place(&topo, &tm).unwrap();
     let ev = PlacementEval::evaluate(&topo, &tm, &pl);
     // With one path allowed, the 150 lands on the 100-capacity short path.
     assert!(!ev.fits());
@@ -137,13 +136,10 @@ fn path_cache_shared_across_schemes() {
 fn zero_headroom_ldr_equals_latopt() {
     let topo = line3();
     let tm = tm1(60.0);
-    let mut cfg = lowlat_core::schemes::ldr::LdrConfig::default();
-    cfg.static_headroom = 0.0;
+    let cfg = lowlat_core::schemes::ldr::LdrConfig { static_headroom: 0.0, ..Default::default() };
     let ldr = Ldr::new(cfg).place(&topo, &tm).unwrap();
     let lo = LatencyOptimal::default().place(&topo, &tm).unwrap();
-    let (e1, e2) = (
-        PlacementEval::evaluate(&topo, &tm, &ldr),
-        PlacementEval::evaluate(&topo, &tm, &lo),
-    );
+    let (e1, e2) =
+        (PlacementEval::evaluate(&topo, &tm, &ldr), PlacementEval::evaluate(&topo, &tm, &lo));
     assert!((e1.latency_stretch() - e2.latency_stretch()).abs() < 1e-9);
 }

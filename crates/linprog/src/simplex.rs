@@ -333,7 +333,7 @@ impl<'a> Engine<'a> {
                 }
             }
 
-            if self.iterations % self.opts.refactor_every == 0 {
+            if self.iterations.is_multiple_of(self.opts.refactor_every) {
                 self.refactorize()?;
             }
         }
@@ -392,7 +392,15 @@ impl<'a> Engine<'a> {
     /// Applies a basis-changing pivot: variable `j` enters moving `theta`
     /// from its current bound (direction `sign`), the basic variable in
     /// `row` leaves at lower (0) or upper bound.
-    fn pivot(&mut self, j: usize, r: usize, theta: f64, sign: f64, from_upper: bool, leave_at_upper: bool) {
+    fn pivot(
+        &mut self,
+        j: usize,
+        r: usize,
+        theta: f64,
+        sign: f64,
+        from_upper: bool,
+        leave_at_upper: bool,
+    ) {
         let m = self.m;
         let wr = self.scratch_w[r];
         debug_assert!(wr.abs() > 1e-12, "pivot on ~zero element");
@@ -610,7 +618,8 @@ pub(crate) fn solve_standard_form(
         return Ok(Solution { x, objective, iterations: 0 });
     }
 
-    let max_iter = if opts.max_iterations == 0 { 20_000 + 100 * (m + n) } else { opts.max_iterations };
+    let max_iter =
+        if opts.max_iterations == 0 { 20_000 + 100 * (m + n) } else { opts.max_iterations };
     let mut eng = Engine::new(sf, opts.clone());
 
     if eng.has_artificials() {
@@ -624,13 +633,8 @@ pub(crate) fn solve_standard_form(
             }
             Err(e) => return Err(e),
         }
-        let art_sum: f64 = eng
-            .basis
-            .iter()
-            .zip(&eng.xb)
-            .filter(|(&j, _)| j >= art_start)
-            .map(|(_, &v)| v)
-            .sum();
+        let art_sum: f64 =
+            eng.basis.iter().zip(&eng.xb).filter(|(&j, _)| j >= art_start).map(|(_, &v)| v).sum();
         let scale = 1.0 + sf.b.iter().map(|v| v.abs()).fold(0.0, f64::max);
         if art_sum > 1e-7 * scale {
             return Err(LpError::Infeasible);

@@ -12,7 +12,8 @@ fn iteration_limit_is_reported() {
         p.set_objective(j, -1.0);
     }
     for r in 0..6 {
-        let coeffs: Vec<(usize, f64)> = (0..6).map(|j| (j, if j == r { 2.0 } else { 1.0 })).collect();
+        let coeffs: Vec<(usize, f64)> =
+            (0..6).map(|j| (j, if j == r { 2.0 } else { 1.0 })).collect();
         p.add_row(Relation::Le, 10.0, &coeffs);
     }
     let opts = SolverOptions { max_iterations: 1, ..Default::default() };
@@ -96,7 +97,7 @@ fn moderately_large_random_feasible_lp() {
             .collect();
         let rhs = 10.0 + next().abs() * 10.0;
         p.add_row(Relation::Le, rhs, &coeffs);
-        rows.push(coeffs.into_iter().map(|(j, v)| (j, v)).collect());
+        rows.push(coeffs.into_iter().collect());
     }
     let s = p.solve().expect("feasible by construction");
     for j in 0..n {

@@ -31,9 +31,7 @@ fn arb_tiny_lp() -> impl Strategy<Value = TinyLp> {
             c: c.into_iter().map(|v| v as f64).collect(),
             rows: rows
                 .into_iter()
-                .map(|(co, rel, rhs)| {
-                    (co.into_iter().map(|v| v as f64).collect(), rel, rhs as f64)
-                })
+                .map(|(co, rel, rhs)| (co.into_iter().map(|v| v as f64).collect(), rel, rhs as f64))
                 .collect(),
         })
     })
@@ -46,8 +44,12 @@ impl TinyLp {
             p.set_objective(j, cj);
         }
         for (coeffs, rel, rhs) in &self.rows {
-            let sparse: Vec<(usize, f64)> =
-                coeffs.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(j, &v)| (j, v)).collect();
+            let sparse: Vec<(usize, f64)> = coeffs
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(j, &v)| (j, v))
+                .collect();
             p.add_row(*rel, *rhs, &sparse);
         }
         if bounding_box > 0.0 {

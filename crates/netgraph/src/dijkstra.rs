@@ -98,8 +98,8 @@ pub fn shortest_path_tree(
     let mut dist = vec![f64::INFINITY; n];
     let mut parent: Vec<Option<LinkId>> = vec![None; n];
     let mut done = vec![false; n];
-    let masked_node = |v: NodeId| node_mask.map_or(false, |m| m.contains(v.idx()));
-    let masked_link = |l: LinkId| link_mask.map_or(false, |m| m.contains(l.idx()));
+    let masked_node = |v: NodeId| node_mask.is_some_and(|m| m.contains(v.idx()));
+    let masked_link = |l: LinkId| link_mask.is_some_and(|m| m.contains(l.idx()));
 
     if !masked_node(source) {
         dist[source.idx()] = 0.0;
@@ -123,7 +123,7 @@ pub fn shortest_path_tree(
                 // Strict improvement or deterministic tie-break on link id so
                 // equal-delay graphs always produce the same tree.
                 if nd < dist[v] - 1e-15
-                    || (nd <= dist[v] + 1e-15 && parent[v].map_or(false, |pl| l < pl) && !done[v])
+                    || (nd <= dist[v] + 1e-15 && parent[v].is_some_and(|pl| l < pl) && !done[v])
                 {
                     dist[v] = nd;
                     parent[v] = Some(l);
@@ -149,10 +149,7 @@ pub fn shortest_path(
 /// All-pairs shortest delays (ms) via repeated Dijkstra; `INFINITY` where
 /// unreachable. Row = source.
 pub fn all_pairs_delays(graph: &Graph) -> Vec<Vec<f64>> {
-    graph
-        .nodes()
-        .map(|s| shortest_path_tree(graph, s, None, None).dist_ms)
-        .collect()
+    graph.nodes().map(|s| shortest_path_tree(graph, s, None, None).dist_ms).collect()
 }
 
 #[cfg(test)]

@@ -111,16 +111,14 @@ impl Graph {
     /// Finds the directed link from `src` to `dst` with the smallest delay,
     /// if any (multigraphs may have parallel links).
     pub fn find_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.out[src.idx()]
-            .iter()
-            .copied()
-            .filter(|&l| self.links[l.idx()].dst == dst)
-            .min_by(|&a, &b| {
+        self.out[src.idx()].iter().copied().filter(|&l| self.links[l.idx()].dst == dst).min_by(
+            |&a, &b| {
                 self.links[a.idx()]
                     .delay_ms
                     .partial_cmp(&self.links[b.idx()].delay_ms)
                     .expect("delays are finite")
-            })
+            },
+        )
     }
 
     /// The reverse link (same endpoints, opposite direction) with the
@@ -138,10 +136,7 @@ impl Graph {
     /// Minimum capacity over the given links; `f64::INFINITY` for the empty
     /// slice (an empty path has no bottleneck).
     pub fn path_bottleneck(&self, links: &[LinkId]) -> f64 {
-        links
-            .iter()
-            .map(|&l| self.links[l.idx()].capacity_mbps)
-            .fold(f64::INFINITY, f64::min)
+        links.iter().map(|&l| self.links[l.idx()].capacity_mbps).fold(f64::INFINITY, f64::min)
     }
 
     /// True if every node can reach every other node (strong connectivity),
@@ -197,7 +192,13 @@ impl GraphBuilder {
     /// Panics on out-of-range endpoints, self-loops, non-finite or negative
     /// delay, or non-positive capacity — these are construction bugs, not
     /// runtime conditions.
-    pub fn add_link(&mut self, src: NodeId, dst: NodeId, delay_ms: f64, capacity_mbps: f64) -> LinkId {
+    pub fn add_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        delay_ms: f64,
+        capacity_mbps: f64,
+    ) -> LinkId {
         assert!(src.idx() < self.node_count, "src {src:?} out of range");
         assert!(dst.idx() < self.node_count, "dst {dst:?} out of range");
         assert!(src != dst, "self-loops are not meaningful in a PoP topology");

@@ -228,7 +228,8 @@ mod tests {
     fn exact_path_set_on_diamond() {
         let g = diamond();
         let mut gen = KspGenerator::new(&g, NodeId(0), NodeId(3));
-        let delays: Vec<f64> = std::iter::from_fn(|| gen.next_path().map(|p| p.delay_ms())).collect();
+        let delays: Vec<f64> =
+            std::iter::from_fn(|| gen.next_path().map(|p| p.delay_ms())).collect();
         // 0-1-3 = 2.0; 0-1-2-3 = 1+0.5+2 = 3.5; 0-2-3 = 4.0; 0-2-1-3 = 2+0.5+1 = 3.5
         assert_eq!(delays.len(), 4);
         assert_eq!(delays[0], 2.0);

@@ -13,7 +13,13 @@ use lowlat_netgraph::{
 /// A random strongly-connectable graph: a duplex ring (guaranteeing strong
 /// connectivity) plus random duplex chords.
 fn arb_graph(max_nodes: usize, max_extra: usize) -> impl Strategy<Value = Graph> {
-    (3..=max_nodes, proptest::collection::vec((any::<u32>(), any::<u32>(), 1u32..1000, 1u32..1000), 0..max_extra))
+    (
+        3..=max_nodes,
+        proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), 1u32..1000, 1u32..1000),
+            0..max_extra,
+        ),
+    )
         .prop_map(|(n, extras)| {
             let mut b = GraphBuilder::new(n);
             for i in 0..n {
@@ -24,12 +30,7 @@ fn arb_graph(max_nodes: usize, max_extra: usize) -> impl Strategy<Value = Graph>
                 let u = (x as usize) % n;
                 let v = (y as usize) % n;
                 if u != v {
-                    b.add_duplex(
-                        NodeId(u as u32),
-                        NodeId(v as u32),
-                        d as f64 / 10.0,
-                        c as f64,
-                    );
+                    b.add_duplex(NodeId(u as u32), NodeId(v as u32), d as f64 / 10.0, c as f64);
                 }
             }
             b.build()
@@ -60,7 +61,14 @@ fn bellman_ford(g: &Graph, s: NodeId) -> Vec<f64> {
 
 /// Exhaustive loopless path enumeration (for tiny graphs only).
 fn all_loopless_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<f64> {
-    fn rec(g: &Graph, at: NodeId, t: NodeId, visited: &mut Vec<bool>, delay: f64, out: &mut Vec<f64>) {
+    fn rec(
+        g: &Graph,
+        at: NodeId,
+        t: NodeId,
+        visited: &mut Vec<bool>,
+        delay: f64,
+        out: &mut Vec<f64>,
+    ) {
         if at == t {
             out.push(delay);
             return;

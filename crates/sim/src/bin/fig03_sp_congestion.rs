@@ -5,5 +5,8 @@
 fn main() {
     let scale = lowlat_sim::runner::Scale::from_args();
     let series = lowlat_sim::figures::fig03_sp::run(scale);
-    lowlat_sim::figures::emit("Figure 3: congested-pair fraction vs LLPD under shortest-path routing", &series);
+    lowlat_sim::figures::emit(
+        "Figure 3: congested-pair fraction vs LLPD under shortest-path routing",
+        &series,
+    );
 }

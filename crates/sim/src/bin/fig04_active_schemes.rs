@@ -5,5 +5,8 @@
 fn main() {
     let scale = lowlat_sim::runner::Scale::from_args();
     let series = lowlat_sim::figures::fig04_schemes::run(scale);
-    lowlat_sim::figures::emit("Figure 4: congestion + latency stretch vs LLPD (LatOpt, B4, MinMax, MinMaxK10)", &series);
+    lowlat_sim::figures::emit(
+        "Figure 4: congestion + latency stretch vs LLPD (LatOpt, B4, MinMax, MinMaxK10)",
+        &series,
+    );
 }

@@ -5,5 +5,8 @@
 fn main() {
     let scale = lowlat_sim::runner::Scale::from_args();
     let series = lowlat_sim::figures::fig07_util::run(scale);
-    lowlat_sim::figures::emit("Figure 7: link-utilization CDF on GTS-like (LatOpt vs MinMax)", &series);
+    lowlat_sim::figures::emit(
+        "Figure 7: link-utilization CDF on GTS-like (LatOpt vs MinMax)",
+        &series,
+    );
 }

@@ -5,5 +5,8 @@
 fn main() {
     let scale = lowlat_sim::runner::Scale::from_args();
     let series = lowlat_sim::figures::fig08_headroom::run(scale);
-    lowlat_sim::figures::emit("Figure 8: median latency stretch vs LLPD as headroom rises", &series);
+    lowlat_sim::figures::emit(
+        "Figure 8: median latency stretch vs LLPD as headroom rises",
+        &series,
+    );
 }

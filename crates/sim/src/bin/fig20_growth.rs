@@ -5,5 +5,8 @@
 fn main() {
     let scale = lowlat_sim::runner::Scale::from_args();
     let series = lowlat_sim::figures::fig20_growth::run(scale);
-    lowlat_sim::figures::emit("Figure 20: latency stretch before vs after LLPD-guided growth", &series);
+    lowlat_sim::figures::emit(
+        "Figure 20: latency stretch before vs after LLPD-guided growth",
+        &series,
+    );
 }

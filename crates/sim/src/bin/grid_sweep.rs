@@ -44,8 +44,7 @@ fn main() {
                 i += 1;
             }
             "--locality" => {
-                locality =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).expect("--locality <f64>");
+                locality = args.get(i + 1).and_then(|v| v.parse().ok()).expect("--locality <f64>");
                 i += 1;
             }
             "--schemes" => {

@@ -10,8 +10,8 @@ use std::path::PathBuf;
 
 use lowlat_core::llpd::LlpdConfig;
 use lowlat_sim::runner::llpd_map;
-use lowlat_topology::zoo::{synthetic_zoo, ZooClass};
 use lowlat_topology::to_text;
+use lowlat_topology::zoo::{synthetic_zoo, ZooClass};
 
 fn main() -> std::io::Result<()> {
     let dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "zoo-export".into()).into();

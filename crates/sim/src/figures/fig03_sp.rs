@@ -2,7 +2,7 @@
 //! routing (median and 90th percentile across matrices).
 
 use crate::output::Series;
-use crate::runner::{run_grid, by_llpd, RunGrid, Scale, SchemeKind};
+use crate::runner::{by_llpd, run_grid, RunGrid, Scale, SchemeKind};
 
 /// Two series over (llpd, congested-pair fraction): median and p90.
 pub fn run(scale: Scale) -> Vec<Series> {

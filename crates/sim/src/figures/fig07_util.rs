@@ -17,7 +17,8 @@ use crate::stats::Cdf;
 /// latency-optimal routing.
 pub fn run(_scale: Scale) -> Vec<Series> {
     let topo = lowlat_topology::zoo::named::gts_like();
-    let tm = GravityTmGen::new(TmGenConfig::default()).generate(&topo, 0).scaled_to_load(&topo, 0.7);
+    let tm =
+        GravityTmGen::new(TmGenConfig::default()).generate(&topo, 0).scaled_to_load(&topo, 0.7);
     let mut out = Vec::new();
     for (name, placement) in [
         ("Latency-optimal", LatencyOptimal::default().place(&topo, &tm).expect("latopt")),

@@ -41,10 +41,7 @@ mod tests {
         let avg = |s: &Series| s.points.iter().map(|p| p.1).sum::<f64>() / s.points.len() as f64;
         // Monotone in headroom on average.
         for w in series.windows(2) {
-            assert!(
-                avg(&w[1]) >= avg(&w[0]) - 1e-6,
-                "stretch should not drop as headroom grows"
-            );
+            assert!(avg(&w[1]) >= avg(&w[0]) - 1e-6, "stretch should not drop as headroom grows");
         }
         // The paper's observation: moderate headroom costs little delay.
         assert!(

@@ -41,11 +41,7 @@ mod tests {
         let series = run(Scale::Quick);
         let pts = &series[0].points;
         // Fraction of ratios <= 1.0 (i.e. measured within prediction).
-        let below_one = pts
-            .iter()
-            .filter(|p| p.0 <= 1.0)
-            .map(|p| p.1)
-            .fold(0.0f64, f64::max);
+        let below_one = pts.iter().filter(|p| p.0 <= 1.0).map(|p| p.1).fold(0.0f64, f64::max);
         assert!(below_one > 0.95, "overshoot must be rare, got {below_one}");
         // And the bulk of mass sits near 1/1.1 ≈ 0.91.
         let (lo, hi) = (pts[0].0, pts.last().unwrap().0);

@@ -89,10 +89,7 @@ mod tests {
         };
         let warm = median("LDR");
         let lb = median("LinkBased");
-        assert!(
-            lb > 3.0 * warm,
-            "link-based should be far slower: {lb:.1} ms vs {warm:.1} ms"
-        );
+        assert!(lb > 3.0 * warm, "link-based should be far slower: {lb:.1} ms vs {warm:.1} ms");
         // Warm cache never slower than cold on the median.
         assert!(median("LDR") <= median("LDR-cold") * 1.5 + 5.0);
     }

@@ -46,11 +46,8 @@ pub fn run(scale: Scale, panel: Panel) -> Vec<Series> {
             let all: Vec<&crate::runner::RunRecord> =
                 records.iter().filter(|r| r.scheme == name).collect();
             let total = all.len().max(1);
-            let mut fitting: Vec<f64> = all
-                .iter()
-                .filter(|r| r.fits)
-                .map(|r| r.max_flow_stretch)
-                .collect();
+            let mut fitting: Vec<f64> =
+                all.iter().filter(|r| r.fits).map(|r| r.max_flow_stretch).collect();
             fitting.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             let pts = fitting
                 .iter()

@@ -9,7 +9,7 @@ use crate::runner::{by_llpd, run_grid, RunGrid, Scale, SchemeKind};
 pub fn run(scale: Scale) -> Vec<Series> {
     let mut series = super::fig03_sp::run(scale);
     let google = lowlat_topology::zoo::named::google_like();
-    let llpd = crate::runner::llpd_map(&[google.clone()], &Default::default())[0];
+    let llpd = crate::runner::llpd_map(std::slice::from_ref(&google), &Default::default())[0];
     let grid = RunGrid {
         load: 0.7,
         locality: 1.0,

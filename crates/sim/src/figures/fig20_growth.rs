@@ -6,7 +6,7 @@ use lowlat_core::growth::{grow_by_llpd, GrowthPlanConfig};
 use lowlat_topology::Topology;
 
 use crate::output::Series;
-use crate::runner::{run_grid, RunGrid, Scale, SchemeKind};
+use crate::runner::{run_grid, run_grid_replay, RunGrid, Scale, SchemeKind};
 use crate::stats::{median_of, quantile_of};
 
 /// Picks hard-to-route networks: high median latency stretch under the
@@ -39,10 +39,8 @@ pub fn run(scale: Scale) -> Vec<Series> {
         _ => 4,
     };
     let originals = hard_networks(scale, count);
-    let grown: Vec<Topology> = originals
-        .iter()
-        .map(|t| grow_by_llpd(t, &GrowthPlanConfig::default()).topology)
-        .collect();
+    let grown: Vec<Topology> =
+        originals.iter().map(|t| grow_by_llpd(t, &GrowthPlanConfig::default()).topology).collect();
 
     let schemes = [
         SchemeKind::Ldr { headroom: 0.1 },
@@ -57,7 +55,10 @@ pub fn run(scale: Scale) -> Vec<Series> {
         schemes: schemes.to_vec(),
     };
     let before = run_grid(&originals, &grid);
-    let after = run_grid(&grown, &grid);
+    // Replay the *same* matrices on the grown topologies: growth raises the
+    // min-cut, so re-scaling on the grown network would inflate the load and
+    // bury the latency benefit the figure is about.
+    let after = run_grid_replay(&grown, &originals, &grid);
 
     let mut out = Vec::new();
     for scheme in &schemes {

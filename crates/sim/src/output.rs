@@ -30,11 +30,7 @@ pub fn print_tsv(header: &str, series: &[Series], mut out: impl Write) -> std::i
     let aligned = series.len() > 1
         && series.windows(2).all(|w| {
             w[0].points.len() == w[1].points.len()
-                && w[0]
-                    .points
-                    .iter()
-                    .zip(&w[1].points)
-                    .all(|(a, b)| (a.0 - b.0).abs() < 1e-12)
+                && w[0].points.iter().zip(&w[1].points).all(|(a, b)| (a.0 - b.0).abs() < 1e-12)
         });
     if aligned {
         let names: Vec<&str> = series.iter().map(|s| s.name.as_str()).collect();

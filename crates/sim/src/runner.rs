@@ -124,30 +124,31 @@ impl SchemeKind {
     fn run(&self, cache: &PathCache<'_>, topo: &Topology, tm: &TrafficMatrix) -> Option<Placement> {
         match self {
             SchemeKind::Sp => ShortestPathRouting.place_with_cache(cache, tm).ok(),
-            SchemeKind::B4 { headroom } => B4Routing::new(B4Config { headroom: *headroom, ..Default::default() })
-                .place_with_cache(cache, tm)
-                .ok(),
-            SchemeKind::MinMax => MinMaxRouting::unrestricted()
-                .solve_with_cache(cache, tm)
-                .ok()
-                .map(|o| o.placement),
-            SchemeKind::MinMaxK(k) => MinMaxRouting::with_k(*k)
-                .solve_with_cache(cache, tm)
-                .ok()
-                .map(|o| o.placement),
+            SchemeKind::B4 { headroom } => {
+                B4Routing::new(B4Config { headroom: *headroom, ..Default::default() })
+                    .place_with_cache(cache, tm)
+                    .ok()
+            }
+            SchemeKind::MinMax => {
+                MinMaxRouting::unrestricted().solve_with_cache(cache, tm).ok().map(|o| o.placement)
+            }
+            SchemeKind::MinMaxK(k) => {
+                MinMaxRouting::with_k(*k).solve_with_cache(cache, tm).ok().map(|o| o.placement)
+            }
             SchemeKind::LatOpt { headroom } => LatencyOptimal::with_headroom(*headroom)
                 .solve_with_cache(cache, tm)
                 .ok()
                 .map(|o| o.placement),
             SchemeKind::Ldr { headroom } => {
-                let mut cfg = lowlat_core::schemes::ldr::LdrConfig::default();
-                cfg.static_headroom = *headroom;
+                let cfg = lowlat_core::schemes::ldr::LdrConfig {
+                    static_headroom: *headroom,
+                    ..Default::default()
+                };
                 Ldr::new(cfg).place_with_cache(cache, tm).ok()
             }
         }
-        .map(|p| {
+        .inspect(|p| {
             debug_assert!(p.validate(topo.graph(), tm).is_ok());
-            p
         })
     }
 }
@@ -198,9 +199,9 @@ pub fn llpd_map(networks: &[Topology], config: &LlpdConfig) -> Vec<f64> {
     let results: Vec<Mutex<f64>> = networks.iter().map(|_| Mutex::new(0.0)).collect();
     let next = AtomicUsize::new(0);
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers.min(networks.len()) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= networks.len() {
                     break;
@@ -209,42 +210,68 @@ pub fn llpd_map(networks: &[Topology], config: &LlpdConfig) -> Vec<f64> {
                 *results[i].lock().expect("poisoned") = llpd;
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results.into_iter().map(|m| m.into_inner().expect("poisoned")).collect()
 }
 
 /// Runs the grid over the given networks, parallel across networks.
 pub fn run_grid(networks: &[Topology], grid: &RunGrid) -> Vec<RunRecord> {
+    run_grid_replay(networks, networks, grid)
+}
+
+/// As [`run_grid`], but generates and scales each network's traffic on the
+/// matching `traffic_from` topology instead of the network itself. This is
+/// the Figure-20 replay: growing a topology raises its min-cut, so scaling
+/// on the *grown* network would quietly increase the offered load; the
+/// before/after comparison is only meaningful when the very same matrices
+/// are re-routed over the new links.
+pub fn run_grid_replay(
+    networks: &[Topology],
+    traffic_from: &[Topology],
+    grid: &RunGrid,
+) -> Vec<RunRecord> {
+    assert_eq!(networks.len(), traffic_from.len());
     let llpds = llpd_map(networks, &LlpdConfig::default());
     let all: Vec<Mutex<Vec<RunRecord>>> = networks.iter().map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers.min(networks.len()) {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= networks.len() {
                     break;
                 }
-                let records = run_network(&networks[i], llpds[i], grid);
+                let records = run_network_replay(&networks[i], &traffic_from[i], llpds[i], grid);
                 *all[i].lock().expect("poisoned") = records;
             });
         }
-    })
-    .expect("worker panicked");
+    });
     all.into_iter().flat_map(|m| m.into_inner().expect("poisoned")).collect()
 }
 
 /// Runs one network's share of the grid (sequential; parallelism lives one
 /// level up).
 pub fn run_network(topo: &Topology, llpd: f64, grid: &RunGrid) -> Vec<RunRecord> {
+    run_network_replay(topo, topo, llpd, grid)
+}
+
+/// As [`run_network`], with traffic generated and scaled on `traffic_from`
+/// (see [`run_grid_replay`]). Both topologies must share the same PoP set.
+pub fn run_network_replay(
+    topo: &Topology,
+    traffic_from: &Topology,
+    llpd: f64,
+    grid: &RunGrid,
+) -> Vec<RunRecord> {
+    assert_eq!(topo.pop_count(), traffic_from.pop_count(), "replay needs matching PoP sets");
     let mut records = Vec::new();
     let gen = GravityTmGen::new(TmGenConfig { locality: grid.locality, ..Default::default() });
+    let scale_cache = PathCache::new(traffic_from.graph());
     let cache = PathCache::new(topo.graph());
     for tm_index in 0..grid.tms_per_network {
-        let raw = gen.generate(topo, tm_index);
-        let Ok(u0) = min_cut_load_with_cache(&cache, &raw) else {
+        let raw = gen.generate(traffic_from, tm_index);
+        let Ok(u0) = min_cut_load_with_cache(&scale_cache, &raw) else {
             continue; // LP failure: skip this matrix, keep the run alive
         };
         if u0 <= 0.0 {
@@ -292,9 +319,7 @@ pub fn by_llpd(
     let mut out: Vec<(f64, f64, f64)> = groups
         .into_values()
         .filter(|(_, v)| !v.is_empty())
-        .map(|(llpd, v)| {
-            (llpd, crate::stats::median_of(&v), crate::stats::quantile_of(&v, 0.9))
-        })
+        .map(|(llpd, v)| (llpd, crate::stats::median_of(&v), crate::stats::quantile_of(&v, 0.9)))
         .collect();
     out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite LLPD"));
     out

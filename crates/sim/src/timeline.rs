@@ -72,7 +72,8 @@ impl TimelineOutcome {
 
     /// Mean latency stretch across minutes.
     pub fn mean_stretch(&self) -> f64 {
-        self.minutes.iter().map(|m| m.latency_stretch).sum::<f64>() / self.minutes.len().max(1) as f64
+        self.minutes.iter().map(|m| m.latency_stretch).sum::<f64>()
+            / self.minutes.len().max(1) as f64
     }
 
     /// Minutes with any queueing above the threshold.
@@ -182,9 +183,8 @@ mod tests {
 
     fn setup() -> (Topology, TrafficMatrix) {
         let topo = named::abilene();
-        let tm = GravityTmGen::new(TmGenConfig::default())
-            .generate(&topo, 0)
-            .scaled_to_load(&topo, 0.7);
+        let tm =
+            GravityTmGen::new(TmGenConfig::default()).generate(&topo, 0).scaled_to_load(&topo, 0.7);
         (topo, tm)
     }
 

@@ -70,7 +70,9 @@ impl GravityTmGen {
     /// `(config.seed, index)`).
     pub fn generate(&self, topology: &Topology, index: u64) -> TrafficMatrix {
         let n = topology.pop_count();
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(index));
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(index),
+        );
         let masses = zipf_masses(n, self.config.zipf_alpha, &mut rng);
 
         // Gravity: volume(s,d) ∝ mass_s * mass_d, diagonal excluded, then

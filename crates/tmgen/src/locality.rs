@@ -70,9 +70,7 @@ pub fn apply_locality(topology: &Topology, volumes: &[Vec<f64>], locality: f64) 
         }
     }
 
-    let sol = p
-        .solve()
-        .expect("locality LP is always feasible: the base volumes satisfy it");
+    let sol = p.solve().expect("locality LP is always feasible: the base volumes satisfy it");
     let mut out = vec![vec![0.0; n]; n];
     for (j, &(s, d)) in pairs.iter().enumerate() {
         out[s][d] = sol.value(j);

@@ -123,14 +123,23 @@ pub fn from_text(text: &str) -> Result<Topology, ParseError> {
         match fields[0] {
             "name" => {
                 if fields.len() != 2 {
-                    return Err(err(line_no, ParseErrorKind::FieldCount { expected: "name <id>", got: fields.len() }));
+                    return Err(err(
+                        line_no,
+                        ParseErrorKind::FieldCount { expected: "name <id>", got: fields.len() },
+                    ));
                 }
                 name = Some(fields[1].to_string());
                 builder = Some(TopologyBuilder::new(fields[1]));
             }
             "pop" => {
                 if fields.len() != 4 {
-                    return Err(err(line_no, ParseErrorKind::FieldCount { expected: "pop <id> <lat> <lon>", got: fields.len() }));
+                    return Err(err(
+                        line_no,
+                        ParseErrorKind::FieldCount {
+                            expected: "pop <id> <lat> <lon>",
+                            got: fields.len(),
+                        },
+                    ));
                 }
                 let b = builder
                     .as_mut()
@@ -146,11 +155,17 @@ pub fn from_text(text: &str) -> Result<Topology, ParseError> {
             }
             "cable" => {
                 if !(4..=5).contains(&fields.len()) {
-                    return Err(err(line_no, ParseErrorKind::FieldCount { expected: "cable <a> <b> <mbps> [delay_ms]", got: fields.len() }));
+                    return Err(err(
+                        line_no,
+                        ParseErrorKind::FieldCount {
+                            expected: "cable <a> <b> <mbps> [delay_ms]",
+                            got: fields.len(),
+                        },
+                    ));
                 }
-                let b = builder
-                    .as_mut()
-                    .ok_or_else(|| err(line_no, ParseErrorKind::Incomplete("name before cables")))?;
+                let b = builder.as_mut().ok_or_else(|| {
+                    err(line_no, ParseErrorKind::Incomplete("name before cables"))
+                })?;
                 let a = *pops
                     .get(fields[1])
                     .ok_or_else(|| err(line_no, ParseErrorKind::UnknownPop(fields[1].into())))?;
@@ -271,13 +286,13 @@ mod tests {
     #[test]
     fn error_reporting() {
         let cases: Vec<(&str, usize)> = vec![
-            ("name t\nfrob A\n", 2),                              // unknown directive
-            ("name t\npop A 10\n", 2),                            // field count
-            ("name t\npop A ten 20\n", 2),                        // bad number
-            ("name t\npop A 10 20\ncable A B 100\n", 3),          // unknown pop
-            ("name t\npop A 10 20\npop A 11 21\n", 3),            // duplicate pop
-            ("pop A 10 20\n", 1),                                 // pops before name
-            ("name t\npop A 99 20\n", 2),                         // latitude range
+            ("name t\nfrob A\n", 2),                                // unknown directive
+            ("name t\npop A 10\n", 2),                              // field count
+            ("name t\npop A ten 20\n", 2),                          // bad number
+            ("name t\npop A 10 20\ncable A B 100\n", 3),            // unknown pop
+            ("name t\npop A 10 20\npop A 11 21\n", 3),              // duplicate pop
+            ("pop A 10 20\n", 1),                                   // pops before name
+            ("name t\npop A 99 20\n", 2),                           // latitude range
             ("name t\npop A 10 20\npop B 11 21\ncable A B 0\n", 4), // zero capacity
         ];
         for (text, line) in cases {
@@ -288,10 +303,7 @@ mod tests {
 
     #[test]
     fn incomplete_and_disconnected() {
-        assert!(matches!(
-            from_text("").unwrap_err().kind,
-            ParseErrorKind::Incomplete(_)
-        ));
+        assert!(matches!(from_text("").unwrap_err().kind, ParseErrorKind::Incomplete(_)));
         assert!(matches!(
             from_text("name t\npop A 10 20\npop B 11 21\n").unwrap_err().kind,
             ParseErrorKind::Incomplete(_)

@@ -147,10 +147,7 @@ impl Topology {
     /// Cable-level view: one entry per duplex pair, represented by the
     /// direction with the smaller link id.
     pub fn cables(&self) -> Vec<LinkId> {
-        self.graph
-            .link_ids()
-            .filter(|&l| l.idx() <= self.reverse[l.idx()].idx())
-            .collect()
+        self.graph.link_ids().filter(|&l| l.idx() <= self.reverse[l.idx()].idx()).collect()
     }
 
     /// Sum of capacity over directed links (Mbps).
@@ -171,7 +168,12 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Starts a topology with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        TopologyBuilder { name: name.into(), pop_names: Vec::new(), locations: Vec::new(), cables: Vec::new() }
+        TopologyBuilder {
+            name: name.into(),
+            pop_names: Vec::new(),
+            locations: Vec::new(),
+            cables: Vec::new(),
+        }
     }
 
     /// Adds a PoP and returns its id.
@@ -288,7 +290,10 @@ mod tests {
     #[test]
     fn geographic_delays() {
         let t = tri();
-        let l = t.graph().find_link(t.pop_by_name("Vienna").unwrap(), t.pop_by_name("Budapest").unwrap()).unwrap();
+        let l = t
+            .graph()
+            .find_link(t.pop_by_name("Vienna").unwrap(), t.pop_by_name("Budapest").unwrap())
+            .unwrap();
         // Vienna-Budapest ~215 km => ~1.08 ms.
         let d = t.graph().link(l).delay_ms;
         assert!((d - 1.08).abs() < 0.1, "got {d}");

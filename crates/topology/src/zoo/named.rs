@@ -96,6 +96,7 @@ pub fn gts_like() -> Topology {
         // Czech core
         (prague, brno, TRUNK),
         (prague, plzen, SPUR),
+        (plzen, nuremberg, SPUR),
         (prague, dresden, TRUNK),
         (brno, ostrava, TRUNK),
         (brno, vienna, TRUNK),
@@ -505,11 +506,7 @@ mod tests {
         assert!(t.diameter_ms() > 80.0, "global reach");
         // Every PoP should have degree >= 3 (cable-level).
         for p in t.graph().nodes() {
-            assert!(
-                t.graph().out_links(p).len() >= 3,
-                "{} has degree < 3",
-                t.pop_name(p)
-            );
+            assert!(t.graph().out_links(p).len() >= 3, "{} has degree < 3", t.pop_name(p));
         }
     }
 }

@@ -25,11 +25,7 @@ fn corpus_invariants() {
         // Capacities come from the published tiers.
         for l in t.graph().link_ids() {
             let c = t.graph().link(l).capacity_mbps;
-            assert!(
-                zoo::CAPACITY_TIERS.contains(&c),
-                "{}: capacity {c} not in tiers",
-                t.name()
-            );
+            assert!(zoo::CAPACITY_TIERS.contains(&c), "{}: capacity {c} not in tiers", t.name());
         }
         // Delays consistent with geography: no link faster than light in
         // fibre between its endpoints (floor tolerated).

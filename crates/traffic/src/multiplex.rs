@@ -94,8 +94,7 @@ impl MultiplexCheck {
         assert!(len > 0, "empty sample series");
 
         // Fast path: sum of peaks fits.
-        let sum_of_peaks: f64 =
-            series.iter().map(|s| s.iter().cloned().fold(0.0, f64::max)).sum();
+        let sum_of_peaks: f64 = series.iter().map(|s| s.iter().cloned().fold(0.0, f64::max)).sum();
         if sum_of_peaks <= capacity_mbps {
             return Verdict::Pass;
         }

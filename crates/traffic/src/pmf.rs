@@ -105,10 +105,7 @@ pub fn convolve_group(sample_sets: &[&[f64]], levels: usize) -> Option<Pmf> {
     if sample_sets.is_empty() {
         return None;
     }
-    let sum_of_peaks: f64 = sample_sets
-        .iter()
-        .map(|s| s.iter().cloned().fold(0.0, f64::max))
-        .sum();
+    let sum_of_peaks: f64 = sample_sets.iter().map(|s| s.iter().cloned().fold(0.0, f64::max)).sum();
     if sum_of_peaks <= 0.0 {
         return None;
     }

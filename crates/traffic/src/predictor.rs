@@ -107,6 +107,7 @@ mod tests {
     #[test]
     fn decay_is_slow() {
         let mut p = Predictor::new(100.0); // prediction 110
+
         // Drop to 10: scaled_est = 11, decayed = 107.8 -> prediction decays.
         let pred = p.observe(10.0);
         assert!((pred - 107.8).abs() < 1e-9);

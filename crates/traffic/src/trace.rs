@@ -12,7 +12,7 @@
 //! series with exactly these properties by construction: a slow
 //! mean-reverting random walk for minute means, lognormal burst noise with
 //! AR(1) temporal correlation inside each minute, and a slowly drifting
-//!	burst variance. The violation rates are controllable, so tests can probe
+//! burst variance. The violation rates are controllable, so tests can probe
 //! both the passing and failing regimes of the multiplexing checks.
 
 use rand::rngs::StdRng;

@@ -11,9 +11,8 @@ use lowlat::sim::timeline::{simulate, Controller, TimelineConfig};
 
 fn main() {
     let topo = named::abilene();
-    let tm = GravityTmGen::new(TmGenConfig::default())
-        .generate(&topo, 0)
-        .scaled_to_load(&topo, 0.7);
+    let tm =
+        GravityTmGen::new(TmGenConfig::default()).generate(&topo, 0).scaled_to_load(&topo, 0.7);
     println!(
         "controller cycle on {}: {} aggregates, min-cut load 0.7, 8 decision minutes\n",
         topo.name(),

@@ -7,15 +7,8 @@ use lowlat::prelude::*;
 
 fn main() {
     let topo = named::abilene();
-    println!(
-        "growing {}: {} cables, LLPD-guided, +15% links\n",
-        topo.name(),
-        topo.cables().len()
-    );
-    let plan = grow_by_llpd(
-        &topo,
-        &GrowthPlanConfig { link_increase: 0.15, ..Default::default() },
-    );
+    println!("growing {}: {} cables, LLPD-guided, +15% links\n", topo.name(), topo.cables().len());
+    let plan = grow_by_llpd(&topo, &GrowthPlanConfig { link_increase: 0.15, ..Default::default() });
     println!("initial LLPD: {:.3}", plan.initial_llpd);
     for ((a, b), llpd) in &plan.added {
         println!(

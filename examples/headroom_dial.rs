@@ -15,9 +15,8 @@ fn main() {
     println!("network: {}, min-cut load 0.6 (paper Figure 8 setup)\n", topo.name());
     println!("{:>9} {:>10} {:>12} {:>10}", "headroom", "stretch", "max-stretch", "max-util");
     for h in [0.0, 0.05, 0.11, 0.17, 0.23, 0.30, 0.40] {
-        let placement = LatencyOptimal::with_headroom(h)
-            .place(&topo, &tm)
-            .expect("latency-optimal failed");
+        let placement =
+            LatencyOptimal::with_headroom(h).place(&topo, &tm).expect("latency-optimal failed");
         let ev = PlacementEval::evaluate(&topo, &tm, &placement);
         println!(
             "{:>8.0}% {:>10.4} {:>12.3} {:>10.3}",
@@ -33,7 +32,10 @@ fn main() {
     let ev = PlacementEval::evaluate(&topo, &tm, &mm);
     println!(
         "{:>9} {:>10.4} {:>12.3} {:>10.3}",
-        "MinMax", ev.latency_stretch(), ev.max_flow_stretch(), ev.max_utilization()
+        "MinMax",
+        ev.latency_stretch(),
+        ev.max_flow_stretch(),
+        ev.max_utilization()
     );
     println!("\nModerate headroom is nearly free; only pushing toward the MinMax");
     println!("extreme really inflates delay — the paper's §4 conclusion.");

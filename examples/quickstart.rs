@@ -24,8 +24,13 @@ fn main() {
 
     // 2. A gravity traffic matrix at the paper's standard operating point:
     //    min-cut load 0.7 (traffic could grow 30% before becoming unroutable).
-    let tm = GravityTmGen::new(TmGenConfig::default()).generate(&topo, 0).scaled_to_load(&topo, 0.7);
-    println!("traffic: {} aggregates, {:.1} Gb/s total\n", tm.len(), tm.total_volume_mbps() / 1000.0);
+    let tm =
+        GravityTmGen::new(TmGenConfig::default()).generate(&topo, 0).scaled_to_load(&topo, 0.7);
+    println!(
+        "traffic: {} aggregates, {:.1} Gb/s total\n",
+        tm.len(),
+        tm.total_volume_mbps() / 1000.0
+    );
 
     // 3. Route it five ways.
     println!(

@@ -1,0 +1,26 @@
+# Workspace task runner. `just --list` shows everything.
+
+# Tier-1 verification: what CI runs and every PR must keep green.
+verify:
+    cargo fmt --check
+    cargo build --release
+    cargo clippy --all-targets -- -D warnings
+    cargo test -q
+    cargo bench --no-run
+
+# Full benchmark sweep (criterion stand-in: wall-clock medians on stdout).
+bench:
+    cargo bench
+
+# Reproduce the paper's figures into figures/*.tsv (ASCII sketches go to
+# stderr). Pass scale="--quick" for a CI-sized run, "--full" for the paper's.
+figures scale="--std":
+    mkdir -p figures
+    for fig in fig01_apa_cdf fig03_sp_congestion fig04_active_schemes \
+               fig07_util_cdf fig08_headroom fig09_prediction \
+               fig10_sigma_scatter fig15_runtime fig16_max_stretch \
+               fig17_load_sweep fig18_locality_sweep fig19_google \
+               fig20_growth; do \
+        cargo run --release -p lowlat_sim --bin $fig -- {{scale}} \
+            > figures/$fig.tsv || exit 1; \
+    done

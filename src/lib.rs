@@ -60,10 +60,10 @@ pub use lowlat_traffic as traffic;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use lowlat_core::classes::{place_with_classes, ClassConfig, TrafficClass};
     pub use lowlat_core::eval::PlacementEval;
     pub use lowlat_core::growth::{grow_by_llpd, GrowthPlanConfig};
     pub use lowlat_core::llpd::{LlpdAnalysis, LlpdConfig};
-    pub use lowlat_core::classes::{place_with_classes, ClassConfig, TrafficClass};
     pub use lowlat_core::scale::ScaleToLoad;
     pub use lowlat_core::schemes::b4::{B4Config, B4Routing};
     pub use lowlat_core::schemes::ecmp::EcmpRouting;

@@ -1,0 +1,61 @@
+//! Runs every example end to end so they cannot silently rot.
+//!
+//! `cargo test` compiles all examples before any test executes, so the
+//! binaries are guaranteed to sit in `target/<profile>/examples/` next to
+//! this test's own executable; each one is spawned and must exit 0.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every example under `examples/`, kept in sync by `all_examples_listed`.
+const EXAMPLES: [&str; 7] = [
+    "b4_pathologies",
+    "controller_timeline",
+    "growth_planner",
+    "headroom_dial",
+    "ldr_with_traces",
+    "llpd_survey",
+    "quickstart",
+];
+
+fn example_bin(name: &str) -> PathBuf {
+    // current_exe = target/<profile>/deps/examples_smoke-<hash>
+    let mut p = std::env::current_exe().expect("test executable path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push("examples");
+    p.push(name);
+    p
+}
+
+#[test]
+fn all_examples_listed() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(manifest)
+        .expect("examples/ directory")
+        .filter_map(|e| {
+            let name = e.expect("dir entry").file_name().into_string().expect("utf-8 name");
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    assert_eq!(on_disk, EXAMPLES, "EXAMPLES constant is out of sync with examples/");
+}
+
+#[test]
+fn examples_run_to_completion() {
+    for name in EXAMPLES {
+        let bin = example_bin(name);
+        assert!(bin.exists(), "{} not built at {}", name, bin.display());
+        let out = Command::new(&bin).output().unwrap_or_else(|e| panic!("spawning {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // Every example narrates what it shows; silence means breakage.
+        assert!(!out.stdout.is_empty(), "example {name} printed nothing");
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of the proptest API the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(..)]`, multiple
+//!   `#[test]` functions, `pat in strategy` arguments, and bodies that may
+//!   `return Ok(())` / `Err(TestCaseError::..)` early);
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//!   [`prop_oneof!`], [`strategy::Just`], `any::<T>()`, numeric-range
+//!   strategies, tuple strategies, [`collection::vec`], and the
+//!   [`Strategy::prop_map`] / [`Strategy::prop_flat_map`] combinators.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** On failure the harness reports the failing case's
+//!   seed instead of a minimized input.
+//! - **Deterministic seeds.** Case seeds derive from the test name and the
+//!   case index, so a red test is red for everyone, every run.
+//! - **Regression replay.** Failing seeds are appended to
+//!   `proptest-regressions/<file>.txt` (same spirit as proptest's `cc`
+//!   files, simpler format: `<test_name> <seed_hex>`), and replayed first
+//!   on subsequent runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use crate::strategy::AnyStrategy;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary() -> AnyStrategy<Self>;
+    }
+
+    /// Strategy producing arbitrary values of `T` (full range for the
+    /// numeric types below).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}

@@ -1,0 +1,276 @@
+//! Case execution, failure reporting, and regression-seed persistence.
+
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration; only `cases` is meaningful here.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; it is skipped, not failed.
+    Reject(String),
+    /// The property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a, used to give every test a distinct deterministic seed stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem =
+        std::path::Path::new(source_file).file_stem().and_then(|s| s.to_str()).unwrap_or("unknown");
+    PathBuf::from(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+fn load_regression_seeds(manifest_dir: &str, source_file: &str, test_name: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(regression_path(manifest_dir, source_file)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let mut parts = line.split_whitespace();
+            let name = parts.next()?;
+            let seed = u64::from_str_radix(parts.next()?.trim_start_matches("0x"), 16).ok()?;
+            (name == test_name).then_some(seed)
+        })
+        .collect()
+}
+
+fn save_regression_seed(manifest_dir: &str, source_file: &str, test_name: &str, seed: u64) {
+    let path = regression_path(manifest_dir, source_file);
+    if let Some(parent) = path.parent() {
+        let _ = fs::create_dir_all(parent);
+    }
+    let line = format!("{test_name} {seed:016x}");
+    if fs::read_to_string(&path).is_ok_and(|t| t.lines().any(|l| l.trim() == line)) {
+        return;
+    }
+    // Several proptests in one file fail in parallel threads when a commit
+    // breaks shared machinery; append (O_APPEND is atomic per write) so one
+    // test's seed cannot clobber another's, as a read-modify-write would.
+    let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(&path) else {
+        return;
+    };
+    let header = if file.metadata().map(|m| m.len()).unwrap_or(0) == 0 {
+        "# Seeds found to fail by the proptest stand-in. Kept under version\n\
+         # control so failures stay reproducible. Format: <test_name> <seed_hex>\n"
+    } else {
+        ""
+    };
+    use std::io::Write;
+    let _ = writeln!(file, "{header}{line}");
+}
+
+/// Runs `case` until `config.cases` cases pass, replaying any recorded
+/// regression seeds first. Panics (with the seed) on the first failure.
+pub fn run_cases(
+    config: &ProptestConfig,
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    mut case: impl FnMut(&mut StdRng) -> TestCaseResult,
+) {
+    let mut run_one = |seed: u64, origin: &str| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => Ok(true),
+            Err(TestCaseError::Reject(_)) => Ok(false),
+            Err(TestCaseError::Fail(reason)) => Err((seed, origin.to_string(), reason)),
+        }
+    };
+
+    let mut failure = None;
+    'outer: {
+        for seed in load_regression_seeds(manifest_dir, source_file, test_name) {
+            if let Err(f) = run_one(seed, "regression") {
+                failure = Some(f);
+                break 'outer;
+            }
+        }
+        let base = fnv1a(test_name.as_bytes()) ^ fnv1a(source_file.as_bytes());
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut index = 0u64;
+        while passed < config.cases {
+            let seed = base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            index += 1;
+            match run_one(seed, "generated") {
+                Ok(true) => passed += 1,
+                Ok(false) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < config.cases.saturating_mul(64).max(1024),
+                        "{test_name}: too many rejected cases ({rejected}); \
+                         prop_assume! conditions are unsatisfiable"
+                    );
+                }
+                Err(f) => {
+                    failure = Some(f);
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    if let Some((seed, origin, reason)) = failure {
+        save_regression_seed(manifest_dir, source_file, test_name, seed);
+        panic!(
+            "proptest {test_name} failed ({origin} seed {seed:#018x}, \
+             recorded in proptest-regressions/): {reason}"
+        );
+    }
+}
+
+/// Defines property tests. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0usize..10, (a, b) in (any::<u32>(), any::<u32>())) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr;) => {};
+    ($config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run_cases(
+                &config,
+                env!("CARGO_MANIFEST_DIR"),
+                file!(),
+                stringify!($name),
+                |__proptest_rng| -> $crate::test_runner::TestCaseResult {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_tests! { $config; $($rest)* }
+    };
+}
+
+/// Asserts within a proptest body; failure fails the case (not the process)
+/// with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)+), left, right
+        );
+    }};
+}
+
+/// Skips the current case (without failing) when its precondition is unmet.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
