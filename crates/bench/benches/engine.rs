@@ -1,0 +1,63 @@
+//! The experiment engine itself: Std-scale `run_grid` over the named
+//! corpus, the acceptance benchmark for the work-stealing executor.
+//!
+//! Three configurations:
+//! * `workers1_seed_caches` — the seed engine's behavior: one worker and a
+//!   *separate* path cache for the min-cut scaling solve (recreated here by
+//!   routing through the replay path with cloned donor topologies).
+//! * `workers1_shared_cache` — one worker, scaling and schemes sharing each
+//!   network's cache: the single-core win.
+//! * `workers_all` — the full work-stealing engine at
+//!   `available_parallelism`; on a multi-core host this is where the
+//!   (network × matrix × scheme) item granularity pays.
+//!
+//! BENCH_1.json records the measured medians per host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lowlat_sim::runner::{
+    default_workers, run_grid_replay_with_workers, run_grid_with_workers, RunGrid, Scale,
+};
+use lowlat_topology::zoo::named;
+use lowlat_topology::Topology;
+
+fn named_corpus() -> Vec<Topology> {
+    vec![
+        named::abilene(),
+        named::nsfnet(),
+        named::geant_like(),
+        named::gts_like(),
+        named::cogent_like(),
+        named::google_like(),
+    ]
+}
+
+fn std_grid() -> RunGrid {
+    RunGrid::with_schemes(
+        0.7,
+        1.0,
+        Scale::Std.tms_per_network(),
+        lowlat_core::schemes::registry::DEFAULT_SPECS,
+    )
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let nets = named_corpus();
+    let donors = nets.clone(); // distinct addresses force separate scale caches
+    let grid = std_grid();
+    let mut g = c.benchmark_group("engine/run_grid/std_named");
+    g.sample_size(2);
+    g.bench_function("workers1_seed_caches", |b| {
+        b.iter(|| run_grid_replay_with_workers(&nets, &donors, &grid, 1).len())
+    });
+    g.bench_function("workers1_shared_cache", |b| {
+        b.iter(|| run_grid_with_workers(&nets, &grid, 1).len())
+    });
+    g.bench_function("workers_all", |b| {
+        b.iter(|| run_grid_with_workers(&nets, &grid, default_workers()).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -19,21 +19,21 @@ fn bench_fig15(c: &mut Criterion) {
 
     // Warm: one persistent cache across iterations — the deployment mode.
     let warm_cache = PathCache::new(topo.graph());
-    let _ = Ldr::default().place_with_cache(&warm_cache, &tm); // prime
+    let _ = Ldr::default().place(&warm_cache, &tm); // prime
     g.bench_function("ldr_warm_cache", |b| {
-        b.iter(|| Ldr::default().place_with_cache(&warm_cache, &tm).expect("ldr"))
+        b.iter(|| Ldr::default().place(&warm_cache, &tm).expect("ldr"))
     });
 
     // Cold: a fresh cache every iteration — the first-run cost.
     g.bench_function("ldr_cold_cache", |b| {
         b.iter(|| {
             let cache = PathCache::new(topo.graph());
-            Ldr::default().place_with_cache(&cache, &tm).expect("ldr")
+            Ldr::default().place(&cache, &tm).expect("ldr")
         })
     });
 
     g.bench_function("link_based_mcf", |b| {
-        b.iter(|| LinkBasedOptimal::default().place(&topo, &tm).expect("link-based"))
+        b.iter(|| LinkBasedOptimal::default().place_on(&topo, &tm).expect("link-based"))
     });
     g.finish();
 }

@@ -31,7 +31,7 @@ fn bench_sp_grid_point(c: &mut Criterion) {
     let tm = standard_tm(&topo, 0);
     c.bench_function("fig03_sp_place_and_eval/gts", |b| {
         b.iter(|| {
-            let placement = ShortestPathRouting.place(&topo, &tm).expect("sp");
+            let placement = ShortestPathRouting.place_on(&topo, &tm).expect("sp");
             PlacementEval::evaluate(&topo, &tm, &placement).congested_pair_fraction()
         })
     });

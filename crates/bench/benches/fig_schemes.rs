@@ -16,17 +16,17 @@ fn bench_schemes(c: &mut Criterion) {
     let tm = standard_tm(&topo, 0);
     let mut g = c.benchmark_group("fig04_schemes_on_gts");
     g.sample_size(10);
-    g.bench_function("B4", |b| b.iter(|| B4Routing::default().place(&topo, &tm).expect("b4")));
+    g.bench_function("B4", |b| b.iter(|| B4Routing::default().place_on(&topo, &tm).expect("b4")));
     g.bench_function("MinMax", |b| {
-        b.iter(|| MinMaxRouting::unrestricted().place(&topo, &tm).expect("minmax"))
+        b.iter(|| MinMaxRouting::unrestricted().place_on(&topo, &tm).expect("minmax"))
     });
     g.bench_function("MinMaxK10", |b| {
-        b.iter(|| MinMaxRouting::with_k(10).place(&topo, &tm).expect("minmaxk"))
+        b.iter(|| MinMaxRouting::with_k(10).place_on(&topo, &tm).expect("minmaxk"))
     });
     g.bench_function("LatOpt", |b| {
-        b.iter(|| LatencyOptimal::default().place(&topo, &tm).expect("latopt"))
+        b.iter(|| LatencyOptimal::default().place_on(&topo, &tm).expect("latopt"))
     });
-    g.bench_function("LDR", |b| b.iter(|| Ldr::default().place(&topo, &tm).expect("ldr")));
+    g.bench_function("LDR", |b| b.iter(|| Ldr::default().place_on(&topo, &tm).expect("ldr")));
     g.finish();
 }
 
@@ -37,7 +37,7 @@ fn bench_headroom_dial(c: &mut Criterion) {
     g.sample_size(10);
     for h in [0.0, 0.11, 0.23, 0.40] {
         g.bench_function(format!("h{:02}", (h * 100.0) as u32), |b| {
-            b.iter(|| LatencyOptimal::with_headroom(h).place(&topo, &tm).expect("latopt"))
+            b.iter(|| LatencyOptimal::with_headroom(h).place_on(&topo, &tm).expect("latopt"))
         });
     }
     g.finish();

@@ -4,8 +4,13 @@
 //! not the linear optimizer, but the k shortest paths algorithm, the results
 //! of which can be readily cached". [`PathCache`] is that cache: one
 //! incremental Yen generator per (src, dst) pair, grown on demand and shared
-//! across LP iterations — and across *schemes*, which is what makes the warm
-//! LDR runs in Figure 15 fast.
+//! across LP iterations — and across *schemes* and *traffic matrices*, which
+//! is what makes the warm LDR runs in Figure 15 fast and lets the experiment
+//! engine hand one cache per network to every worker thread.
+//!
+//! The interior is lock-striped: pairs hash onto [`SHARD_COUNT`] independent
+//! mutexes, so concurrent placements of different aggregates on the same
+//! graph contend only when they land on the same shard, not on every lookup.
 
 use std::collections::HashMap;
 
@@ -13,16 +18,24 @@ use parking_lot::Mutex;
 
 use lowlat_netgraph::{Graph, KspGenerator, NodeId, Path};
 
-/// Thread-safe cache of k-shortest paths per ordered pair.
+/// Number of independent lock shards. A power of two well above the worker
+/// counts we run with; per-shard memory is one empty `HashMap`, so
+/// over-provisioning is free.
+const SHARD_COUNT: usize = 64;
+
+type Shard<'g> = Mutex<HashMap<(NodeId, NodeId), KspGenerator<'g>>>;
+
+/// Thread-safe cache of k-shortest paths per ordered pair, lock-striped
+/// across [`SHARD_COUNT`] shards.
 pub struct PathCache<'g> {
     graph: &'g Graph,
-    map: Mutex<HashMap<(NodeId, NodeId), KspGenerator<'g>>>,
+    shards: Vec<Shard<'g>>,
 }
 
 impl<'g> PathCache<'g> {
     /// Creates an empty cache over `graph`.
     pub fn new(graph: &'g Graph) -> Self {
-        PathCache { graph, map: Mutex::new(HashMap::new()) }
+        PathCache { graph, shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect() }
     }
 
     /// The graph this cache serves.
@@ -30,10 +43,26 @@ impl<'g> PathCache<'g> {
         self.graph
     }
 
+    /// The shard holding `(src, dst)`. Fibonacci-style mixing spreads the
+    /// small consecutive node ids real topologies use across all shards.
+    fn shard(&self, src: NodeId, dst: NodeId) -> &Shard<'g> {
+        let h = (src.idx() as u64)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(dst.idx() as u64)
+            .wrapping_mul(0x85EB_CA6B);
+        &self.shards[(h >> 16) as usize % SHARD_COUNT]
+    }
+
     /// Returns the `k` shortest loopless paths from `src` to `dst` (fewer if
     /// the graph has fewer), cloned out of the cache.
+    ///
+    /// The result depends only on the graph and `k`, never on what other
+    /// pairs or smaller `k` values were requested before — the generator
+    /// produces paths in a deterministic order and this returns its prefix.
+    /// The experiment engine's worker-count-independent output rests on
+    /// this.
     pub fn paths(&self, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
-        let mut map = self.map.lock();
+        let mut map = self.shard(src, dst).lock();
         let gen = map.entry((src, dst)).or_insert_with(|| KspGenerator::new(self.graph, src, dst));
         let produced = gen.take_up_to(k);
         produced[..produced.len().min(k)].to_vec()
@@ -47,7 +76,13 @@ impl<'g> PathCache<'g> {
     /// Number of paths currently materialized for the pair (0 when the pair
     /// was never requested).
     pub fn cached_count(&self, src: NodeId, dst: NodeId) -> usize {
-        self.map.lock().get(&(src, dst)).map_or(0, |g| g.produced().len())
+        self.shard(src, dst).lock().get(&(src, dst)).map_or(0, |g| g.produced().len())
+    }
+
+    /// Number of (src, dst) pairs with at least one materialized generator —
+    /// a cheap cache-occupancy gauge for benchmarks and tests.
+    pub fn cached_pairs(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -95,5 +130,60 @@ mod tests {
         let g = square();
         let cache = PathCache::new(&g);
         assert_eq!(cache.shortest(NodeId(0), NodeId(2)).unwrap().delay_ms(), 2.0);
+    }
+
+    #[test]
+    fn pairs_land_on_their_own_shards_without_interference() {
+        // Every ordered pair of the square keeps its own generator: growing
+        // one pair never perturbs what another pair returns, whichever
+        // shard they share.
+        let g = square();
+        let cache = PathCache::new(&g);
+        let mut pairs = Vec::new();
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                if s != d {
+                    pairs.push((NodeId(s), NodeId(d)));
+                }
+            }
+        }
+        let expected: Vec<Vec<f64>> = pairs
+            .iter()
+            .map(|&(s, d)| PathCache::new(&g).paths(s, d, 3).iter().map(|p| p.delay_ms()).collect())
+            .collect();
+        // Interleave growth across all pairs, then re-read.
+        for k in 1..=3 {
+            for &(s, d) in &pairs {
+                let _ = cache.paths(s, d, k);
+            }
+        }
+        for (&(s, d), want) in pairs.iter().zip(&expected) {
+            let got: Vec<f64> = cache.paths(s, d, 3).iter().map(|p| p.delay_ms()).collect();
+            assert_eq!(&got, want, "pair {s:?}->{d:?}");
+        }
+        assert_eq!(cache.cached_pairs(), pairs.len());
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_with_sequential() {
+        let g = square();
+        let cache = PathCache::new(&g);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        for s in 0..4u32 {
+                            for d in 0..4u32 {
+                                if s != d {
+                                    let ps = cache.paths(NodeId(s), NodeId(d), 2);
+                                    assert!(!ps.is_empty());
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.paths(NodeId(0), NodeId(2), 2).len(), 2);
     }
 }

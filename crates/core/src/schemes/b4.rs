@@ -17,7 +17,6 @@
 
 use lowlat_netgraph::Path;
 use lowlat_tmgen::TrafficMatrix;
-use lowlat_topology::Topology;
 
 use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
@@ -56,8 +55,8 @@ impl B4Routing {
         B4Routing { config }
     }
 
-    /// Placement using an existing path cache.
-    pub fn place_with_cache(
+    /// Placement through the shared path cache (the trait entry point).
+    fn place_cached(
         &self,
         cache: &PathCache<'_>,
         tm: &TrafficMatrix,
@@ -289,12 +288,16 @@ fn current_loads(nl: usize, allocations: &[Vec<(Path, f64)>]) -> Vec<f64> {
 }
 
 impl RoutingScheme for B4Routing {
-    fn name(&self) -> &'static str {
-        "B4"
+    fn name(&self) -> String {
+        if self.config.headroom == 0.0 {
+            "B4".into()
+        } else {
+            format!("B4-h{:02}", (self.config.headroom * 100.0).round() as u32)
+        }
     }
 
-    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        self.place_with_cache(&PathCache::new(topology.graph()), tm)
+    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        self.place_cached(cache, tm)
     }
 }
 
@@ -304,7 +307,7 @@ mod tests {
     use crate::eval::PlacementEval;
     use lowlat_netgraph::NodeId;
     use lowlat_tmgen::Aggregate;
-    use lowlat_topology::{GeoPoint, TopologyBuilder};
+    use lowlat_topology::{GeoPoint, Topology, TopologyBuilder};
 
     /// Two-path network: fast (2 ms, 100) and slow (6 ms, 100).
     fn two_path() -> Topology {
@@ -332,7 +335,7 @@ mod tests {
     #[test]
     fn light_load_stays_on_shortest() {
         let topo = two_path();
-        let pl = B4Routing::default().place(&topo, &one(80.0)).unwrap();
+        let pl = B4Routing::default().place_on(&topo, &one(80.0)).unwrap();
         let ev = PlacementEval::evaluate(&topo, &one(80.0), &pl);
         assert!((ev.latency_stretch() - 1.0).abs() < 1e-9);
         assert!(ev.fits());
@@ -342,7 +345,7 @@ mod tests {
     fn overflow_spills_to_next_shortest() {
         let topo = two_path();
         let tm = one(150.0);
-        let pl = B4Routing::default().place(&topo, &tm).unwrap();
+        let pl = B4Routing::default().place_on(&topo, &tm).unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
         assert!(ev.fits(), "150 fits across 100+100");
         // 100 on fast, 50 on slow.
@@ -355,7 +358,7 @@ mod tests {
     fn genuine_overload_congests_shortest_path() {
         let topo = two_path();
         let tm = one(250.0);
-        let pl = B4Routing::default().place(&topo, &tm).unwrap();
+        let pl = B4Routing::default().place_on(&topo, &tm).unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
         assert!(!ev.fits());
         assert_eq!(ev.congested_pair_fraction(), 1.0);
@@ -389,7 +392,7 @@ mod tests {
             Aggregate { src: v, dst: w, volume_mbps: 95.0, flow_count: 19 },
             Aggregate { src: v, dst: g, volume_mbps: 20.0, flow_count: 4 },
         ]);
-        let b4 = B4Routing::default().place(&topo, &tm).unwrap();
+        let b4 = B4Routing::default().place_on(&topo, &tm).unwrap();
         let ev_b4 = PlacementEval::evaluate(&topo, &tm, &b4);
         assert!(!ev_b4.fits(), "B4 must congest: both of V's links are full");
         // The optimal scheme fits it (there is 190+20 = 210 < 200?! no:
@@ -400,7 +403,7 @@ mod tests {
             Aggregate { src: v, dst: w, volume_mbps: 85.0, flow_count: 17 },
             Aggregate { src: v, dst: g, volume_mbps: 18.0, flow_count: 4 },
         ]);
-        let b4 = B4Routing::default().place(&topo, &tm2).unwrap();
+        let b4 = B4Routing::default().place_on(&topo, &tm2).unwrap();
         let ev_b4 = PlacementEval::evaluate(&topo, &tm2, &b4);
         let vols: Vec<f64> = tm2.aggregates().iter().map(|a| a.volume_mbps).collect();
         let opt = crate::pathgrow::solve_latency_optimal(
@@ -425,7 +428,7 @@ mod tests {
         // stuck; pass 2 places the remainder into the reserve.
         let tm = one(190.0);
         let with =
-            B4Routing::new(B4Config { headroom: 0.1, max_paths: 24 }).place(&topo, &tm).unwrap();
+            B4Routing::new(B4Config { headroom: 0.1, max_paths: 24 }).place_on(&topo, &tm).unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &with);
         assert!(ev.fits(), "second pass uses the reserve, no congestion");
     }

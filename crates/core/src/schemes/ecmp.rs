@@ -13,8 +13,8 @@ use std::collections::HashMap;
 
 use lowlat_netgraph::{shortest_path_tree, Graph, LinkId, NodeId, Path};
 use lowlat_tmgen::TrafficMatrix;
-use lowlat_topology::Topology;
 
+use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
 use crate::schemes::{RoutingScheme, SchemeError};
 
@@ -115,12 +115,12 @@ impl EcmpRouting {
 }
 
 impl RoutingScheme for EcmpRouting {
-    fn name(&self) -> &'static str {
-        "ECMP"
+    fn name(&self) -> String {
+        "ECMP".into()
     }
 
-    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        let graph = topology.graph();
+    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        let graph = cache.graph();
         let per_aggregate = tm
             .aggregates()
             .iter()
@@ -138,7 +138,7 @@ mod tests {
     use crate::eval::PlacementEval;
     use crate::schemes::sp::ShortestPathRouting;
     use lowlat_tmgen::Aggregate;
-    use lowlat_topology::{GeoPoint, TopologyBuilder};
+    use lowlat_topology::{GeoPoint, Topology, TopologyBuilder};
 
     /// Two exactly-tied 2 ms paths A->Z plus a longer third.
     fn tied() -> Topology {
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn splits_ties_evenly() {
         let topo = tied();
-        let pl = EcmpRouting.place(&topo, &tm(100.0)).unwrap();
+        let pl = EcmpRouting.place_on(&topo, &tm(100.0)).unwrap();
         let splits = &pl.aggregate(0).splits;
         assert_eq!(splits.len(), 2, "two tied paths, direct 5 ms not used");
         for (p, x) in splits {
@@ -182,8 +182,8 @@ mod tests {
     fn ecmp_fits_what_single_path_sp_congests() {
         let topo = tied();
         let t = tm(150.0);
-        let sp = ShortestPathRouting.place(&topo, &t).unwrap();
-        let ecmp = EcmpRouting.place(&topo, &t).unwrap();
+        let sp = ShortestPathRouting.place_on(&topo, &t).unwrap();
+        let ecmp = EcmpRouting.place_on(&topo, &t).unwrap();
         assert!(!PlacementEval::evaluate(&topo, &t, &sp).fits(), "150 on one 100 path");
         assert!(PlacementEval::evaluate(&topo, &t, &ecmp).fits(), "75+75 across the tie");
     }
@@ -198,8 +198,8 @@ mod tests {
             volume_mbps: 100.0,
             flow_count: 20,
         }]);
-        let sp = ShortestPathRouting.place(&topo, &t).unwrap();
-        let ecmp = EcmpRouting.place(&topo, &t).unwrap();
+        let sp = ShortestPathRouting.place_on(&topo, &t).unwrap();
+        let ecmp = EcmpRouting.place_on(&topo, &t).unwrap();
         assert_eq!(ecmp.aggregate(0).splits.len(), 1);
         assert_eq!(ecmp.aggregate(0).splits[0].0.links(), sp.aggregate(0).splits[0].0.links());
     }
@@ -214,7 +214,7 @@ mod tests {
             .map(|(s, d)| Aggregate { src: s, dst: d, volume_mbps: 10.0, flow_count: 2 })
             .collect();
         let t = TrafficMatrix::new(aggs);
-        let pl = EcmpRouting.place(&topo, &t).unwrap();
+        let pl = EcmpRouting.place_on(&topo, &t).unwrap();
         assert!(pl.validate(topo.graph(), &t).is_ok());
     }
 }

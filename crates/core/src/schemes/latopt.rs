@@ -2,7 +2,6 @@
 //! path generation, with the §4 headroom dial.
 
 use lowlat_tmgen::TrafficMatrix;
-use lowlat_topology::Topology;
 
 use crate::pathgrow::{solve_latency_optimal, GrowOutcome, GrowthConfig};
 use crate::pathset::PathCache;
@@ -48,12 +47,17 @@ impl LatencyOptimal {
 }
 
 impl RoutingScheme for LatencyOptimal {
-    fn name(&self) -> &'static str {
-        "LatOpt"
+    fn name(&self) -> String {
+        let h = self.config.growth.headroom;
+        if h == 0.0 {
+            "LatOpt".into()
+        } else {
+            format!("LatOpt-h{:02}", (h * 100.0).round() as u32)
+        }
     }
 
-    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        Ok(self.solve_with_cache(&PathCache::new(topology.graph()), tm)?.placement)
+    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        Ok(self.solve_with_cache(cache, tm)?.placement)
     }
 }
 
@@ -71,8 +75,8 @@ mod tests {
         let gen =
             GravityTmGen::new(TmGenConfig { total_volume_mbps: 60_000.0, ..Default::default() });
         let tm = gen.generate(&topo, 0);
-        let sp = ShortestPathRouting.place(&topo, &tm).unwrap();
-        let opt = LatencyOptimal::default().place(&topo, &tm).unwrap();
+        let sp = ShortestPathRouting.place_on(&topo, &tm).unwrap();
+        let opt = LatencyOptimal::default().place_on(&topo, &tm).unwrap();
         let ev_sp = PlacementEval::evaluate(&topo, &tm, &sp);
         let ev_opt = PlacementEval::evaluate(&topo, &tm, &opt);
         assert!(ev_opt.max_utilization() <= ev_sp.max_utilization() + 1e-6);
@@ -87,7 +91,7 @@ mod tests {
         let tm = gen.generate(&topo, 1);
         let mut last_stretch = 0.0;
         for h in [0.0, 0.23, 0.4] {
-            let pl = LatencyOptimal::with_headroom(h).place(&topo, &tm).unwrap();
+            let pl = LatencyOptimal::with_headroom(h).place_on(&topo, &tm).unwrap();
             let ev = PlacementEval::evaluate(&topo, &tm, &pl);
             assert!(
                 ev.latency_stretch() >= last_stretch - 1e-6,

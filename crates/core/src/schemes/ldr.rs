@@ -95,9 +95,9 @@ impl Ldr {
         &self.config
     }
 
-    /// Trace-free placement with cache reuse: latency-optimal under the
-    /// static headroom.
-    pub fn place_with_cache(
+    /// Trace-free placement through the shared path cache: latency-optimal
+    /// under the static headroom (the trait entry point).
+    fn place_cached(
         &self,
         cache: &PathCache<'_>,
         tm: &TrafficMatrix,
@@ -210,12 +210,19 @@ impl Ldr {
 }
 
 impl RoutingScheme for Ldr {
-    fn name(&self) -> &'static str {
-        "LDR"
+    fn name(&self) -> String {
+        // 0.1 is the paper's default static headroom; non-default dials are
+        // encoded so registry names round-trip and sweep rows stay
+        // distinguishable.
+        if self.config.static_headroom == 0.1 {
+            "LDR".into()
+        } else {
+            format!("LDR-h{:02}", (self.config.static_headroom * 100.0).round() as u32)
+        }
     }
 
-    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        self.place_with_cache(&PathCache::new(topology.graph()), tm)
+    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        self.place_cached(cache, tm)
     }
 }
 
@@ -253,7 +260,7 @@ mod tests {
         let topo = two_path();
         let tm = tm_pair(950.0, 100.0);
         // 950 with 10% headroom (effective 900) must split across paths.
-        let pl = Ldr::default().place(&topo, &tm).unwrap();
+        let pl = Ldr::default().place_on(&topo, &tm).unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
         assert!(ev.fits());
         assert!(

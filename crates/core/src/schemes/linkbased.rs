@@ -16,8 +16,8 @@ use std::collections::HashMap;
 use lowlat_linprog::{LpError, Problem, Relation};
 use lowlat_netgraph::{Graph, LinkId, NodeId, Path};
 use lowlat_tmgen::TrafficMatrix;
-use lowlat_topology::Topology;
 
+use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
 use crate::schemes::{RoutingScheme, SchemeError};
 
@@ -248,12 +248,14 @@ fn decompose(
 }
 
 impl RoutingScheme for LinkBasedOptimal {
-    fn name(&self) -> &'static str {
-        "LinkBased"
+    fn name(&self) -> String {
+        "LinkBased".into()
     }
 
-    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        self.solve(topology.graph(), tm)
+    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        // The link-based MCF works on raw link flows; it only borrows the
+        // cache's graph, never its path sets.
+        self.solve(cache.graph(), tm)
     }
 }
 
@@ -263,7 +265,7 @@ mod tests {
     use crate::eval::PlacementEval;
     use crate::schemes::latopt::LatencyOptimal;
     use lowlat_tmgen::Aggregate;
-    use lowlat_topology::{zoo::named, GeoPoint, TopologyBuilder};
+    use lowlat_topology::{zoo::named, GeoPoint, Topology, TopologyBuilder};
 
     fn two_path() -> Topology {
         let mut b = TopologyBuilder::new("two");
@@ -287,8 +289,8 @@ mod tests {
             volume_mbps: 150.0,
             flow_count: 30,
         }]);
-        let lb = LinkBasedOptimal::default().place(&topo, &tm).unwrap();
-        let pb = LatencyOptimal::default().place(&topo, &tm).unwrap();
+        let lb = LinkBasedOptimal::default().place_on(&topo, &tm).unwrap();
+        let pb = LatencyOptimal::default().place_on(&topo, &tm).unwrap();
         let ev_lb = PlacementEval::evaluate(&topo, &tm, &lb);
         let ev_pb = PlacementEval::evaluate(&topo, &tm, &pb);
         assert!(lb.validate(topo.graph(), &tm).is_ok());
@@ -310,7 +312,7 @@ mod tests {
             flow_count: 100,
         }]);
         assert_eq!(
-            LinkBasedOptimal::default().place(&topo, &tm).unwrap_err(),
+            LinkBasedOptimal::default().place_on(&topo, &tm).unwrap_err(),
             SchemeError::Infeasible
         );
     }
@@ -324,8 +326,8 @@ mod tests {
             Aggregate { src: NodeId(0), dst: NodeId(3), volume_mbps: 150.0, flow_count: 30 },
             Aggregate { src: NodeId(1), dst: NodeId(3), volume_mbps: 40.0, flow_count: 8 },
         ]);
-        let agg_form = LinkBasedOptimal::per_aggregate(0.0).place(&topo, &tm).unwrap();
-        let dst_form = LinkBasedOptimal::default().place(&topo, &tm).unwrap();
+        let agg_form = LinkBasedOptimal::per_aggregate(0.0).place_on(&topo, &tm).unwrap();
+        let dst_form = LinkBasedOptimal::default().place_on(&topo, &tm).unwrap();
         let (e1, e2) = (
             PlacementEval::evaluate(&topo, &tm, &agg_form),
             PlacementEval::evaluate(&topo, &tm, &dst_form),
@@ -349,8 +351,8 @@ mod tests {
             Aggregate { src: NodeId(0), dst: NodeId(3), volume_mbps: 80.0, flow_count: 100 },
             Aggregate { src: NodeId(0), dst: NodeId(2), volume_mbps: 80.0, flow_count: 1 },
         ]);
-        let lb = LinkBasedOptimal::per_aggregate(0.0).place(&topo, &tm).unwrap();
-        let pb = LatencyOptimal::default().place(&topo, &tm).unwrap();
+        let lb = LinkBasedOptimal::per_aggregate(0.0).place_on(&topo, &tm).unwrap();
+        let pb = LatencyOptimal::default().place_on(&topo, &tm).unwrap();
         let (e1, e2) =
             (PlacementEval::evaluate(&topo, &tm, &lb), PlacementEval::evaluate(&topo, &tm, &pb));
         assert!(
@@ -369,8 +371,8 @@ mod tests {
             ..Default::default()
         });
         let tm = gen.generate(&topo, 0);
-        let lb = LinkBasedOptimal::default().place(&topo, &tm).unwrap();
-        let pb = LatencyOptimal::default().place(&topo, &tm).unwrap();
+        let lb = LinkBasedOptimal::default().place_on(&topo, &tm).unwrap();
+        let pb = LatencyOptimal::default().place_on(&topo, &tm).unwrap();
         let ev_lb = PlacementEval::evaluate(&topo, &tm, &lb);
         let ev_pb = PlacementEval::evaluate(&topo, &tm, &pb);
         assert!(

@@ -2,7 +2,6 @@
 //! utilization, tie-break on latency (§3 "MinMax based routing").
 
 use lowlat_tmgen::TrafficMatrix;
-use lowlat_topology::Topology;
 
 use crate::pathgrow::{solve_minmax, GrowOutcome, GrowthConfig};
 use crate::pathset::PathCache;
@@ -57,16 +56,15 @@ impl MinMaxRouting {
 }
 
 impl RoutingScheme for MinMaxRouting {
-    fn name(&self) -> &'static str {
-        if self.config.k_limit.is_some() {
-            "MinMaxK10"
-        } else {
-            "MinMax"
+    fn name(&self) -> String {
+        match self.config.k_limit {
+            Some(k) => format!("MinMaxK{k}"),
+            None => "MinMax".into(),
         }
     }
 
-    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        Ok(self.solve_with_cache(&PathCache::new(topology.graph()), tm)?.placement)
+    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        Ok(self.solve_with_cache(cache, tm)?.placement)
     }
 }
 
@@ -84,7 +82,7 @@ mod tests {
         let gen =
             GravityTmGen::new(TmGenConfig { total_volume_mbps: 30_000.0, ..Default::default() });
         let tm = gen.generate(&topo, 0);
-        let pl = MinMaxRouting::unrestricted().place(&topo, &tm).unwrap();
+        let pl = MinMaxRouting::unrestricted().place_on(&topo, &tm).unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
         // Figure 4c: MinMax shows no congestion (when the traffic fits).
         assert!(ev.fits(), "max util {}", ev.max_utilization());
@@ -96,8 +94,8 @@ mod tests {
         let gen =
             GravityTmGen::new(TmGenConfig { total_volume_mbps: 30_000.0, ..Default::default() });
         let tm = gen.generate(&topo, 0);
-        let mm = MinMaxRouting::unrestricted().place(&topo, &tm).unwrap();
-        let opt = LatencyOptimal::default().place(&topo, &tm).unwrap();
+        let mm = MinMaxRouting::unrestricted().place_on(&topo, &tm).unwrap();
+        let opt = LatencyOptimal::default().place_on(&topo, &tm).unwrap();
         let ev_mm = PlacementEval::evaluate(&topo, &tm, &mm);
         let ev_opt = PlacementEval::evaluate(&topo, &tm, &opt);
         // MinMax leaves more headroom...
@@ -112,7 +110,7 @@ mod tests {
         let gen =
             GravityTmGen::new(TmGenConfig { total_volume_mbps: 40_000.0, ..Default::default() });
         let tm = gen.generate(&topo, 2);
-        let pl = MinMaxRouting::with_k(2).place(&topo, &tm).unwrap();
+        let pl = MinMaxRouting::with_k(2).place_on(&topo, &tm).unwrap();
         for agg in pl.per_aggregate() {
             assert!(agg.splits.len() <= 2);
         }

@@ -23,12 +23,14 @@ pub mod ldr;
 pub mod linkbased;
 pub mod minmax;
 pub mod mpls;
+pub mod registry;
 pub mod sp;
 
 use lowlat_linprog::LpError;
 use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::Topology;
 
+use crate::pathset::PathCache;
 use crate::placement::Placement;
 
 /// Why a scheme failed outright (congestion is *not* a failure).
@@ -59,11 +61,27 @@ impl From<LpError> for SchemeError {
 }
 
 /// A traffic-placement algorithm.
-pub trait RoutingScheme {
-    /// Short stable name, used in experiment output ("SP", "B4", "MinMax",
-    /// "MinMaxK10", "LatOpt", "LDR", "LinkBased").
-    fn name(&self) -> &'static str;
+///
+/// The trait is object-safe and cache-first: the experiment engine hands
+/// every scheme the *shared* per-network [`PathCache`], so k-shortest-path
+/// work done by one scheme (or by the min-cut scaling solve) is reused by
+/// every other scheme and matrix on that network — the §5 "readily cached"
+/// observation turned into the API. Schemes are requested by name string
+/// through [`registry`].
+pub trait RoutingScheme: Send + Sync {
+    /// Display name matching the paper's legends, parameterization
+    /// included ("SP", "B4-h10", "MinMaxK10", "LatOpt", "LDR",
+    /// "LinkBased"). Round-trips through [`registry::build`].
+    fn name(&self) -> String;
 
-    /// Computes a placement for `tm` on `topology`.
-    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError>;
+    /// Computes a placement for `tm` on the graph `cache` serves, growing
+    /// (and reusing) the cached path sets as needed.
+    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError>;
+
+    /// Convenience for one-shot use: places on `topology` through a fresh,
+    /// private cache. Experiment loops should build one [`PathCache`] per
+    /// network and call [`RoutingScheme::place`] instead.
+    fn place_on(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        self.place(&PathCache::new(topology.graph()), tm)
+    }
 }

@@ -11,7 +11,6 @@
 
 use lowlat_netgraph::Path;
 use lowlat_tmgen::TrafficMatrix;
-use lowlat_topology::Topology;
 
 use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
@@ -63,8 +62,8 @@ impl MplsAutoBandwidth {
         MplsAutoBandwidth { config }
     }
 
-    /// Placement with an existing cache.
-    pub fn place_with_cache(
+    /// Placement through the shared path cache (the trait entry point).
+    fn place_cached(
         &self,
         cache: &PathCache<'_>,
         tm: &TrafficMatrix,
@@ -126,12 +125,12 @@ impl MplsAutoBandwidth {
 }
 
 impl RoutingScheme for MplsAutoBandwidth {
-    fn name(&self) -> &'static str {
-        "MPLS-TE"
+    fn name(&self) -> String {
+        "MPLS-TE".into()
     }
 
-    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        self.place_with_cache(&PathCache::new(topology.graph()), tm)
+    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        self.place_cached(cache, tm)
     }
 }
 
@@ -141,7 +140,7 @@ mod tests {
     use crate::eval::PlacementEval;
     use lowlat_netgraph::NodeId;
     use lowlat_tmgen::Aggregate;
-    use lowlat_topology::{GeoPoint, TopologyBuilder};
+    use lowlat_topology::{GeoPoint, Topology, TopologyBuilder};
 
     fn two_path() -> Topology {
         let mut b = TopologyBuilder::new("two");
@@ -169,7 +168,7 @@ mod tests {
     fn single_lsp_rides_shortest() {
         let topo = two_path();
         let tm = TrafficMatrix::new(vec![agg(0, 3, 80.0)]);
-        let pl = MplsAutoBandwidth::default().place(&topo, &tm).unwrap();
+        let pl = MplsAutoBandwidth::default().place_on(&topo, &tm).unwrap();
         assert_eq!(pl.aggregate(0).splits.len(), 1);
         assert!((pl.aggregate(0).mean_delay_ms() - 2.0).abs() < 1e-9);
     }
@@ -180,7 +179,7 @@ mod tests {
         // the slow path entirely.
         let topo = two_path();
         let tm = TrafficMatrix::new(vec![agg(0, 3, 60.0), agg(3, 0, 1.0), agg(0, 2, 60.0)]);
-        let pl = MplsAutoBandwidth::default().place(&topo, &tm).unwrap();
+        let pl = MplsAutoBandwidth::default().place_on(&topo, &tm).unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
         assert!(ev.fits(), "both fit, one detours");
         // One of the two 60s pays the detour in full.
@@ -198,13 +197,13 @@ mod tests {
             order: SignalOrder::LargestFirst,
             ..Default::default()
         })
-        .place(&topo, &tm)
+        .place_on(&topo, &tm)
         .unwrap();
         let smallest = MplsAutoBandwidth::new(MplsConfig {
             order: SignalOrder::SmallestFirst,
             ..Default::default()
         })
-        .place(&topo, &tm)
+        .place_on(&topo, &tm)
         .unwrap();
         let ev_l = PlacementEval::evaluate(&topo, &tm, &largest);
         let ev_s = PlacementEval::evaluate(&topo, &tm, &smallest);
@@ -218,7 +217,7 @@ mod tests {
     fn congests_when_nothing_fits() {
         let topo = two_path();
         let tm = TrafficMatrix::new(vec![agg(0, 3, 150.0), agg(0, 1, 60.0), agg(0, 2, 60.0)]);
-        let pl = MplsAutoBandwidth::default().place(&topo, &tm).unwrap();
+        let pl = MplsAutoBandwidth::default().place_on(&topo, &tm).unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
         // 150 cannot fit any single path of capacity 100: congestion.
         assert!(!ev.fits());
@@ -230,8 +229,8 @@ mod tests {
         // B4 splits the 150 across both paths and fits; MPLS-TE cannot.
         let topo = two_path();
         let tm = TrafficMatrix::new(vec![agg(0, 3, 150.0)]);
-        let mpls = MplsAutoBandwidth::default().place(&topo, &tm).unwrap();
-        let b4 = crate::schemes::b4::B4Routing::default().place(&topo, &tm).unwrap();
+        let mpls = MplsAutoBandwidth::default().place_on(&topo, &tm).unwrap();
+        let b4 = crate::schemes::b4::B4Routing::default().place_on(&topo, &tm).unwrap();
         let ev_mpls = PlacementEval::evaluate(&topo, &tm, &mpls);
         let ev_b4 = PlacementEval::evaluate(&topo, &tm, &b4);
         assert!(!ev_mpls.fits());

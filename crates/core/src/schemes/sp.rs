@@ -2,7 +2,6 @@
 //! an ISP chasing latency would configure them (§3 "Shortest path routing").
 
 use lowlat_tmgen::TrafficMatrix;
-use lowlat_topology::Topology;
 
 use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
@@ -12,13 +11,12 @@ use crate::schemes::{RoutingScheme, SchemeError};
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ShortestPathRouting;
 
-impl ShortestPathRouting {
-    /// Placement using an existing path cache (for harness reuse).
-    pub fn place_with_cache(
-        &self,
-        cache: &PathCache<'_>,
-        tm: &TrafficMatrix,
-    ) -> Result<Placement, SchemeError> {
+impl RoutingScheme for ShortestPathRouting {
+    fn name(&self) -> String {
+        "SP".into()
+    }
+
+    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
         let per_aggregate = tm
             .aggregates()
             .iter()
@@ -30,16 +28,6 @@ impl ShortestPathRouting {
             })
             .collect();
         Ok(Placement::new(per_aggregate))
-    }
-}
-
-impl RoutingScheme for ShortestPathRouting {
-    fn name(&self) -> &'static str {
-        "SP"
-    }
-
-    fn place(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        self.place_with_cache(&PathCache::new(topology.graph()), tm)
     }
 }
 
@@ -60,7 +48,7 @@ mod tests {
             volume_mbps: 100.0,
             flow_count: 20,
         }]);
-        let pl = ShortestPathRouting.place(&topo, &tm).unwrap();
+        let pl = ShortestPathRouting.place_on(&topo, &tm).unwrap();
         assert!(pl.validate(topo.graph(), &tm).is_ok());
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
         assert!((ev.latency_stretch() - 1.0).abs() < 1e-9);
@@ -80,7 +68,7 @@ mod tests {
             })
             .collect();
         let tm = TrafficMatrix::new(aggs);
-        let pl = ShortestPathRouting.place(&topo, &tm).unwrap();
+        let pl = ShortestPathRouting.place_on(&topo, &tm).unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &pl);
         // 90 Gb/s into a node with ~2 x 10G links: heavy congestion.
         assert!(ev.congested_pair_fraction() > 0.5);

@@ -1,0 +1,106 @@
+//! Cross-scheme invariants, driven by the registry: every scheme family in
+//! [`registry::ALL_SPECS`] is placed on every named topology at the paper's
+//! standard 0.7 min-cut operating point and held to the properties the
+//! figures rely on. A scheme added to the registry is picked up — and
+//! tested — for free.
+
+use lowlat_core::eval::PlacementEval;
+use lowlat_core::pathset::PathCache;
+use lowlat_core::scale::min_cut_load_with_cache;
+use lowlat_core::schemes::registry;
+use lowlat_tmgen::{GravityTmGen, TmGenConfig, TrafficMatrix};
+use lowlat_topology::zoo::named;
+use lowlat_topology::Topology;
+
+/// The link-based MCF baseline is O(pops²) LP rows (Figure 15's point);
+/// keep it to the small networks so the suite stays CI-sized.
+const LINK_BASED_POP_CAP: usize = 15;
+
+fn named_corpus() -> Vec<Topology> {
+    vec![
+        named::abilene(),
+        named::nsfnet(),
+        named::geant_like(),
+        named::gts_like(),
+        named::cogent_like(),
+        named::google_like(),
+    ]
+}
+
+/// A gravity matrix scaled to 0.7 min-cut load, sharing `cache`.
+fn standard_tm(topo: &Topology, cache: &PathCache<'_>) -> TrafficMatrix {
+    let raw = GravityTmGen::new(TmGenConfig::default()).generate(topo, 0);
+    let u0 = min_cut_load_with_cache(cache, &raw).expect("min-cut LP");
+    assert!(u0 > 0.0, "{}: empty matrix", topo.name());
+    raw.scaled(0.7 / u0)
+}
+
+#[test]
+fn every_registry_scheme_satisfies_the_placement_invariants() {
+    for topo in named_corpus() {
+        let cache = PathCache::new(topo.graph());
+        let tm = standard_tm(&topo, &cache);
+        for &spec in registry::ALL_SPECS {
+            if spec == "LinkBased" && topo.pop_count() > LINK_BASED_POP_CAP {
+                continue;
+            }
+            let scheme = registry::build(spec).expect("registry spec");
+            let placement = scheme
+                .place(&cache, &tm)
+                .unwrap_or_else(|e| panic!("{spec} failed on {}: {e}", topo.name()));
+            placement
+                .validate(topo.graph(), &tm)
+                .unwrap_or_else(|e| panic!("{spec} invalid on {}: {e}", topo.name()));
+            let ev = PlacementEval::evaluate(&topo, &tm, &placement);
+            let ctx = format!("{spec} on {}", topo.name());
+            assert!(
+                ev.latency_stretch() >= 1.0 - 1e-6,
+                "{ctx}: stretch {} below 1",
+                ev.latency_stretch()
+            );
+            assert!(
+                ev.max_flow_stretch() >= 1.0 - 1e-6,
+                "{ctx}: max stretch {} below 1",
+                ev.max_flow_stretch()
+            );
+            assert!(ev.max_utilization().is_finite(), "{ctx}: non-finite utilization");
+            match spec {
+                // Single shortest paths by construction: zero stretch.
+                "SP" => assert!(
+                    (ev.latency_stretch() - 1.0).abs() < 1e-9,
+                    "{ctx}: SP stretch {} != 1",
+                    ev.latency_stretch()
+                ),
+                // At 0.7 min-cut load the capacity-optimal and the
+                // latency-optimal LPs must both fit (Figure 4a/4c).
+                "MinMax" | "LatOpt" => assert!(
+                    ev.fits(),
+                    "{ctx}: must fit at 0.7 min-cut load (util {})",
+                    ev.max_utilization()
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_schemes_reuse_the_shared_cache() {
+    // Placing through a shared cache must agree with placing through a
+    // fresh one — the engine's cache sharing cannot change results.
+    let topo = named::abilene();
+    let shared = PathCache::new(topo.graph());
+    let tm = standard_tm(&topo, &shared);
+    for &spec in registry::ALL_SPECS {
+        let scheme = registry::build(spec).expect("registry spec");
+        let warm = scheme.place(&shared, &tm).expect("warm placement");
+        let cold = scheme.place_on(&topo, &tm).expect("cold placement");
+        let ev_warm = PlacementEval::evaluate(&topo, &tm, &warm);
+        let ev_cold = PlacementEval::evaluate(&topo, &tm, &cold);
+        assert!(
+            (ev_warm.latency_stretch() - ev_cold.latency_stretch()).abs() < 1e-9
+                && (ev_warm.max_utilization() - ev_cold.max_utilization()).abs() < 1e-9,
+            "{spec}: warm/cold divergence"
+        );
+    }
+}

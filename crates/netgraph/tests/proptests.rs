@@ -90,6 +90,29 @@ fn all_loopless_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<f64> {
     out
 }
 
+/// Brute-force minimum s-t cut: every node bipartition with `s` on the
+/// source side and `t` on the sink side, capacity of the crossing links.
+/// Exponential, so tiny graphs only.
+fn brute_force_min_cut(g: &Graph, s: NodeId, t: NodeId) -> f64 {
+    let n = g.node_count();
+    assert!(n <= 16, "2^n enumeration");
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << n) {
+        if mask & (1 << s.idx()) == 0 || mask & (1 << t.idx()) != 0 {
+            continue;
+        }
+        let mut cap = 0.0;
+        for l in g.link_ids() {
+            let link = g.link(l);
+            if mask & (1 << link.src.idx()) != 0 && mask & (1 << link.dst.idx()) == 0 {
+                cap += link.capacity_mbps;
+            }
+        }
+        best = best.min(cap);
+    }
+    best
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -147,6 +170,20 @@ proptest! {
                 None => break,
             }
         }
+    }
+
+    #[test]
+    fn max_flow_equals_min_cut(g in arb_graph(8, 10)) {
+        // Strong duality for Dinic — the oracle behind the min-cut load
+        // scaling every figure uses. The cut side is independent brute
+        // force, so agreement pins both directions of the LP-free bound.
+        let (s, t) = (NodeId(0), NodeId((g.node_count() - 1) as u32));
+        let flow = max_flow(&g, s, t);
+        let cut = brute_force_min_cut(&g, s, t);
+        prop_assert!(
+            (flow - cut).abs() <= 1e-6 * (1.0 + cut.abs()),
+            "max-flow {flow} != min-cut {cut}"
+        );
     }
 
     #[test]

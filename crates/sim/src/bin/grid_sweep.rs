@@ -1,57 +1,55 @@
 //! Free-form parameter sweep over the corpus: pick load, locality and
 //! schemes from the command line and get one TSV row per (network, matrix,
 //! scheme) — the raw-records interface behind all the aggregated figures.
+//! For a multi-point (loads × localities) sweep see `scenario_sweep`.
 //!
 //! Usage:
 //! `cargo run --release --bin grid_sweep -- [--quick|--std|--full]
-//!     [--load 0.7] [--locality 1.0] [--schemes SP,ECMP,B4,MinMax,MinMaxK10,LatOpt,LDR]`
+//!     [--load 0.7] [--locality 1.0] [--schemes SP,ECMP,B4-h10,MinMaxK10,...]`
 
-use lowlat_sim::runner::{run_grid, RunGrid, Scale, SchemeKind};
+use lowlat_core::schemes::registry;
+use lowlat_sim::output::print_records_tsv;
+use lowlat_sim::runner::{run_grid, RunGrid, Scale};
 
-fn parse_schemes(spec: &str) -> Vec<SchemeKind> {
-    spec.split(',')
-        .map(|s| match s.trim() {
-            "SP" => SchemeKind::Sp,
-            "B4" => SchemeKind::B4 { headroom: 0.0 },
-            "MinMax" => SchemeKind::MinMax,
-            "MinMaxK10" => SchemeKind::MinMaxK(10),
-            "LatOpt" => SchemeKind::LatOpt { headroom: 0.0 },
-            "LDR" => SchemeKind::Ldr { headroom: 0.1 },
-            other => {
-                eprintln!("unknown scheme '{other}', expected SP,B4,MinMax,MinMaxK10,LatOpt,LDR");
-                std::process::exit(2);
-            }
-        })
-        .collect()
+fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("error: flag {flag} expects a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse_f64(flag: &str, value: &str) -> f64 {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} expects a number, got '{value}'");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut load = 0.7f64;
     let mut locality = 1.0f64;
-    let mut schemes = vec![
-        SchemeKind::Sp,
-        SchemeKind::B4 { headroom: 0.0 },
-        SchemeKind::MinMax,
-        SchemeKind::LatOpt { headroom: 0.0 },
-        SchemeKind::Ldr { headroom: 0.1 },
-    ];
+    let mut schemes = registry::schemes(registry::DEFAULT_SPECS);
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--load" => {
-                load = args.get(i + 1).and_then(|v| v.parse().ok()).expect("--load <f64>");
+                load = parse_f64("--load", flag_value(&args, i, "--load"));
                 i += 1;
             }
             "--locality" => {
-                locality = args.get(i + 1).and_then(|v| v.parse().ok()).expect("--locality <f64>");
+                locality = parse_f64("--locality", flag_value(&args, i, "--locality"));
                 i += 1;
             }
             "--schemes" => {
-                schemes = parse_schemes(args.get(i + 1).expect("--schemes <list>"));
+                schemes =
+                    registry::parse_csv(flag_value(&args, i, "--schemes")).unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    });
                 i += 1;
             }
-            _ => {} // --quick/--std/--full handled by Scale::from_args
+            _ => {} // --quick/--std/--full (or junk) handled by Scale::parse
         }
         i += 1;
     }
@@ -65,23 +63,5 @@ fn main() {
         grid.schemes.len()
     );
     let records = run_grid(&nets, &grid);
-    println!(
-        "network\tclass\tllpd\ttm\tscheme\tcongested_fraction\tlatency_stretch\tmax_stretch\tmax_util\tfits\truntime_ms"
-    );
-    for r in &records {
-        println!(
-            "{}\t{:?}\t{:.4}\t{}\t{}\t{:.6}\t{:.6}\t{:.4}\t{:.4}\t{}\t{:.2}",
-            r.network,
-            r.class,
-            r.llpd,
-            r.tm_index,
-            r.scheme,
-            r.congested_fraction,
-            r.latency_stretch,
-            r.max_flow_stretch,
-            r.max_utilization,
-            r.fits,
-            r.runtime_ms
-        );
-    }
+    print_records_tsv(&records, None, std::io::stdout().lock()).expect("stdout");
 }

@@ -1,0 +1,96 @@
+//! Open scenario sweep: the figure grids generalized to any
+//! (load × locality × scheme) cross product over the corpus, one TSV row
+//! per (scenario, network, matrix, scheme).
+//!
+//! Where the figure binaries reproduce the paper's fixed operating points,
+//! this is the exploration surface: survivability-style load escalation,
+//! locality sensitivity, scheme shoot-outs at arbitrary headrooms — all
+//! without touching code, on the full work-stealing engine.
+//!
+//! Usage:
+//! `cargo run --release --bin scenario_sweep -- [--quick|--std|--full]
+//!     [--loads 0.6,0.7,0.9] [--localities 0.0,1.0,2.0]
+//!     [--schemes SP,ECMP,B4-h10,MinMaxK10,LatOpt-h23,LDR]`
+
+use lowlat_core::schemes::registry;
+use lowlat_sim::output::{print_records_header, print_records_rows};
+use lowlat_sim::runner::{run_scenarios, Scale};
+
+fn parse_f64_list(flag: &str, spec: &str) -> Vec<f64> {
+    let values: Vec<f64> = spec
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} expects comma-separated numbers, got '{s}'");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if values.is_empty() {
+        eprintln!("error: {flag} expects at least one value");
+        std::process::exit(2);
+    }
+    values
+}
+
+fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("error: flag {flag} expects a value");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut loads = vec![0.7f64];
+    let mut localities = vec![1.0f64];
+    let mut schemes = registry::schemes(registry::DEFAULT_SPECS);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--loads" => {
+                loads = parse_f64_list("--loads", flag_value(&args, i, "--loads"));
+                i += 1;
+            }
+            "--localities" => {
+                localities = parse_f64_list("--localities", flag_value(&args, i, "--localities"));
+                i += 1;
+            }
+            "--schemes" => {
+                schemes =
+                    registry::parse_csv(flag_value(&args, i, "--schemes")).unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    });
+                i += 1;
+            }
+            _ => {} // --quick/--std/--full (or junk) handled by Scale::parse
+        }
+        i += 1;
+    }
+    let scale = Scale::from_args_filtered(&["--loads", "--localities", "--schemes"]);
+    let nets = scale.select_networks(lowlat_topology::zoo::synthetic_zoo());
+    eprintln!(
+        "scenario space: {} loads x {} localities over {} networks, {} matrices, {} schemes ({})",
+        loads.len(),
+        localities.len(),
+        nets.len(),
+        scale.tms_per_network(),
+        schemes.len(),
+        schemes.iter().map(|s| s.name()).collect::<Vec<_>>().join(",")
+    );
+    let scenarios: Vec<(f64, f64)> = loads
+        .iter()
+        .flat_map(|&load| localities.iter().map(move |&locality| (load, locality)))
+        .collect();
+    // One engine call: LLPD and the per-network path caches are computed
+    // once and reused across every scenario point.
+    let per_scenario = run_scenarios(&nets, &scenarios, scale.tms_per_network(), &schemes);
+    let stdout = std::io::stdout();
+    print_records_header(true, stdout.lock()).expect("stdout");
+    for (&(load, locality), records) in scenarios.iter().zip(&per_scenario) {
+        eprintln!("  load {load} locality {locality}: {} records", records.len());
+        print_records_rows(records, Some((load, locality)), stdout.lock()).expect("stdout");
+    }
+}

@@ -2,17 +2,12 @@
 //! routing (median and 90th percentile across matrices).
 
 use crate::output::Series;
-use crate::runner::{by_llpd, run_grid, RunGrid, Scale, SchemeKind};
+use crate::runner::{by_llpd, run_grid, RunGrid, Scale};
 
 /// Two series over (llpd, congested-pair fraction): median and p90.
 pub fn run(scale: Scale) -> Vec<Series> {
     let nets = scale.select_networks(lowlat_topology::zoo::synthetic_zoo());
-    let grid = RunGrid {
-        load: 0.7,
-        locality: 1.0,
-        tms_per_network: scale.tms_per_network(),
-        schemes: vec![SchemeKind::Sp],
-    };
+    let grid = RunGrid::with_schemes(0.7, 1.0, scale.tms_per_network(), &["SP"]);
     let records = run_grid(&nets, &grid);
     let rows = by_llpd(&records, "SP", |r| r.congested_fraction);
     vec![

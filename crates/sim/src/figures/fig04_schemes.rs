@@ -2,23 +2,18 @@
 //! schemes — latency-optimal, B4, MinMax, MinMax K=10.
 
 use crate::output::Series;
-use crate::runner::{by_llpd, run_grid, RunGrid, Scale, SchemeKind};
+use crate::runner::{by_llpd, run_grid, RunGrid, Scale};
 
 /// Per scheme, four series: congestion median/p90 and stretch median/p90,
 /// all over LLPD.
 pub fn run(scale: Scale) -> Vec<Series> {
     let nets = scale.select_networks(lowlat_topology::zoo::synthetic_zoo());
-    let grid = RunGrid {
-        load: 0.7,
-        locality: 1.0,
-        tms_per_network: scale.tms_per_network(),
-        schemes: vec![
-            SchemeKind::LatOpt { headroom: 0.0 },
-            SchemeKind::B4 { headroom: 0.0 },
-            SchemeKind::MinMax,
-            SchemeKind::MinMaxK(10),
-        ],
-    };
+    let grid = RunGrid::with_schemes(
+        0.7,
+        1.0,
+        scale.tms_per_network(),
+        &["LatOpt", "B4", "MinMax", "MinMaxK10"],
+    );
     let records = run_grid(&nets, &grid);
     let mut series = Vec::new();
     for scheme in ["LatOpt", "B4", "MinMax", "MinMaxK10"] {

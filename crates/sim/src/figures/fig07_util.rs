@@ -21,8 +21,8 @@ pub fn run(_scale: Scale) -> Vec<Series> {
         GravityTmGen::new(TmGenConfig::default()).generate(&topo, 0).scaled_to_load(&topo, 0.7);
     let mut out = Vec::new();
     for (name, placement) in [
-        ("Latency-optimal", LatencyOptimal::default().place(&topo, &tm).expect("latopt")),
-        ("MinMax", MinMaxRouting::unrestricted().place(&topo, &tm).expect("minmax")),
+        ("Latency-optimal", LatencyOptimal::default().place_on(&topo, &tm).expect("latopt")),
+        ("MinMax", MinMaxRouting::unrestricted().place_on(&topo, &tm).expect("minmax")),
     ] {
         let ev = PlacementEval::evaluate(&topo, &tm, &placement);
         let cdf = Cdf::new(ev.utilizations().to_vec());

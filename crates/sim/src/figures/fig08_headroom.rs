@@ -2,7 +2,7 @@
 //! (0%, 11%, 23%, 40%), at the lighter 0.6 min-cut load.
 
 use crate::output::Series;
-use crate::runner::{by_llpd, run_grid, RunGrid, Scale, SchemeKind};
+use crate::runner::{by_llpd, run_grid, RunGrid, Scale};
 
 /// Headroom values the paper sweeps.
 pub const HEADROOMS: [f64; 4] = [0.0, 0.11, 0.23, 0.40];
@@ -10,18 +10,16 @@ pub const HEADROOMS: [f64; 4] = [0.0, 0.11, 0.23, 0.40];
 /// One series per headroom: (llpd, median latency stretch).
 pub fn run(scale: Scale) -> Vec<Series> {
     let nets = scale.select_networks(lowlat_topology::zoo::synthetic_zoo());
-    let grid = RunGrid {
-        load: 0.6,
-        locality: 1.0,
-        tms_per_network: scale.tms_per_network(),
-        schemes: HEADROOMS.iter().map(|&h| SchemeKind::LatOpt { headroom: h }).collect(),
-    };
+    let specs: Vec<String> =
+        HEADROOMS.iter().map(|&h| format!("LatOpt-h{:02}", (h * 100.0).round() as u32)).collect();
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let grid = RunGrid::with_schemes(0.6, 1.0, scale.tms_per_network(), &spec_refs);
     let records = run_grid(&nets, &grid);
-    HEADROOMS
+    grid.schemes
         .iter()
-        .map(|&h| {
-            let name = SchemeKind::LatOpt { headroom: h }.name();
-            let rows = by_llpd(&records, &name, |r| r.latency_stretch);
+        .zip(&HEADROOMS)
+        .map(|(scheme, &h)| {
+            let rows = by_llpd(&records, &scheme.name(), |r| r.latency_stretch);
             Series::new(
                 format!("{}% headroom", (h * 100.0).round() as u32),
                 rows.iter().map(|&(l, m, _)| (l, m)).collect(),

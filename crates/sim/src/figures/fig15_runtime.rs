@@ -46,13 +46,13 @@ pub fn run(scale: Scale) -> Vec<Series> {
         // Cold: fresh cache, first run.
         let fresh = PathCache::new(topo.graph());
         let t0 = Instant::now();
-        let _ = Ldr::default().place_with_cache(&fresh, &tm);
+        let _ = Ldr::default().place(&fresh, &tm);
         cold.push(t0.elapsed().as_secs_f64() * 1000.0);
 
         // Warm: the same cache again (the scaling pass above plus the cold
         // run populated `fresh`; reuse it).
         let t0 = Instant::now();
-        let _ = Ldr::default().place_with_cache(&fresh, &tm);
+        let _ = Ldr::default().place(&fresh, &tm);
         warm.push(t0.elapsed().as_secs_f64() * 1000.0);
 
         let cap = match scale {
@@ -61,7 +61,7 @@ pub fn run(scale: Scale) -> Vec<Series> {
         };
         if topo.pop_count() <= cap {
             let t0 = Instant::now();
-            let _ = LinkBasedOptimal::default().place(topo, &tm);
+            let _ = LinkBasedOptimal::default().place_on(topo, &tm);
             link_based.push(t0.elapsed().as_secs_f64() * 1000.0);
         }
     }

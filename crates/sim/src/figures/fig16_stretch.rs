@@ -4,7 +4,7 @@
 //! B4's and MinMaxK10's failures.
 
 use crate::output::Series;
-use crate::runner::{run_grid, RunGrid, Scale, SchemeKind};
+use crate::runner::{run_grid, RunGrid, Scale};
 
 /// Which panel of the figure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,18 +24,12 @@ pub fn run(scale: Scale, panel: Panel) -> Vec<Series> {
         .into_iter()
         .map(|(t, _)| t)
         .collect();
-    let h = if matches!(panel, Panel::HighLlpdHeadroom) { 0.1 } else { 0.0 };
-    let grid = RunGrid {
-        load: 0.7,
-        locality: 1.0,
-        tms_per_network: scale.tms_per_network(),
-        schemes: vec![
-            SchemeKind::B4 { headroom: h },
-            SchemeKind::Ldr { headroom: h.max(1e-6) },
-            SchemeKind::MinMaxK(10),
-            SchemeKind::MinMax,
-        ],
+    let specs: &[&str] = if matches!(panel, Panel::HighLlpdHeadroom) {
+        &["B4-h10", "LDR-h10", "MinMaxK10", "MinMax"]
+    } else {
+        &["B4", "LDR-h00", "MinMaxK10", "MinMax"]
     };
+    let grid = RunGrid::with_schemes(0.7, 1.0, scale.tms_per_network(), specs);
     let records = run_grid(&nets, &grid);
     grid.schemes
         .iter()
@@ -60,9 +54,12 @@ pub fn run(scale: Scale, panel: Panel) -> Vec<Series> {
 }
 
 fn display_name(name: &str) -> String {
-    // The figure legend calls the 10%-headroom B4 just "B4".
+    // The figure legend drops headroom suffixes: the 10%-headroom B4 is
+    // just "B4", the zero-headroom LDR just "LDR".
     if name.starts_with("B4") {
         "B4".into()
+    } else if name.starts_with("LDR") {
+        "LDR".into()
     } else {
         name.to_string()
     }

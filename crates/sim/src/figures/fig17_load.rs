@@ -1,8 +1,10 @@
 //! Figure 17: effect of load on the median max flow stretch (networks with
 //! LLPD > 0.5).
 
+use lowlat_core::schemes::registry;
+
 use crate::output::Series;
-use crate::runner::{run_grid, RunGrid, Scale, SchemeKind};
+use crate::runner::{run_grid, RunGrid, Scale};
 use crate::stats::median_of;
 
 /// Load levels (percent of min-cut utilization) the paper sweeps.
@@ -14,12 +16,7 @@ pub const LOADS: [f64; 4] = [0.6, 0.7, 0.8, 0.9];
 pub fn run(scale: Scale) -> Vec<Series> {
     let nets: Vec<_> =
         super::networks_with_llpd(scale, |l| l > 0.5).into_iter().map(|(t, _)| t).collect();
-    let schemes = [
-        SchemeKind::B4 { headroom: 0.0 },
-        SchemeKind::Ldr { headroom: 0.1 },
-        SchemeKind::MinMax,
-        SchemeKind::MinMaxK(10),
-    ];
+    let schemes = registry::schemes(&["B4", "LDR", "MinMax", "MinMaxK10"]);
     let mut per_scheme: Vec<(String, Vec<(f64, f64)>)> =
         schemes.iter().map(|s| (s.name(), Vec::new())).collect();
     for &load in &LOADS {
@@ -27,7 +24,7 @@ pub fn run(scale: Scale) -> Vec<Series> {
             load,
             locality: 1.0,
             tms_per_network: scale.tms_per_network(),
-            schemes: schemes.to_vec(),
+            schemes: schemes.clone(),
         };
         let records = run_grid(&nets, &grid);
         for (name, points) in per_scheme.iter_mut() {

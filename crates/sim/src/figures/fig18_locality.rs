@@ -1,8 +1,10 @@
 //! Figure 18: effect of traffic locality on the median max flow stretch
 //! (networks with LLPD > 0.5, load 0.7).
 
+use lowlat_core::schemes::registry;
+
 use crate::output::Series;
-use crate::runner::{run_grid, RunGrid, Scale, SchemeKind};
+use crate::runner::{run_grid, RunGrid, Scale};
 use crate::stats::median_of;
 
 /// Locality values the paper sweeps.
@@ -12,12 +14,7 @@ pub const LOCALITIES: [f64; 5] = [0.0, 0.5, 1.0, 1.5, 2.0];
 pub fn run(scale: Scale) -> Vec<Series> {
     let nets: Vec<_> =
         super::networks_with_llpd(scale, |l| l > 0.5).into_iter().map(|(t, _)| t).collect();
-    let schemes = [
-        SchemeKind::B4 { headroom: 0.0 },
-        SchemeKind::Ldr { headroom: 0.1 },
-        SchemeKind::MinMax,
-        SchemeKind::MinMaxK(10),
-    ];
+    let schemes = registry::schemes(&["B4", "LDR", "MinMax", "MinMaxK10"]);
     let mut per_scheme: Vec<(String, Vec<(f64, f64)>)> =
         schemes.iter().map(|s| (s.name(), Vec::new())).collect();
     for &locality in &LOCALITIES {
@@ -25,7 +22,7 @@ pub fn run(scale: Scale) -> Vec<Series> {
             load: 0.7,
             locality,
             tms_per_network: scale.tms_per_network(),
-            schemes: schemes.to_vec(),
+            schemes: schemes.clone(),
         };
         let records = run_grid(&nets, &grid);
         for (name, points) in per_scheme.iter_mut() {

@@ -3,22 +3,18 @@
 //! fully converts new links into lower stretch.
 
 use lowlat_core::growth::{grow_by_llpd, GrowthPlanConfig};
+use lowlat_core::schemes::registry;
 use lowlat_topology::Topology;
 
 use crate::output::Series;
-use crate::runner::{run_grid, run_grid_replay, RunGrid, Scale, SchemeKind};
+use crate::runner::{run_grid, run_grid_replay, RunGrid, Scale};
 use crate::stats::{median_of, quantile_of};
 
 /// Picks hard-to-route networks: high median latency stretch under the
 /// latency-optimal scheme, cliques excluded (they cannot grow).
 fn hard_networks(scale: Scale, count: usize) -> Vec<Topology> {
     let nets = scale.select_networks(lowlat_topology::zoo::synthetic_zoo());
-    let grid = RunGrid {
-        load: 0.7,
-        locality: 1.0,
-        tms_per_network: 1,
-        schemes: vec![SchemeKind::LatOpt { headroom: 0.0 }],
-    };
+    let grid = RunGrid::with_schemes(0.7, 1.0, 1, &["LatOpt"]);
     let records = run_grid(&nets, &grid);
     let mut scored: Vec<(f64, &str)> = records
         .iter()
@@ -42,17 +38,12 @@ pub fn run(scale: Scale) -> Vec<Series> {
     let grown: Vec<Topology> =
         originals.iter().map(|t| grow_by_llpd(t, &GrowthPlanConfig::default()).topology).collect();
 
-    let schemes = [
-        SchemeKind::Ldr { headroom: 0.1 },
-        SchemeKind::MinMax,
-        SchemeKind::MinMaxK(10),
-        SchemeKind::B4 { headroom: 0.0 },
-    ];
+    let schemes = registry::schemes(&["LDR", "MinMax", "MinMaxK10", "B4"]);
     let grid = RunGrid {
         load: 0.7,
         locality: 1.0,
         tms_per_network: scale.tms_per_network(),
-        schemes: schemes.to_vec(),
+        schemes: schemes.clone(),
     };
     let before = run_grid(&originals, &grid);
     // Replay the *same* matrices on the grown topologies: growth raises the
@@ -61,7 +52,7 @@ pub fn run(scale: Scale) -> Vec<Series> {
     let after = run_grid_replay(&grown, &originals, &grid);
 
     let mut out = Vec::new();
-    for scheme in &schemes {
+    for scheme in &grid.schemes {
         let name = scheme.name();
         let mut med_pts = Vec::new();
         let mut p90_pts = Vec::new();

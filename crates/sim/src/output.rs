@@ -53,6 +53,60 @@ pub fn print_tsv(header: &str, series: &[Series], mut out: impl Write) -> std::i
     Ok(())
 }
 
+/// Prints raw [`RunRecord`]s as TSV, one row per (network, matrix, scheme).
+/// `scenario` prepends (load, locality) columns so rows from different
+/// sweep points stay distinguishable in one stream (the `scenario_sweep`
+/// format); `None` omits them (the `grid_sweep` format).
+pub fn print_records_tsv(
+    records: &[crate::runner::RunRecord],
+    scenario: Option<(f64, f64)>,
+    mut out: impl Write,
+) -> std::io::Result<()> {
+    print_records_header(scenario.is_some(), &mut out)?;
+    print_records_rows(records, scenario, out)
+}
+
+/// The column header line of [`print_records_tsv`], on its own — sweep
+/// binaries emit it once, then one [`print_records_rows`] block per
+/// scenario.
+pub fn print_records_header(with_scenario: bool, mut out: impl Write) -> std::io::Result<()> {
+    let prefix = if with_scenario { "load\tlocality\t" } else { "" };
+    writeln!(
+        out,
+        "{prefix}network\tclass\tllpd\ttm\tscheme\tcongested_fraction\tlatency_stretch\t\
+         max_stretch\tmax_util\tfits\truntime_ms"
+    )
+}
+
+/// The data rows of [`print_records_tsv`], without the header.
+pub fn print_records_rows(
+    records: &[crate::runner::RunRecord],
+    scenario: Option<(f64, f64)>,
+    mut out: impl Write,
+) -> std::io::Result<()> {
+    for r in records {
+        if let Some((load, locality)) = scenario {
+            write!(out, "{load}\t{locality}\t")?;
+        }
+        writeln!(
+            out,
+            "{}\t{:?}\t{:.4}\t{}\t{}\t{:.6}\t{:.6}\t{:.4}\t{:.4}\t{}\t{:.2}",
+            r.network,
+            r.class,
+            r.llpd,
+            r.tm_index,
+            r.scheme,
+            r.congested_fraction,
+            r.latency_stretch,
+            r.max_flow_stretch,
+            r.max_utilization,
+            r.fits,
+            r.runtime_ms
+        )?;
+    }
+    Ok(())
+}
+
 /// Renders series as a crude ASCII scatter (one glyph per series).
 pub fn ascii_plot(title: &str, series: &[Series], width: usize, height: usize) -> String {
     const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];

@@ -1,19 +1,29 @@
-//! Parallel (network × traffic-matrix × scheme) experiment execution.
+//! Work-stealing (network × traffic-matrix × scheme) experiment engine.
+//!
+//! The seed engine parallelized across *networks* only, so a Std/Full sweep
+//! spent its tail waiting on the few large topologies while most cores sat
+//! idle. This engine flattens the grid into individual work items — first
+//! `(network, matrix)` generation/scaling items, then
+//! `(network, matrix, scheme)` placement items — that workers steal off a
+//! shared atomic counter. All of a network's items share one lock-striped
+//! [`PathCache`], so the k-shortest-path work the min-cut scaling solve does
+//! is reused by every scheme, and schemes running concurrently on the same
+//! graph do not contend (§5's "readily cached" observation).
+//!
+//! Output is deterministic: every work item writes into its own pre-assigned
+//! slot, so the returned [`RunRecord`] order — and, `runtime_ms` aside, the
+//! records themselves — are identical whatever the worker count.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use lowlat_core::eval::PlacementEval;
 use lowlat_core::llpd::{LlpdAnalysis, LlpdConfig};
 use lowlat_core::pathset::PathCache;
 use lowlat_core::scale::min_cut_load_with_cache;
-use lowlat_core::schemes::b4::{B4Config, B4Routing};
-use lowlat_core::schemes::latopt::LatencyOptimal;
-use lowlat_core::schemes::ldr::Ldr;
-use lowlat_core::schemes::minmax::MinMaxRouting;
-use lowlat_core::schemes::sp::ShortestPathRouting;
-use lowlat_core::Placement;
+use lowlat_core::schemes::{registry, RoutingScheme};
 use lowlat_tmgen::{GravityTmGen, TmGenConfig, TrafficMatrix};
 use lowlat_topology::zoo::ZooClass;
 use lowlat_topology::Topology;
@@ -36,25 +46,51 @@ impl Scale {
     }
 
     /// As [`Scale::from_args`], but treats each flag in `value_flags` (and
-    /// the argument following it) as belonging to the caller, so binaries
-    /// with extra options don't trigger unknown-argument warnings.
+    /// the argument following it) as belonging to the caller. Unknown
+    /// arguments terminate the process with exit code 2 — a typoed flag
+    /// must not silently run a multi-hour sweep at the wrong settings.
     pub fn from_args_filtered(value_flags: &[&str]) -> Scale {
-        let mut scale = Scale::Std;
         let args: Vec<String> = std::env::args().skip(1).collect();
+        match Scale::parse(&args, value_flags) {
+            Ok(scale) => scale,
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses `--quick`/`--std`/`--full` out of `args`. Each flag in
+    /// `value_flags` is skipped together with the value following it;
+    /// anything else is an error.
+    pub fn parse(args: &[String], value_flags: &[&str]) -> Result<Scale, String> {
+        let mut scale = Scale::Std;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => scale = Scale::Quick,
                 "--std" => scale = Scale::Std,
                 "--full" => scale = Scale::Full,
-                other if value_flags.contains(&other) => i += 1, // skip value
+                other if value_flags.contains(&other) => {
+                    i += 1; // skip the flag's value
+                    if i >= args.len() {
+                        return Err(format!("flag {other} expects a value"));
+                    }
+                }
                 other => {
-                    eprintln!("ignoring unknown argument {other} (expected --quick/--std/--full)")
+                    return Err(format!(
+                        "unknown argument {other} (expected --quick/--std/--full{})",
+                        if value_flags.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" or one of {}", value_flags.join("/"))
+                        }
+                    ));
                 }
             }
             i += 1;
         }
-        scale
+        Ok(scale)
     }
 
     /// Subsets the corpus for this scale.
@@ -80,81 +116,10 @@ impl Scale {
     }
 }
 
-/// Which scheme to run, with its figure-specific knobs.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum SchemeKind {
-    /// Delay-weighted shortest path.
-    Sp,
-    /// B4-style greedy with the given headroom.
-    B4 {
-        /// Reserved capacity fraction (0 in Figure 4).
-        headroom: f64,
-    },
-    /// Pure MinMax.
-    MinMax,
-    /// MinMax over the k shortest paths.
-    MinMaxK(usize),
-    /// Latency-optimal with the given headroom.
-    LatOpt {
-        /// Reserved capacity fraction.
-        headroom: f64,
-    },
-    /// LDR with its static headroom (trace-free mode).
-    Ldr {
-        /// Reserved capacity fraction.
-        headroom: f64,
-    },
-}
-
-impl SchemeKind {
-    /// Display name matching the paper's legends.
-    pub fn name(&self) -> String {
-        match self {
-            SchemeKind::Sp => "SP".into(),
-            SchemeKind::B4 { headroom } if *headroom == 0.0 => "B4".into(),
-            SchemeKind::B4 { headroom } => format!("B4-h{:02}", (headroom * 100.0) as u32),
-            SchemeKind::MinMax => "MinMax".into(),
-            SchemeKind::MinMaxK(k) => format!("MinMaxK{k}"),
-            SchemeKind::LatOpt { headroom } if *headroom == 0.0 => "LatOpt".into(),
-            SchemeKind::LatOpt { headroom } => format!("LatOpt-h{:02}", (headroom * 100.0) as u32),
-            SchemeKind::Ldr { .. } => "LDR".into(),
-        }
-    }
-
-    fn run(&self, cache: &PathCache<'_>, topo: &Topology, tm: &TrafficMatrix) -> Option<Placement> {
-        match self {
-            SchemeKind::Sp => ShortestPathRouting.place_with_cache(cache, tm).ok(),
-            SchemeKind::B4 { headroom } => {
-                B4Routing::new(B4Config { headroom: *headroom, ..Default::default() })
-                    .place_with_cache(cache, tm)
-                    .ok()
-            }
-            SchemeKind::MinMax => {
-                MinMaxRouting::unrestricted().solve_with_cache(cache, tm).ok().map(|o| o.placement)
-            }
-            SchemeKind::MinMaxK(k) => {
-                MinMaxRouting::with_k(*k).solve_with_cache(cache, tm).ok().map(|o| o.placement)
-            }
-            SchemeKind::LatOpt { headroom } => LatencyOptimal::with_headroom(*headroom)
-                .solve_with_cache(cache, tm)
-                .ok()
-                .map(|o| o.placement),
-            SchemeKind::Ldr { headroom } => {
-                let cfg = lowlat_core::schemes::ldr::LdrConfig {
-                    static_headroom: *headroom,
-                    ..Default::default()
-                };
-                Ldr::new(cfg).place_with_cache(cache, tm).ok()
-            }
-        }
-        .inspect(|p| {
-            debug_assert!(p.validate(topo.graph(), tm).is_ok());
-        })
-    }
-}
-
-/// Grid parameters shared by most figures.
-#[derive(Clone, Debug)]
+/// Grid parameters shared by most figures. Schemes are trait objects built
+/// directly or requested by name through the registry
+/// ([`RunGrid::with_schemes`]).
+#[derive(Clone)]
 pub struct RunGrid {
     /// Target min-cut load after scaling (0.7 in Figures 3/4/16, 0.6 in 8).
     pub load: f64,
@@ -163,7 +128,28 @@ pub struct RunGrid {
     /// Matrices per network.
     pub tms_per_network: u64,
     /// Schemes to evaluate.
-    pub schemes: Vec<SchemeKind>,
+    pub schemes: Vec<Arc<dyn RoutingScheme>>,
+}
+
+impl RunGrid {
+    /// Builds a grid whose schemes are registry specs ("SP", "B4-h10", …).
+    ///
+    /// # Panics
+    /// Panics on an unknown scheme spec.
+    pub fn with_schemes(load: f64, locality: f64, tms_per_network: u64, specs: &[&str]) -> RunGrid {
+        RunGrid { load, locality, tms_per_network, schemes: registry::schemes(specs) }
+    }
+}
+
+impl fmt::Debug for RunGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunGrid")
+            .field("load", &self.load)
+            .field("locality", &self.locality)
+            .field("tms_per_network", &self.tms_per_network)
+            .field("schemes", &self.schemes.iter().map(|s| s.name()).collect::<Vec<_>>())
+            .finish()
+    }
 }
 
 /// One (network, matrix, scheme) measurement.
@@ -189,18 +175,53 @@ pub struct RunRecord {
     pub max_utilization: f64,
     /// No link over capacity.
     pub fits: bool,
-    /// Placement wall time.
+    /// Placement wall time. The only non-deterministic field; compare runs
+    /// with [`RunRecord::deterministic_repr`].
     pub runtime_ms: f64,
+}
+
+impl RunRecord {
+    /// Canonical text form of every deterministic field — what the
+    /// determinism suite compares byte-for-byte across worker counts
+    /// (`runtime_ms` is wall time and necessarily excluded).
+    pub fn deterministic_repr(&self) -> String {
+        format!(
+            "{}|{:?}|{:.12e}|{}|{}|{:.12e}|{:.12e}|{:.12e}|{:.12e}|{}",
+            self.network,
+            self.class,
+            self.llpd,
+            self.tm_index,
+            self.scheme,
+            self.congested_fraction,
+            self.latency_stretch,
+            self.max_flow_stretch,
+            self.max_utilization,
+            self.fits
+        )
+    }
+}
+
+/// Worker count used when the caller does not pin one.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
 
 /// Computes LLPD for many networks in parallel. Returns values aligned with
 /// the input order.
 pub fn llpd_map(networks: &[Topology], config: &LlpdConfig) -> Vec<f64> {
+    llpd_map_with_workers(networks, config, default_workers())
+}
+
+/// As [`llpd_map`] with an explicit worker count.
+pub fn llpd_map_with_workers(
+    networks: &[Topology],
+    config: &LlpdConfig,
+    workers: usize,
+) -> Vec<f64> {
     let results: Vec<Mutex<f64>> = networks.iter().map(|_| Mutex::new(0.0)).collect();
     let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     std::thread::scope(|s| {
-        for _ in 0..workers.min(networks.len()) {
+        for _ in 0..workers.max(1).min(networks.len()) {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= networks.len() {
@@ -214,9 +235,19 @@ pub fn llpd_map(networks: &[Topology], config: &LlpdConfig) -> Vec<f64> {
     results.into_iter().map(|m| m.into_inner().expect("poisoned")).collect()
 }
 
-/// Runs the grid over the given networks, parallel across networks.
+/// Runs the grid over the given networks with the default worker count.
 pub fn run_grid(networks: &[Topology], grid: &RunGrid) -> Vec<RunRecord> {
-    run_grid_replay(networks, networks, grid)
+    run_grid_with_workers(networks, grid, default_workers())
+}
+
+/// As [`run_grid`] with an explicit worker count (the determinism suite
+/// pins 1 vs many).
+pub fn run_grid_with_workers(
+    networks: &[Topology],
+    grid: &RunGrid,
+    workers: usize,
+) -> Vec<RunRecord> {
+    run_grid_replay_with_workers(networks, networks, grid, workers)
 }
 
 /// As [`run_grid`], but generates and scales each network's traffic on the
@@ -230,77 +261,163 @@ pub fn run_grid_replay(
     traffic_from: &[Topology],
     grid: &RunGrid,
 ) -> Vec<RunRecord> {
+    run_grid_replay_with_workers(networks, traffic_from, grid, default_workers())
+}
+
+/// The full engine: [`run_grid_replay`] with an explicit worker count.
+pub fn run_grid_replay_with_workers(
+    networks: &[Topology],
+    traffic_from: &[Topology],
+    grid: &RunGrid,
+    workers: usize,
+) -> Vec<RunRecord> {
     assert_eq!(networks.len(), traffic_from.len());
-    let llpds = llpd_map(networks, &LlpdConfig::default());
-    let all: Vec<Mutex<Vec<RunRecord>>> = networks.iter().map(|_| Mutex::new(Vec::new())).collect();
-    let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    std::thread::scope(|s| {
-        for _ in 0..workers.min(networks.len()) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= networks.len() {
-                    break;
+    for (net, from) in networks.iter().zip(traffic_from) {
+        assert_eq!(net.pop_count(), from.pop_count(), "replay needs matching PoP sets");
+    }
+    let workers = workers.max(1);
+    let llpds = llpd_map_with_workers(networks, &LlpdConfig::default(), workers);
+
+    // One shared cache per network, serving the scaling solve and every
+    // (matrix, scheme) placement on that network. In replay mode the donor
+    // topology's graph differs from the routed one, so scaling gets its own
+    // cache; otherwise both roles share a single cache and the Yen work of
+    // the min-cut solve warms the schemes'.
+    let caches: Vec<PathCache<'_>> = networks.iter().map(|t| PathCache::new(t.graph())).collect();
+    let scale_caches: Vec<Option<PathCache<'_>>> = networks
+        .iter()
+        .zip(traffic_from)
+        .map(
+            |(net, from)| {
+                if std::ptr::eq(net, from) {
+                    None
+                } else {
+                    Some(PathCache::new(from.graph()))
                 }
-                let records = run_network_replay(&networks[i], &traffic_from[i], llpds[i], grid);
-                *all[i].lock().expect("poisoned") = records;
+            },
+        )
+        .collect();
+
+    run_with_resources(networks, traffic_from, grid, workers, &llpds, &caches, &scale_caches)
+}
+
+/// Sweeps many (load, locality) scenario points over one corpus. LLPD and
+/// the per-network path caches — the graph-only work — are computed once
+/// and shared across every point; only traffic generation, scaling and
+/// placement rerun per scenario. This is the `scenario_sweep` backend.
+pub fn run_scenarios(
+    networks: &[Topology],
+    scenarios: &[(f64, f64)],
+    tms_per_network: u64,
+    schemes: &[Arc<dyn RoutingScheme>],
+) -> Vec<Vec<RunRecord>> {
+    let workers = default_workers();
+    let llpds = llpd_map_with_workers(networks, &LlpdConfig::default(), workers);
+    let caches: Vec<PathCache<'_>> = networks.iter().map(|t| PathCache::new(t.graph())).collect();
+    let scale_caches: Vec<Option<PathCache<'_>>> = networks.iter().map(|_| None).collect();
+    scenarios
+        .iter()
+        .map(|&(load, locality)| {
+            let grid = RunGrid { load, locality, tms_per_network, schemes: schemes.to_vec() };
+            run_with_resources(networks, networks, &grid, workers, &llpds, &caches, &scale_caches)
+        })
+        .collect()
+}
+
+/// One scenario's two-stage work-stealing pass over precomputed per-network
+/// resources — the common core of the one-shot entry points and
+/// [`run_scenarios`].
+fn run_with_resources<'g>(
+    networks: &'g [Topology],
+    traffic_from: &'g [Topology],
+    grid: &RunGrid,
+    workers: usize,
+    llpds: &[f64],
+    caches: &[PathCache<'g>],
+    scale_caches: &[Option<PathCache<'g>>],
+) -> Vec<RunRecord> {
+    let tms = grid.tms_per_network as usize;
+
+    // Stage 1: steal (network, matrix) items — generate, min-cut-scale.
+    let matrix_slots: Vec<Mutex<Option<TrafficMatrix>>> =
+        (0..networks.len() * tms).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(matrix_slots.len()) {
+            s.spawn(|| {
+                let gen = GravityTmGen::new(TmGenConfig {
+                    locality: grid.locality,
+                    ..Default::default()
+                });
+                loop {
+                    let item = next.fetch_add(1, Ordering::Relaxed);
+                    if item >= matrix_slots.len() {
+                        break;
+                    }
+                    let (n, t) = (item / tms, item % tms);
+                    let raw = gen.generate(&traffic_from[n], t as u64);
+                    let scale_cache = scale_caches[n].as_ref().unwrap_or(&caches[n]);
+                    // LP failure or an empty matrix: leave the slot empty,
+                    // keep the run alive.
+                    let Ok(u0) = min_cut_load_with_cache(scale_cache, &raw) else {
+                        continue;
+                    };
+                    if u0 <= 0.0 {
+                        continue;
+                    }
+                    *matrix_slots[item].lock().expect("poisoned") =
+                        Some(raw.scaled(grid.load / u0));
+                }
             });
         }
     });
-    all.into_iter().flat_map(|m| m.into_inner().expect("poisoned")).collect()
-}
+    let matrices: Vec<Option<TrafficMatrix>> =
+        matrix_slots.into_iter().map(|m| m.into_inner().expect("poisoned")).collect();
 
-/// Runs one network's share of the grid (sequential; parallelism lives one
-/// level up).
-pub fn run_network(topo: &Topology, llpd: f64, grid: &RunGrid) -> Vec<RunRecord> {
-    run_network_replay(topo, topo, llpd, grid)
-}
-
-/// As [`run_network`], with traffic generated and scaled on `traffic_from`
-/// (see [`run_grid_replay`]). Both topologies must share the same PoP set.
-pub fn run_network_replay(
-    topo: &Topology,
-    traffic_from: &Topology,
-    llpd: f64,
-    grid: &RunGrid,
-) -> Vec<RunRecord> {
-    assert_eq!(topo.pop_count(), traffic_from.pop_count(), "replay needs matching PoP sets");
-    let mut records = Vec::new();
-    let gen = GravityTmGen::new(TmGenConfig { locality: grid.locality, ..Default::default() });
-    let scale_cache = PathCache::new(traffic_from.graph());
-    let cache = PathCache::new(topo.graph());
-    for tm_index in 0..grid.tms_per_network {
-        let raw = gen.generate(traffic_from, tm_index);
-        let Ok(u0) = min_cut_load_with_cache(&scale_cache, &raw) else {
-            continue; // LP failure: skip this matrix, keep the run alive
-        };
-        if u0 <= 0.0 {
-            continue;
-        }
-        let tm = raw.scaled(grid.load / u0);
-        for scheme in &grid.schemes {
-            let started = Instant::now();
-            let Some(placement) = scheme.run(&cache, topo, &tm) else {
-                continue;
-            };
-            let runtime_ms = started.elapsed().as_secs_f64() * 1000.0;
-            let ev = PlacementEval::evaluate(topo, &tm, &placement);
-            records.push(RunRecord {
-                network: topo.name().to_string(),
-                class: ZooClass::of(topo),
-                llpd,
-                tm_index,
-                scheme: scheme.name(),
-                congested_fraction: ev.congested_pair_fraction(),
-                latency_stretch: ev.latency_stretch(),
-                max_flow_stretch: ev.max_flow_stretch(),
-                max_utilization: ev.max_utilization(),
-                fits: ev.fits(),
-                runtime_ms,
+    // Stage 2: steal (network, matrix, scheme) items — place and evaluate.
+    // Scheme index varies fastest, so slot order reproduces the classic
+    // nested-loop record order.
+    let total = networks.len() * tms * grid.schemes.len();
+    let record_slots: Vec<Mutex<Option<RunRecord>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(total) {
+            s.spawn(|| loop {
+                let item = next.fetch_add(1, Ordering::Relaxed);
+                if item >= total {
+                    break;
+                }
+                let scheme = &grid.schemes[item % grid.schemes.len()];
+                let flat_tm = item / grid.schemes.len();
+                let (n, t) = (flat_tm / tms, flat_tm % tms);
+                let Some(tm) = matrices[flat_tm].as_ref() else {
+                    continue;
+                };
+                let started = Instant::now();
+                let Ok(placement) = scheme.place(&caches[n], tm) else {
+                    continue; // solver failure: skip the item, keep the run
+                };
+                let runtime_ms = started.elapsed().as_secs_f64() * 1000.0;
+                debug_assert!(placement.validate(networks[n].graph(), tm).is_ok());
+                let ev = PlacementEval::evaluate(&networks[n], tm, &placement);
+                *record_slots[item].lock().expect("poisoned") = Some(RunRecord {
+                    network: networks[n].name().to_string(),
+                    class: ZooClass::of(&networks[n]),
+                    llpd: llpds[n],
+                    tm_index: t as u64,
+                    scheme: scheme.name(),
+                    congested_fraction: ev.congested_pair_fraction(),
+                    latency_stretch: ev.latency_stretch(),
+                    max_flow_stretch: ev.max_flow_stretch(),
+                    max_utilization: ev.max_utilization(),
+                    fits: ev.fits(),
+                    runtime_ms,
+                });
             });
         }
-    }
-    records
+    });
+    record_slots.into_iter().filter_map(|m| m.into_inner().expect("poisoned")).collect()
 }
 
 /// Groups records by network and reduces a metric to (llpd, median, p90)
@@ -333,19 +450,12 @@ mod tests {
     #[test]
     fn grid_runs_all_schemes_on_abilene() {
         let topo = named::abilene();
-        let grid = RunGrid {
-            load: 0.7,
-            locality: 1.0,
-            tms_per_network: 1,
-            schemes: vec![
-                SchemeKind::Sp,
-                SchemeKind::B4 { headroom: 0.0 },
-                SchemeKind::MinMax,
-                SchemeKind::MinMaxK(10),
-                SchemeKind::LatOpt { headroom: 0.0 },
-                SchemeKind::Ldr { headroom: 0.1 },
-            ],
-        };
+        let grid = RunGrid::with_schemes(
+            0.7,
+            1.0,
+            1,
+            &["SP", "B4", "MinMax", "MinMaxK10", "LatOpt", "LDR"],
+        );
         let records = run_grid(&[topo], &grid);
         assert_eq!(records.len(), 6, "one record per scheme");
         for r in &records {
@@ -362,6 +472,50 @@ mod tests {
         // SP and B4 at least produce sane numbers.
         let sp = records.iter().find(|r| r.scheme == "SP").unwrap();
         assert!((sp.latency_stretch - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_order_is_network_matrix_scheme() {
+        let nets = [named::abilene(), named::nsfnet()];
+        let grid = RunGrid::with_schemes(0.7, 1.0, 2, &["SP", "ECMP"]);
+        let records = run_grid(&nets, &grid);
+        assert_eq!(records.len(), 2 * 2 * 2);
+        for (i, r) in records.iter().enumerate() {
+            let want_net = if i < 4 { "Abilene" } else { "NSFNET" };
+            assert_eq!(r.network, want_net, "record {i}");
+            assert_eq!(r.tm_index, (i as u64 / 2) % 2, "record {i}");
+            assert_eq!(r.scheme, if i % 2 == 0 { "SP" } else { "ECMP" }, "record {i}");
+        }
+    }
+
+    #[test]
+    fn scale_parse_accepts_known_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(Scale::parse(&args(&[]), &[]), Ok(Scale::Std));
+        assert_eq!(Scale::parse(&args(&["--quick"]), &[]), Ok(Scale::Quick));
+        assert_eq!(Scale::parse(&args(&["--std", "--full"]), &[]), Ok(Scale::Full));
+    }
+
+    #[test]
+    fn scale_parse_skips_value_flags_with_their_values() {
+        let args: Vec<String> = ["--load", "0.7", "--quick", "--schemes", "SP,B4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(Scale::parse(&args, &["--load", "--schemes"]), Ok(Scale::Quick));
+        // The value after a value flag is consumed even when it looks like
+        // a scale flag.
+        let tricky: Vec<String> = ["--note", "--full"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(Scale::parse(&tricky, &["--note"]), Ok(Scale::Std));
+    }
+
+    #[test]
+    fn scale_parse_rejects_unknown_and_dangling() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(Scale::parse(&args(&["--fast"]), &[]).is_err());
+        assert!(Scale::parse(&args(&["extra"]), &["--load"]).is_err());
+        // A value flag at the end of the line is missing its value.
+        assert!(Scale::parse(&args(&["--load"]), &["--load"]).is_err());
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub fn simulate(
 
     let static_sp: Option<Placement> = match controller {
         Controller::StaticShortestPath => {
-            Some(ShortestPathRouting.place(topology, tm).expect("sp"))
+            Some(ShortestPathRouting.place_on(topology, tm).expect("sp"))
         }
         Controller::Ldr => None,
     };

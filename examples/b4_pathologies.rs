@@ -18,8 +18,8 @@ fn main() {
     let mut b4_congested_any = false;
     for i in 0..5 {
         let tm = gen.generate(&topo, i).scaled_to_load(&topo, 0.7);
-        let b4 = B4Routing::default().place(&topo, &tm).unwrap();
-        let opt = LatencyOptimal::default().place(&topo, &tm).unwrap();
+        let b4 = B4Routing::default().place_on(&topo, &tm).unwrap();
+        let opt = LatencyOptimal::default().place_on(&topo, &tm).unwrap();
         let ev_b4 = PlacementEval::evaluate(&topo, &tm, &b4);
         let ev_opt = PlacementEval::evaluate(&topo, &tm, &opt);
         b4_congested_any |= ev_b4.congested_pair_fraction() > 0.0;
@@ -37,7 +37,7 @@ fn main() {
     for i in 0..5 {
         let tm = gen.generate(&topo, i).scaled_to_load(&topo, 0.7);
         let b4h = B4Routing::new(B4Config { headroom: 0.1, ..Default::default() })
-            .place(&topo, &tm)
+            .place_on(&topo, &tm)
             .unwrap();
         let ev = PlacementEval::evaluate(&topo, &tm, &b4h);
         println!(

@@ -30,7 +30,7 @@ fn main() {
     ] {
         let stretch = |t: &Topology| -> f64 {
             let tm = gen.generate(t, 0).scaled_to_load(t, 0.7);
-            let placement = scheme.place(t, &tm).expect("scheme failed");
+            let placement = scheme.place_on(t, &tm).expect("scheme failed");
             PlacementEval::evaluate(t, &tm, &placement).latency_stretch()
         };
         println!("{:<10} {:>10.4} {:>10.4}", name, stretch(&topo), stretch(&plan.topology));

@@ -45,7 +45,7 @@ fn main() {
         ("LDR", Box::new(Ldr::default())),
     ];
     for (name, scheme) in schemes {
-        let placement = scheme.place(&topo, &tm).expect("scheme failed");
+        let placement = scheme.place_on(&topo, &tm).expect("scheme failed");
         let ev = PlacementEval::evaluate(&topo, &tm, &placement);
         println!(
             "{:<10} {:>9.1}% {:>10.4} {:>12.3} {:>9.3}",

@@ -12,6 +12,15 @@ verify:
 bench:
     cargo bench
 
+# Open scenario sweep over the corpus: any loads x localities x schemes
+# (registry specs). Results land in sweeps/ as TSV.
+sweep loads="0.6,0.7,0.9" localities="1.0" schemes="SP,ECMP,B4,MinMax,MinMaxK10,LatOpt,LDR" scale="--std":
+    mkdir -p sweeps
+    cargo run --release -p lowlat_sim --bin scenario_sweep -- {{scale}} \
+        --loads {{loads}} --localities {{localities}} --schemes {{schemes}} \
+        > sweeps/scenario_sweep.tsv
+    @echo "wrote sweeps/scenario_sweep.tsv"
+
 # Reproduce the paper's figures into figures/*.tsv (ASCII sketches go to
 # stderr). Pass scale="--quick" for a CI-sized run, "--full" for the paper's.
 figures scale="--std":

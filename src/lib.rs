@@ -29,8 +29,8 @@
 //! let tm = GravityTmGen::new(TmGenConfig::default())
 //!     .generate(&topo, 1)
 //!     .scaled_to_load(&topo, 0.7);
-//! let sp = ShortestPathRouting.place(&topo, &tm).unwrap();
-//! let ldr = Ldr::default().place(&topo, &tm).unwrap();
+//! let sp = ShortestPathRouting.place_on(&topo, &tm).unwrap();
+//! let ldr = Ldr::default().place_on(&topo, &tm).unwrap();
 //! let ev_sp = PlacementEval::evaluate(&topo, &tm, &sp);
 //! let ev_ldr = PlacementEval::evaluate(&topo, &tm, &ldr);
 //! assert!(ev_ldr.congested_pair_fraction() <= ev_sp.congested_pair_fraction());

@@ -12,14 +12,18 @@ fn standard_tm(topo: &Topology, index: u64) -> TrafficMatrix {
 fn minmax_and_latopt_fit_what_sp_congests() {
     let topo = named::gts_like();
     let tm = standard_tm(&topo, 0);
-    let sp = PlacementEval::evaluate(&topo, &tm, &ShortestPathRouting.place(&topo, &tm).unwrap());
+    let sp =
+        PlacementEval::evaluate(&topo, &tm, &ShortestPathRouting.place_on(&topo, &tm).unwrap());
     let mm = PlacementEval::evaluate(
         &topo,
         &tm,
-        &MinMaxRouting::unrestricted().place(&topo, &tm).unwrap(),
+        &MinMaxRouting::unrestricted().place_on(&topo, &tm).unwrap(),
     );
-    let lo =
-        PlacementEval::evaluate(&topo, &tm, &LatencyOptimal::default().place(&topo, &tm).unwrap());
+    let lo = PlacementEval::evaluate(
+        &topo,
+        &tm,
+        &LatencyOptimal::default().place_on(&topo, &tm).unwrap(),
+    );
     // At 0.7 min-cut load the traffic fits by construction; load-aware
     // schemes must fit it, and SP must be the congestion-prone one.
     assert!(mm.fits());
@@ -37,13 +41,14 @@ fn scheme_latency_ordering_matches_paper() {
         let lo = PlacementEval::evaluate(
             &topo,
             &tm,
-            &LatencyOptimal::default().place(&topo, &tm).unwrap(),
+            &LatencyOptimal::default().place_on(&topo, &tm).unwrap(),
         );
-        let ldr = PlacementEval::evaluate(&topo, &tm, &Ldr::default().place(&topo, &tm).unwrap());
+        let ldr =
+            PlacementEval::evaluate(&topo, &tm, &Ldr::default().place_on(&topo, &tm).unwrap());
         let mm = PlacementEval::evaluate(
             &topo,
             &tm,
-            &MinMaxRouting::unrestricted().place(&topo, &tm).unwrap(),
+            &MinMaxRouting::unrestricted().place_on(&topo, &tm).unwrap(),
         );
         assert!(lo.latency_stretch() >= 1.0 - 1e-6);
         assert!(
@@ -75,7 +80,7 @@ fn all_schemes_produce_valid_placements_on_all_named_networks() {
         ];
         for scheme in schemes {
             let placement = scheme
-                .place(&topo, &tm)
+                .place_on(&topo, &tm)
                 .unwrap_or_else(|e| panic!("{} failed on {}: {e}", scheme.name(), topo.name()));
             placement
                 .validate(topo.graph(), &tm)
@@ -93,13 +98,13 @@ fn headroom_dial_interpolates_to_minmax() {
     let mm = PlacementEval::evaluate(
         &topo,
         &tm,
-        &MinMaxRouting::unrestricted().place(&topo, &tm).unwrap(),
+        &MinMaxRouting::unrestricted().place_on(&topo, &tm).unwrap(),
     );
     let spare = 1.0 - mm.max_utilization();
     let dialed = PlacementEval::evaluate(
         &topo,
         &tm,
-        &LatencyOptimal::with_headroom(spare - 1e-6).place(&topo, &tm).unwrap(),
+        &LatencyOptimal::with_headroom(spare - 1e-6).place_on(&topo, &tm).unwrap(),
     );
     assert!(
         (dialed.latency_stretch() - mm.latency_stretch()).abs() < 0.05,
@@ -114,8 +119,9 @@ fn google_like_unroutable_by_sp_but_fine_for_ldr() {
     // Figure 19's point.
     let topo = named::google_like();
     let tm = standard_tm(&topo, 0);
-    let sp = PlacementEval::evaluate(&topo, &tm, &ShortestPathRouting.place(&topo, &tm).unwrap());
-    let ldr = PlacementEval::evaluate(&topo, &tm, &Ldr::default().place(&topo, &tm).unwrap());
+    let sp =
+        PlacementEval::evaluate(&topo, &tm, &ShortestPathRouting.place_on(&topo, &tm).unwrap());
+    let ldr = PlacementEval::evaluate(&topo, &tm, &Ldr::default().place_on(&topo, &tm).unwrap());
     assert!(sp.congested_pair_fraction() > 0.0, "SP must congest the B4-like WAN");
     assert!(ldr.fits(), "LDR handles it");
 }

@@ -83,7 +83,7 @@ proptest! {
             Box::new(Ldr::default()),
         ];
         for scheme in schemes {
-            let placement = scheme.place(&topo, &tm);
+            let placement = scheme.place_on(&topo, &tm);
             let placement = match placement {
                 Ok(p) => p,
                 Err(e) => return Err(TestCaseError::fail(format!("{}: {e}", scheme.name()))),
@@ -112,7 +112,7 @@ proptest! {
     ) {
         let demands: Vec<_> = demands.into_iter().filter(|&(s, d, _)| s < topo.pop_count() && d < topo.pop_count()).collect();
         let Some(tm) = build_tm(&demands) else { return Ok(()); };
-        let opt = LatencyOptimal::default().place(&topo, &tm).expect("latopt");
+        let opt = LatencyOptimal::default().place_on(&topo, &tm).expect("latopt");
         let ev_opt = PlacementEval::evaluate(&topo, &tm, &opt);
         if !ev_opt.fits() {
             return Ok(()); // congestion unavoidable: bound doesn't apply
@@ -121,7 +121,7 @@ proptest! {
             Box::new(MinMaxRouting::with_k(6)) as Box<dyn RoutingScheme>,
             Box::new(B4Routing::default()),
         ] {
-            let other = scheme.place(&topo, &tm).expect("scheme");
+            let other = scheme.place_on(&topo, &tm).expect("scheme");
             let ev = PlacementEval::evaluate(&topo, &tm, &other);
             if ev.fits() {
                 prop_assert!(
