@@ -1,0 +1,32 @@
+//! Timeline-controller benchmarks: one full §5 deployment-cycle run
+//! (measure → optimize → install → replay) per iteration, LDR's full
+//! Figure-14 loop against the placed-once baseline. The spread between the
+//! two is the cost of adaptivity; `warmstart.rs` measures how much of that
+//! cost the basis reuse claws back.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lowlat_bench::abilene;
+use lowlat_core::scale::ScaleToLoad;
+use lowlat_sim::timeline::{simulate, Controller, TimelineConfig};
+use lowlat_tmgen::{GravityTmGen, TmGenConfig};
+
+fn bench_timeline(c: &mut Criterion) {
+    let topo = abilene();
+    let tm =
+        GravityTmGen::new(TmGenConfig::default()).generate(&topo, 0).scaled_to_load(&topo, 0.7);
+    let cfg = TimelineConfig { minutes: 3, warmup_minutes: 2, cv: 0.3, seed: 7 };
+    let mut group = c.benchmark_group("timeline/abilene-3min");
+    group.sample_size(10);
+    for controller in [Controller::ldr(), Controller::static_sp()] {
+        let name = controller.name();
+        group.bench_function(name, |b| {
+            b.iter(|| simulate(black_box(&topo), &tm, &controller, &cfg).worst_queue_ms())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeline);
+criterion_main!(benches);

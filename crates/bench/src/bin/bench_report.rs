@@ -1,0 +1,342 @@
+//! Bench-regression gate: turns the criterion stand-in's stdout into a
+//! committed `BENCH_N.json` baseline and fails when a tracked median
+//! regresses against the latest committed baseline.
+//!
+//! Usage (reads bench output from stdin):
+//!
+//! ```text
+//! cargo bench -p lowlat_bench --bench substrates --bench fig_schemes \
+//!     --bench warmstart --bench timeline \
+//!   | cargo run --release -p lowlat_bench --bin bench_report -- \
+//!       --baseline auto --out BENCH_2.json --max-regress 0.25 --skip engine/
+//! ```
+//!
+//! * `--baseline auto` (default) picks the highest-numbered `BENCH_*.json`
+//!   in the working directory; `--baseline none` skips the gate.
+//! * `--out auto` writes the next free `BENCH_N.json` (never overwriting
+//!   the committed baseline); an explicit path writes exactly there.
+//! * `--max-regress 0.25` fails the run when any overlapping bench's median
+//!   is more than 25% slower than the baseline.
+//! * `--skip PREFIX` exempts benches from the gate (repeatable). The
+//!   `engine/*` benches are meaningless on 1-CPU runners — BENCH_1.json's
+//!   host note — so CI passes `--skip engine/`.
+//! * `--min-us 20` ignores sub-threshold medians: micro-benches jitter far
+//!   beyond 25% on shared runners.
+//!
+//! Exit codes: 0 ok, 1 regression(s), 2 usage/parse error.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_report: error: {msg}");
+    std::process::exit(2);
+}
+
+/// Parses a Rust `Duration` debug rendering ("693ns", "4.071µs",
+/// "234.989595ms", "2.01s") into microseconds.
+fn parse_duration_us(s: &str) -> Option<f64> {
+    let (num, scale) = if let Some(v) = s.strip_suffix("ns") {
+        (v, 1e-3)
+    } else if let Some(v) = s.strip_suffix("µs").or_else(|| s.strip_suffix("μs")) {
+        (v, 1.0)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1e3)
+    } else if let Some(v) = s.strip_suffix("s") {
+        (v, 1e6)
+    } else {
+        return None;
+    };
+    num.parse::<f64>().ok().map(|v| v * scale)
+}
+
+/// Extracts `name -> median_us` from bench stdout lines of the form
+/// `<id>  median <duration>   (<n> samples, total <duration>)`.
+fn parse_bench_output(text: &str) -> BTreeMap<String, (f64, u64)> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let Some(pos) = tokens.iter().position(|&t| t == "median") else {
+            continue;
+        };
+        if pos == 0 || pos + 1 >= tokens.len() {
+            continue;
+        }
+        let Some(median_us) = parse_duration_us(tokens[pos + 1]) else {
+            continue;
+        };
+        let samples: u64 =
+            tokens.get(pos + 2).and_then(|t| t.trim_start_matches('(').parse().ok()).unwrap_or(0);
+        out.insert(tokens[0].to_string(), (median_us, samples));
+    }
+    out
+}
+
+/// Pulls `"<name>": { "median_us": <v> }` pairs out of a committed
+/// `BENCH_*.json` without a JSON dependency: scans for quoted keys whose
+/// object opens with a `median_us` field, which only bench entries do.
+fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let read_string = |i: &mut usize| -> Option<String> {
+        while *i < bytes.len() && bytes[*i] != b'"' {
+            *i += 1;
+        }
+        if *i >= bytes.len() {
+            return None;
+        }
+        let start = *i + 1;
+        let mut end = start;
+        while end < bytes.len() && bytes[end] != b'"' {
+            end += 1;
+        }
+        *i = end + 1;
+        Some(text[start..end].to_string())
+    };
+    while i < bytes.len() {
+        let Some(key) = read_string(&mut i) else { break };
+        // Expect `: {` then `"median_us"` as the first quoted token.
+        let mut j = i;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b':') {
+            continue;
+        }
+        j += 1;
+        while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'{') {
+            continue;
+        }
+        let mut k = j + 1;
+        let Some(field) = read_string(&mut k) else { break };
+        if field != "median_us" {
+            continue;
+        }
+        while k < bytes.len() && bytes[k] != b':' {
+            k += 1;
+        }
+        k += 1;
+        let start = k;
+        while k < bytes.len() && !matches!(bytes[k], b',' | b'}' | b'\n') {
+            k += 1;
+        }
+        if let Ok(v) = text[start..k].trim().parse::<f64>() {
+            out.insert(key, v);
+        }
+        i = k;
+    }
+    out
+}
+
+/// Latest committed baseline: the highest N among `BENCH_N.json`.
+fn find_latest_baseline() -> Option<(u32, String)> {
+    let mut best: Option<(u32, String)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(n) = name.strip_prefix("BENCH_").and_then(|r| r.strip_suffix(".json")) {
+            if let Ok(n) = n.parse::<u32>() {
+                if best.as_ref().is_none_or(|(b, _)| n > *b) {
+                    best = Some((n, name));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Days-since-epoch to (year, month, day) — Howard Hinnant's civil-from-days.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days(secs / 86_400);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_arg = "auto".to_string();
+    let mut out_path: Option<String> = None;
+    let mut max_regress = 0.25f64;
+    let mut min_us = 20.0f64;
+    let mut skips: Vec<String> = Vec::new();
+    let mut command: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> String {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{} expects a value", args[i])))
+        };
+        match args[i].as_str() {
+            "--baseline" => {
+                baseline_arg = value(i);
+                i += 1;
+            }
+            "--out" => {
+                out_path = Some(value(i));
+                i += 1;
+            }
+            "--max-regress" => {
+                max_regress = value(i).parse().unwrap_or_else(|_| fail("bad --max-regress"));
+                i += 1;
+            }
+            "--min-us" => {
+                min_us = value(i).parse().unwrap_or_else(|_| fail("bad --min-us"));
+                i += 1;
+            }
+            "--skip" => {
+                skips.push(value(i));
+                i += 1;
+            }
+            "--command" => {
+                command = Some(value(i));
+                i += 1;
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let mut input = String::new();
+    std::io::stdin().read_to_string(&mut input).unwrap_or_else(|e| fail(&format!("stdin: {e}")));
+    let current = parse_bench_output(&input);
+    if current.is_empty() {
+        fail("no bench medians found on stdin (pipe `cargo bench` output in)");
+    }
+    eprintln!("bench_report: parsed {} bench medians", current.len());
+
+    // Gate against the latest committed baseline.
+    let baseline: Option<(String, BTreeMap<String, f64>)> = match baseline_arg.as_str() {
+        "none" => None,
+        "auto" => find_latest_baseline().map(|(_, name)| {
+            let text = std::fs::read_to_string(&name)
+                .unwrap_or_else(|e| fail(&format!("read {name}: {e}")));
+            (name, parse_baseline(&text))
+        }),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+            Some((path.to_string(), parse_baseline(&text)))
+        }
+    };
+
+    let mut regressions: Vec<String> = Vec::new();
+    if let Some((name, base)) = &baseline {
+        eprintln!(
+            "bench_report: gating against {name} ({} entries, +{:.0}% budget)",
+            base.len(),
+            max_regress * 100.0
+        );
+        for (bench, (cur_us, _)) in &current {
+            let Some(&base_us) = base.get(bench) else {
+                eprintln!("  new      {bench}: {cur_us:.1}us (no baseline)");
+                continue;
+            };
+            let delta = cur_us / base_us - 1.0;
+            if skips.iter().any(|s| bench.starts_with(s.as_str())) {
+                eprintln!(
+                    "  skipped  {bench}: {base_us:.1} -> {cur_us:.1}us ({delta:+.1}%)",
+                    delta = delta * 100.0
+                );
+                continue;
+            }
+            if base_us < min_us {
+                eprintln!(
+                    "  tiny     {bench}: {base_us:.1} -> {cur_us:.1}us (below {min_us}us floor)"
+                );
+                continue;
+            }
+            if delta > max_regress {
+                eprintln!(
+                    "  REGRESS  {bench}: {base_us:.1} -> {cur_us:.1}us ({:+.1}%)",
+                    delta * 100.0
+                );
+                regressions.push(format!("{bench} ({:+.1}%)", delta * 100.0));
+            } else {
+                eprintln!(
+                    "  ok       {bench}: {base_us:.1} -> {cur_us:.1}us ({:+.1}%)",
+                    delta * 100.0
+                );
+            }
+        }
+    } else {
+        eprintln!("bench_report: no baseline — recording only");
+    }
+
+    // `--out auto` writes the *next* free BENCH_N.json so a casual run can
+    // never clobber the committed baseline the gate compares against.
+    let out_path = out_path.map(|p| {
+        if p == "auto" {
+            let next = find_latest_baseline().map_or(1, |(n, _)| n + 1);
+            format!("BENCH_{next}.json")
+        } else {
+            p
+        }
+    });
+    if let Some(path) = &out_path {
+        let n: u32 = std::path::Path::new(path)
+            .file_name()
+            .and_then(|f| f.to_str())
+            .and_then(|f| f.strip_prefix("BENCH_"))
+            .and_then(|f| f.strip_suffix(".json"))
+            .and_then(|f| f.parse().ok())
+            .unwrap_or(0);
+        let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str(&format!("  \"baseline\": {n},\n"));
+        json.push_str(&format!("  \"date\": \"{}\",\n", today()));
+        json.push_str(&format!(
+            "  \"command\": \"{}\",\n",
+            command.as_deref().unwrap_or("cargo bench -p lowlat_bench | bench_report")
+        ));
+        json.push_str("  \"host\": {\n    \"os\": \"");
+        json.push_str(std::env::consts::OS);
+        json.push_str(&format!(
+            "\",\n    \"cpus\": {cpus},\n    \"arch\": \"{}\",\n",
+            std::env::consts::ARCH
+        ));
+        json.push_str(
+            "    \"note\": \"engine/* medians are worker-count-bound; compare them only \
+             across hosts with the same CPU count (see BENCH_1.json)\"\n  },\n",
+        );
+        json.push_str("  \"benches\": {\n");
+        let entries: Vec<String> = current
+            .iter()
+            .map(|(name, (us, samples))| {
+                format!(
+                    "    \"{name}\": {{\n      \"median_us\": {us:.3},\n      \
+                     \"samples\": {samples}\n    }}"
+                )
+            })
+            .collect();
+        json.push_str(&entries.join(",\n"));
+        json.push_str("\n  }\n}\n");
+        std::fs::write(path, json).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        eprintln!("bench_report: wrote {path}");
+    }
+
+    if !regressions.is_empty() {
+        eprintln!("bench_report: {} regression(s): {}", regressions.len(), regressions.join(", "));
+        std::process::exit(1);
+    }
+}

@@ -29,12 +29,117 @@
 //! objective can rebalance them (the Figure-6 effect), which the LP can only
 //! exploit if the alternative paths exist in the model.
 
-use lowlat_linprog::{LpError, Problem, Relation, Solution};
+use std::collections::HashMap;
+
+use lowlat_linprog::{Basis, LpError, Problem, Relation, Solution};
 use lowlat_netgraph::{Graph, LinkId, Path};
 use lowlat_tmgen::TrafficMatrix;
 
 use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
+
+/// Warm-start state carried across LP solves — one per scheme instance in a
+/// long-running controller (the §5 deployment cycle re-solves nearly
+/// identical LPs every minute).
+///
+/// The growth loop poses a *sequence* of LPs per call (one per round, each a
+/// different size as path sets grow), so the context keys stored bases by
+/// `(objective mode, rows, vars)`: when the next minute's solve retraces the
+/// same growth trajectory — the common case on an unchanged topology — every
+/// round restarts from the matching basis of the previous minute.
+/// [`lowlat_linprog::Problem::solve_warm`] degrades stale bases to cold
+/// solves on its own, so a context can never change *what* is computed, only
+/// how fast.
+#[derive(Debug, Default)]
+pub struct SolveContext {
+    bases: HashMap<(u8, usize, usize), StoredBasis>,
+    warm_hits: usize,
+    solves: usize,
+}
+
+/// A stored basis plus the solve count at its last use, for eviction.
+#[derive(Debug, Default)]
+struct StoredBasis {
+    basis: Basis,
+    last_used: usize,
+}
+
+/// Stored bases beyond this trigger eviction of stale entries — a
+/// long-lived controller whose growth trajectories drift would otherwise
+/// accumulate one (possibly multi-MB, inverse-carrying) basis per shape
+/// ever seen.
+const MAX_STORED_BASES: usize = 64;
+
+/// Eviction horizon: entries not used for this many solves are dropped
+/// when the context is over [`MAX_STORED_BASES`].
+const STALE_AFTER_SOLVES: usize = 256;
+
+impl SolveContext {
+    /// A fresh (all-cold) context.
+    pub fn new() -> Self {
+        SolveContext::default()
+    }
+
+    /// The basis slot for an LP of the given mode and dimensions.
+    fn slot(&mut self, tag: u8, rows: usize, vars: usize) -> &mut Basis {
+        if self.bases.len() > MAX_STORED_BASES {
+            let now = self.solves;
+            self.bases.retain(|_, s| now - s.last_used < STALE_AFTER_SOLVES);
+        }
+        let entry = self.bases.entry((tag, rows, vars)).or_default();
+        entry.last_used = self.solves;
+        &mut entry.basis
+    }
+
+    /// Seeds `to_tag`'s slot from `from_tag`'s basis of the same problem
+    /// shape when the target has nothing stored yet. Phase 2 optimizes a
+    /// different objective over phase 1's feasible region, so phase 1's
+    /// optimal vertex is a valid primal-feasible restart for it.
+    fn seed_cross_mode(&mut self, from_tag: u8, to_tag: u8, rows: usize, vars: usize) {
+        let to_key = (to_tag, rows, vars);
+        if self.bases.get(&to_key).is_none_or(|s| !s.basis.is_warm()) {
+            if let Some(src) = self.bases.get(&(from_tag, rows, vars)) {
+                if src.basis.is_warm() {
+                    let seeded = StoredBasis { basis: src.basis.clone(), last_used: self.solves };
+                    self.bases.insert(to_key, seeded);
+                }
+            }
+        }
+    }
+
+    /// Moves a stored basis to the re-labelled key of a grown problem —
+    /// see [`Basis::remap_columns`].
+    fn remap_entry(
+        &mut self,
+        tag: u8,
+        rows: usize,
+        old_vars: usize,
+        new_vars: usize,
+        map: &[usize],
+    ) {
+        if let Some(mut s) = self.bases.remove(&(tag, rows, old_vars)) {
+            if s.basis.remap_columns(old_vars, new_vars, map) {
+                s.last_used = self.solves;
+                self.bases.insert((tag, rows, new_vars), s);
+            }
+        }
+    }
+
+    /// LP solves that actually restarted from a stored basis.
+    pub fn warm_hits(&self) -> usize {
+        self.warm_hits
+    }
+
+    /// Total LP solves routed through this context.
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+
+    /// Drops all stored bases (e.g. after a topology change).
+    pub fn clear(&mut self) {
+        self.bases.clear();
+    }
+}
 
 /// Tunables for the LP + growth loop.
 #[derive(Clone, Debug)]
@@ -100,12 +205,27 @@ struct LpOutcome {
     /// Links at the critical level (overloaded / at max utilization /
     /// saturated), for growth targeting.
     critical_links: Vec<LinkId>,
+    /// Constraint rows of the solved LP (the warm-start context key).
+    rows: usize,
 }
 
-/// Builds and solves one LP over the given path sets.
+impl LpMode {
+    /// Context key tag: LPs of different modes never share a basis.
+    fn tag(&self) -> u8 {
+        match self {
+            LpMode::MinOverload => 0,
+            LpMode::MinUtilization => 1,
+            LpMode::MinLatency { .. } => 2,
+        }
+    }
+}
+
+/// Builds and solves one LP over the given path sets, warm-starting from
+/// (and refreshing) the context's basis for this mode and problem size.
 ///
 /// `volumes[a]` is the (possibly inflated — LDR) demand of aggregate `a`;
 /// `cap_scale` scales every capacity (1 - headroom).
+#[allow(clippy::too_many_arguments)] // one call site; a params struct would just rename the args
 fn solve_lp(
     graph: &Graph,
     aggs: &[AggInfo],
@@ -114,6 +234,7 @@ fn solve_lp(
     cap_scale: f64,
     m1: f64,
     mode: &LpMode,
+    ctx: &mut SolveContext,
 ) -> Result<LpOutcome, LpError> {
     let nl = graph.link_count();
     // Fixed loads from single-path aggregates; variable index per (a, p).
@@ -158,9 +279,21 @@ fn solve_lp(
 
     let mut p = Problem::minimize(total_vars);
 
+    // The deployment-cycle modes (MinOverload, MinLatency) pose their split
+    // variables as *absolute traffic* `z_ap = B_a x_ap`, not fractions:
+    // that keeps every constraint coefficient independent of the demands,
+    // so the minute-to-minute LPs differ only in right-hand sides and
+    // objective — exactly the change a warm restart absorbs with a few
+    // dual pivots and a carried basis inverse (a coefficient change would
+    // force an O(m³) refactorization instead). MinUtilization keeps the
+    // fraction form: its `B_a/C_l` coefficients are O(1)-conditioned, it
+    // is not on the per-minute hot path, and the two forms never share a
+    // basis (different mode tags).
+    let traffic_units = !matches!(mode, LpMode::MinUtilization);
+    //
     // Capacity rows, scaled by 1/cap for conditioning:
-    //   Σ (B_a / C_l) x_ap - o_l <= cap_scale - fixed_l / C_l      (overload modes)
-    //   Σ (B_a / C_l) x_ap - U   <= -fixed_l / C_l                 (MinUtilization)
+    //   Σ (z_ap / C_l) - o_l <= cap_scale - fixed_l / C_l      (overload modes)
+    //   Σ (B_a x_ap / C_l) - U <= -fixed_l / C_l               (MinUtilization)
     for (oi, &l) in used_links.iter().enumerate() {
         let cap = graph.link(LinkId(l as u32)).capacity_mbps;
         let mut coeffs: Vec<(usize, f64)> = Vec::new();
@@ -168,7 +301,8 @@ fn solve_lp(
             if paths.len() > 1 {
                 for (pi, path) in paths.iter().enumerate() {
                     if path.links().iter().any(|&pl| pl.idx() == l) {
-                        coeffs.push((var_of[a][pi], volumes[a] / cap));
+                        let unit = if traffic_units { 1.0 } else { volumes[a] };
+                        coeffs.push((var_of[a][pi], unit / cap));
                     }
                 }
             }
@@ -190,11 +324,12 @@ fn solve_lp(
             p.add_row(Relation::Le, 0.0, &[(o_var_base + oi, 1.0), (aux, -1.0)]);
         }
     }
-    // Σ_p x_ap = 1 per multi-path aggregate.
-    for vars in &var_of {
+    // Σ_p z_ap = B_a (traffic units) or Σ_p x_ap = 1 per multi-path
+    // aggregate.
+    for (a, vars) in var_of.iter().enumerate() {
         if !vars.is_empty() {
             let coeffs: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
-            p.add_row(Relation::Eq, 1.0, &coeffs);
+            p.add_row(Relation::Eq, if traffic_units { volumes[a] } else { 1.0 }, &coeffs);
         }
     }
 
@@ -218,7 +353,8 @@ fn solve_lp(
                         let w = aggs[a].flows
                             * path.delay_ms()
                             * (1.0 + m1 / aggs[a].sp_delay.max(1e-9));
-                        p.set_objective(var_of[a][pi], w / norm);
+                        // Per unit of traffic: z_ap carries B_a x_ap.
+                        p.set_objective(var_of[a][pi], w / (norm * volumes[a].max(1e-12)));
                     }
                 }
             }
@@ -236,7 +372,7 @@ fn solve_lp(
                         if paths.len() > 1 {
                             for (pi, path) in paths.iter().enumerate() {
                                 if path.links().iter().any(|&pl| pl.idx() == l) {
-                                    coeffs.push((var_of[a][pi], volumes[a] / cap));
+                                    coeffs.push((var_of[a][pi], 1.0 / cap));
                                 }
                             }
                         }
@@ -249,9 +385,31 @@ fn solve_lp(
         }
     }
 
-    let sol = p.solve()?;
+    // Phase 2 shares phase 1's rows and columns; restart it from phase 1's
+    // vertex when no previous phase-2 basis fits.
+    if matches!(mode, LpMode::MinLatency { .. }) {
+        ctx.seed_cross_mode(LpMode::MinOverload.tag(), mode.tag(), p.num_rows(), p.num_vars());
+    }
+    let basis = ctx.slot(mode.tag(), p.num_rows(), p.num_vars());
+    let sol = p.solve_warm(basis)?;
+    ctx.solves += 1;
+    if sol.warm_started() {
+        ctx.warm_hits += 1;
+    }
+    static LP_DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if *LP_DEBUG.get_or_init(|| std::env::var_os("LOWLAT_LP_DEBUG").is_some()) {
+        eprintln!(
+            "    lp tag {} rows {} vars {}: {} pivots warm={}",
+            mode.tag(),
+            p.num_rows(),
+            p.num_vars(),
+            sol.iterations(),
+            sol.warm_started()
+        );
+    }
 
-    // Extract fractions and the critical link set.
+    // Extract fractions (z_ap / B_a in traffic units) and the critical
+    // link set.
     let fractions: Vec<Vec<f64>> = path_sets
         .iter()
         .enumerate()
@@ -259,14 +417,15 @@ fn solve_lp(
             if paths.len() == 1 {
                 vec![1.0]
             } else {
-                normalize_fractions(var_of[a].iter().map(|&v| sol.value(v)).collect())
+                let b = if traffic_units { volumes[a].max(1e-12) } else { 1.0 };
+                normalize_fractions(var_of[a].iter().map(|&v| sol.value(v) / b).collect())
             }
         })
         .collect();
 
     let (level, critical_links) =
         critical_links_of(graph, &sol, mode, &used_links, o_var_base, aux);
-    Ok(LpOutcome { fractions, level, pivots: sol.iterations(), critical_links })
+    Ok(LpOutcome { fractions, level, pivots: sol.iterations(), critical_links, rows: p.num_rows() })
 }
 
 /// LP round-off can leave fraction sums at 1 ± 1e-8; renormalize exactly.
@@ -400,6 +559,64 @@ fn grow_crossing(
     grew
 }
 
+/// After a growth step that only *appended* paths — no single→multi
+/// transitions, no newly used links — the grown LP keeps the exact rows of
+/// the one just solved, so its stored basis can be re-labelled to the new
+/// column numbering and the next solve restarts from the placement it just
+/// computed instead of running cold. Silently does nothing when the growth
+/// changed the row structure.
+fn remap_basis_after_growth(
+    ctx: &mut SolveContext,
+    tag: u8,
+    rows: usize,
+    graph: &Graph,
+    old_lens: &[usize],
+    path_sets: &[Vec<Path>],
+) {
+    // A single-path aggregate turning multi-path gains a Σz = B row.
+    if old_lens.iter().zip(path_sets).any(|(&o, s)| o == 1 && s.len() > 1) {
+        return;
+    }
+    // The old solve's used-link set (single-path fixed loads count too).
+    let mut used = vec![false; graph.link_count()];
+    for (a, s) in path_sets.iter().enumerate() {
+        for p in &s[..old_lens[a]] {
+            for &l in p.links() {
+                used[l.idx()] = true;
+            }
+        }
+    }
+    // New paths must not introduce new capacity rows.
+    for (a, s) in path_sets.iter().enumerate() {
+        if s[old_lens[a]..].iter().any(|p| p.links().iter().any(|&l| !used[l.idx()])) {
+            return;
+        }
+    }
+    let num_o = used.iter().filter(|&&u| u).count();
+    // Structural layout (mirrors solve_lp): per-aggregate z blocks in
+    // order, then one o per used link, then the aux variable.
+    let mut new_base = vec![0usize; path_sets.len()];
+    let mut num_x_new = 0usize;
+    for (a, s) in path_sets.iter().enumerate() {
+        if s.len() > 1 {
+            new_base[a] = num_x_new;
+            num_x_new += s.len();
+        }
+    }
+    let mut map = Vec::new();
+    for (a, &old_len) in old_lens.iter().enumerate() {
+        if old_len > 1 {
+            map.extend((0..old_len).map(|pi| new_base[a] + pi));
+        }
+    }
+    for oi in 0..=num_o {
+        map.push(num_x_new + oi); // o vars and, last, the aux variable
+    }
+    let old_structural = map.len();
+    let new_structural = num_x_new + num_o + 1;
+    ctx.remap_entry(tag, rows, old_structural, new_structural, &map);
+}
+
 /// The latency-optimal solve: Figure 13's loop around Figure 12's LP.
 ///
 /// `volumes` may differ from the matrix volumes (LDR inflates them to add
@@ -410,7 +627,20 @@ pub fn solve_latency_optimal(
     volumes: &[f64],
     config: &GrowthConfig,
 ) -> Result<GrowOutcome, LpError> {
-    solve_latency_optimal_weighted(cache, tm, volumes, None, config)
+    solve_latency_optimal_weighted_ctx(cache, tm, volumes, None, config, &mut SolveContext::new())
+}
+
+/// As [`solve_latency_optimal`], warm-starting every LP from `ctx` — the
+/// deployment-cycle entry point: keep one context per scheme and successive
+/// calls (minutes) restart from each other's bases.
+pub fn solve_latency_optimal_ctx(
+    cache: &PathCache<'_>,
+    tm: &TrafficMatrix,
+    volumes: &[f64],
+    config: &GrowthConfig,
+    ctx: &mut SolveContext,
+) -> Result<GrowOutcome, LpError> {
+    solve_latency_optimal_weighted_ctx(cache, tm, volumes, None, config, ctx)
 }
 
 /// As [`solve_latency_optimal`], with per-aggregate objective weights — the
@@ -423,6 +653,25 @@ pub fn solve_latency_optimal_weighted(
     volumes: &[f64],
     class_weights: Option<&[f64]>,
     config: &GrowthConfig,
+) -> Result<GrowOutcome, LpError> {
+    solve_latency_optimal_weighted_ctx(
+        cache,
+        tm,
+        volumes,
+        class_weights,
+        config,
+        &mut SolveContext::new(),
+    )
+}
+
+/// The full-generality solve: class weights and warm-start context.
+pub fn solve_latency_optimal_weighted_ctx(
+    cache: &PathCache<'_>,
+    tm: &TrafficMatrix,
+    volumes: &[f64],
+    class_weights: Option<&[f64]>,
+    config: &GrowthConfig,
+    ctx: &mut SolveContext,
 ) -> Result<GrowOutcome, LpError> {
     assert_eq!(volumes.len(), tm.aggregates().len());
     if let Some(w) = class_weights {
@@ -457,6 +706,7 @@ pub fn solve_latency_optimal_weighted(
             cap_scale,
             config.m1,
             &LpMode::MinOverload,
+            ctx,
         )?;
         pivots += out.pivots;
         omax = out.level;
@@ -478,7 +728,7 @@ pub fn solve_latency_optimal_weighted(
     // Phase 2: minimize delay subject to the achieved overload level (with
     // slack covering LP tolerance so phase 1's solution stays feasible).
     let mode = LpMode::MinLatency { omax_cap: omax * (1.0 + 1e-6) + 1e-7, util_cap: f64::INFINITY };
-    let mut out = solve_lp(graph, &aggs, &path_sets, volumes, cap_scale, config.m1, &mode)?;
+    let mut out = solve_lp(graph, &aggs, &path_sets, volumes, cap_scale, config.m1, &mode, ctx)?;
     pivots += out.pivots;
 
     // Refinement: give the delay objective alternatives across *saturated*
@@ -492,11 +742,13 @@ pub fn solve_latency_optimal_weighted(
         if saturated.is_empty() {
             break;
         }
+        let old_lens: Vec<usize> = path_sets.iter().map(|s| s.len()).collect();
         if !grow_crossing(cache, tm, &mut path_sets, &out.fractions, &saturated, config.growth_step)
         {
             break;
         }
-        let next = solve_lp(graph, &aggs, &path_sets, volumes, cap_scale, config.m1, &mode)?;
+        remap_basis_after_growth(ctx, mode.tag(), out.rows, graph, &old_lens, &path_sets);
+        let next = solve_lp(graph, &aggs, &path_sets, volumes, cap_scale, config.m1, &mode, ctx)?;
         pivots += next.pivots;
         out = next;
         rounds += 1;
@@ -519,6 +771,17 @@ pub fn solve_minmax(
     tm: &TrafficMatrix,
     k_limit: Option<usize>,
     config: &GrowthConfig,
+) -> Result<GrowOutcome, LpError> {
+    solve_minmax_ctx(cache, tm, k_limit, config, &mut SolveContext::new())
+}
+
+/// As [`solve_minmax`], warm-starting every LP from `ctx` across calls.
+pub fn solve_minmax_ctx(
+    cache: &PathCache<'_>,
+    tm: &TrafficMatrix,
+    k_limit: Option<usize>,
+    config: &GrowthConfig,
+    ctx: &mut SolveContext,
 ) -> Result<GrowOutcome, LpError> {
     let graph = cache.graph();
     if tm.is_empty() {
@@ -543,8 +806,16 @@ pub fn solve_minmax(
     let mut best_u = f64::INFINITY;
     loop {
         rounds += 1;
-        let out =
-            solve_lp(graph, &aggs, &path_sets, &volumes, 1.0, config.m1, &LpMode::MinUtilization)?;
+        let out = solve_lp(
+            graph,
+            &aggs,
+            &path_sets,
+            &volumes,
+            1.0,
+            config.m1,
+            &LpMode::MinUtilization,
+            ctx,
+        )?;
         pivots += out.pivots;
         let improved = out.level < best_u * (1.0 - 1e-4);
         best_u = best_u.min(out.level);
@@ -568,7 +839,7 @@ pub fn solve_minmax(
         omax_cap: (best_u - 1.0).max(0.0) * (1.0 + 1e-6) + 1e-7,
         util_cap: best_u * (1.0 + 1e-5) + 1e-7,
     };
-    let out = solve_lp(graph, &aggs, &path_sets, &volumes, 1.0, config.m1, &mode)?;
+    let out = solve_lp(graph, &aggs, &path_sets, &volumes, 1.0, config.m1, &mode, ctx)?;
     pivots += out.pivots;
     let omax = (best_u - 1.0).max(0.0);
     Ok(GrowOutcome {
@@ -722,6 +993,40 @@ mod tests {
         let out = solve_minmax(&cache, &tm, Some(1), &GrowthConfig::default()).unwrap();
         let pl = out.placement.aggregate(0);
         assert!((pl.mean_delay_ms() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_context_warm_starts_successive_minutes() {
+        let topo = two_path();
+        let cache = PathCache::new(topo.graph());
+        let tm = tm_one(150.0);
+        let mut ctx = SolveContext::new();
+        let cfg = GrowthConfig::default();
+        // Minute 0 seeds the context (phase 2 may already restart from
+        // phase 1's basis within the call).
+        let first = solve_latency_optimal_ctx(&cache, &tm, &[150.0], &cfg, &mut ctx).unwrap();
+        let solves_minute0 = ctx.solves();
+        let hits_minute0 = ctx.warm_hits();
+        // Minutes 1..: slightly drifted demand, same growth trajectory.
+        for (minute, vol) in [152.0, 149.0, 155.0].into_iter().enumerate() {
+            let warm = solve_latency_optimal_ctx(&cache, &tm, &[vol], &cfg, &mut ctx).unwrap();
+            let cold = solve_latency_optimal(&cache, &tm, &[vol], &cfg).unwrap();
+            assert!(
+                (warm.placement.aggregate(0).mean_delay_ms()
+                    - cold.placement.aggregate(0).mean_delay_ms())
+                .abs()
+                    < 1e-6,
+                "minute {minute}: warm and cold placements must agree"
+            );
+            assert!((warm.omax - cold.omax).abs() < 1e-9);
+        }
+        assert!(
+            ctx.warm_hits() - hits_minute0 >= ctx.solves() - solves_minute0 - 1,
+            "successive minutes must restart warm: {} hits over {} post-seed solves",
+            ctx.warm_hits() - hits_minute0,
+            ctx.solves() - solves_minute0
+        );
+        let _ = first;
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use lowlat_tmgen::TrafficMatrix;
 
-use crate::pathgrow::{solve_latency_optimal, GrowOutcome, GrowthConfig};
+use crate::pathgrow::{solve_latency_optimal_ctx, GrowOutcome, GrowthConfig, SolveContext};
 use crate::pathset::PathCache;
 use crate::placement::Placement;
 use crate::schemes::{RoutingScheme, SchemeError};
@@ -41,8 +41,19 @@ impl LatencyOptimal {
         cache: &PathCache<'_>,
         tm: &TrafficMatrix,
     ) -> Result<GrowOutcome, SchemeError> {
+        self.solve_with_cache_ctx(cache, tm, &mut SolveContext::new())
+    }
+
+    /// As [`LatencyOptimal::solve_with_cache`], warm-starting the LPs from
+    /// `ctx` (kept across successive calls by timeline controllers).
+    pub fn solve_with_cache_ctx(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+        ctx: &mut SolveContext,
+    ) -> Result<GrowOutcome, SchemeError> {
         let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
-        Ok(solve_latency_optimal(cache, tm, &volumes, &self.config.growth)?)
+        Ok(solve_latency_optimal_ctx(cache, tm, &volumes, &self.config.growth, ctx)?)
     }
 }
 
@@ -58,6 +69,15 @@ impl RoutingScheme for LatencyOptimal {
 
     fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
         Ok(self.solve_with_cache(cache, tm)?.placement)
+    }
+
+    fn place_with_context(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+        ctx: &mut SolveContext,
+    ) -> Result<Placement, SchemeError> {
+        Ok(self.solve_with_cache_ctx(cache, tm, ctx)?.placement)
     }
 }
 

@@ -21,12 +21,12 @@
 
 use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::Topology;
-use lowlat_traffic::{AggregateTrace, MultiplexCheck, MultiplexConfig, Predictor};
+use lowlat_traffic::{AggregateTrace, MultiplexCheck, MultiplexConfig};
 
-use crate::pathgrow::{solve_latency_optimal, GrowthConfig};
+use crate::pathgrow::{solve_latency_optimal_ctx, GrowthConfig, SolveContext};
 use crate::pathset::PathCache;
 use crate::placement::Placement;
-use crate::schemes::{RoutingScheme, SchemeError};
+use crate::schemes::{predict_volumes, RoutingScheme, SchemeError};
 
 /// Configuration for [`Ldr`].
 #[derive(Clone, Debug)]
@@ -101,17 +101,16 @@ impl Ldr {
         &self,
         cache: &PathCache<'_>,
         tm: &TrafficMatrix,
+        ctx: &mut SolveContext,
     ) -> Result<Placement, SchemeError> {
         let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
         let cfg =
             GrowthConfig { headroom: self.config.static_headroom, ..self.config.growth.clone() };
-        Ok(solve_latency_optimal(cache, tm, &volumes, &cfg)?.placement)
+        Ok(solve_latency_optimal_ctx(cache, tm, &volumes, &cfg, ctx)?.placement)
     }
 
-    /// The full Figure-14 loop. `traces[i]` is the measured history of
-    /// aggregate `i` (aligned with `tm.aggregates()`); the last minute's
-    /// 100 ms samples feed the multiplexing tests and the minute means feed
-    /// Algorithm 1.
+    /// The full Figure-14 loop through a fresh private cache — one-shot
+    /// convenience over [`Ldr::place_with_traces_ctx`].
     ///
     /// # Panics
     /// Panics if `traces` is not aligned with the matrix.
@@ -121,30 +120,43 @@ impl Ldr {
         tm: &TrafficMatrix,
         traces: &[AggregateTrace],
     ) -> Result<LdrOutcome, SchemeError> {
+        self.place_with_traces_ctx(
+            &PathCache::new(topology.graph()),
+            tm,
+            traces,
+            &mut SolveContext::new(),
+        )
+    }
+
+    /// The full Figure-14 loop. `traces[i]` is the measured history of
+    /// aggregate `i` (aligned with `tm.aggregates()`); the last minute's
+    /// 100 ms samples feed the multiplexing tests and the minute means feed
+    /// Algorithm 1. Every LP warm-starts from `ctx` — both across the
+    /// inner tweak iterations and, when the caller keeps the context,
+    /// across successive minutes of the deployment cycle.
+    ///
+    /// # Panics
+    /// Panics if `traces` is not aligned with the matrix.
+    pub fn place_with_traces_ctx(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+        traces: &[AggregateTrace],
+        ctx: &mut SolveContext,
+    ) -> Result<LdrOutcome, SchemeError> {
         assert_eq!(traces.len(), tm.aggregates().len(), "one trace per aggregate");
-        let graph = topology.graph();
-        let cache = PathCache::new(graph);
+        let graph = cache.graph();
         let check = MultiplexCheck::new(self.config.multiplex.clone());
 
         // Step 1: Algorithm-1 prediction of each aggregate's mean rate.
-        let mut ba: Vec<f64> = traces
-            .iter()
-            .map(|tr| {
-                let means = tr.minute_means();
-                let mut p = Predictor::new(means[0]);
-                for &m in &means[1..] {
-                    p.observe(m);
-                }
-                p.prediction()
-            })
-            .collect();
+        let mut ba: Vec<f64> = predict_volumes(traces);
         let last_minute: Vec<&[f64]> =
             traces.iter().map(|tr| tr.samples(tr.minutes() - 1)).collect();
 
         let mut iterations = 0;
         loop {
             iterations += 1;
-            let out = solve_latency_optimal(&cache, tm, &ba, &self.config.growth)?;
+            let out = solve_latency_optimal_ctx(cache, tm, &ba, &self.config.growth, ctx)?;
 
             // Step 2: appraise multiplexing per link.
             let mut failing_links: Vec<usize> = Vec::new();
@@ -222,7 +234,32 @@ impl RoutingScheme for Ldr {
     }
 
     fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        self.place_cached(cache, tm)
+        self.place_cached(cache, tm, &mut SolveContext::new())
+    }
+
+    fn place_with_context(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+        ctx: &mut SolveContext,
+    ) -> Result<Placement, SchemeError> {
+        self.place_cached(cache, tm, ctx)
+    }
+
+    /// LDR's history entry point is the genuine article: prediction plus
+    /// the multiplexing appraisal loop, not just re-placement of predicted
+    /// volumes.
+    fn place_with_history(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+        history: &[AggregateTrace],
+        ctx: &mut SolveContext,
+    ) -> Result<Placement, SchemeError> {
+        if history.is_empty() || history.iter().any(|tr| tr.minutes() == 0) {
+            return self.place_with_context(cache, tm, ctx);
+        }
+        Ok(self.place_with_traces_ctx(cache, tm, history, ctx)?.placement)
     }
 }
 

@@ -3,7 +3,7 @@
 
 use lowlat_tmgen::TrafficMatrix;
 
-use crate::pathgrow::{solve_minmax, GrowOutcome, GrowthConfig};
+use crate::pathgrow::{solve_minmax_ctx, GrowOutcome, GrowthConfig, SolveContext};
 use crate::pathset::PathCache;
 use crate::placement::Placement;
 use crate::schemes::{RoutingScheme, SchemeError};
@@ -51,7 +51,18 @@ impl MinMaxRouting {
         cache: &PathCache<'_>,
         tm: &TrafficMatrix,
     ) -> Result<GrowOutcome, SchemeError> {
-        Ok(solve_minmax(cache, tm, self.config.k_limit, &self.config.growth)?)
+        self.solve_with_cache_ctx(cache, tm, &mut SolveContext::new())
+    }
+
+    /// As [`MinMaxRouting::solve_with_cache`], warm-starting the LPs from
+    /// `ctx` (kept across successive calls by timeline controllers).
+    pub fn solve_with_cache_ctx(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+        ctx: &mut SolveContext,
+    ) -> Result<GrowOutcome, SchemeError> {
+        Ok(solve_minmax_ctx(cache, tm, self.config.k_limit, &self.config.growth, ctx)?)
     }
 }
 
@@ -65,6 +76,15 @@ impl RoutingScheme for MinMaxRouting {
 
     fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
         Ok(self.solve_with_cache(cache, tm)?.placement)
+    }
+
+    fn place_with_context(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+        ctx: &mut SolveContext,
+    ) -> Result<Placement, SchemeError> {
+        Ok(self.solve_with_cache_ctx(cache, tm, ctx)?.placement)
     }
 }
 

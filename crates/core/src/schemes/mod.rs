@@ -27,11 +27,47 @@ pub mod registry;
 pub mod sp;
 
 use lowlat_linprog::LpError;
-use lowlat_tmgen::TrafficMatrix;
+use lowlat_tmgen::{Aggregate, TrafficMatrix};
 use lowlat_topology::Topology;
+use lowlat_traffic::{AggregateTrace, Predictor};
 
 use crate::pathset::PathCache;
 use crate::placement::Placement;
+
+pub use crate::pathgrow::SolveContext;
+
+/// Algorithm-1 next-minute demand predictions, one per trace (aligned with
+/// the matrix aggregates). The conservative estimator feeds both LDR's
+/// Figure-14 loop and the default history-driven re-placement of every
+/// other scheme in the timeline controller.
+pub fn predict_volumes(history: &[AggregateTrace]) -> Vec<f64> {
+    history
+        .iter()
+        .map(|tr| {
+            let means = tr.minute_means();
+            let mut p = Predictor::new(means[0]);
+            for &m in &means[1..] {
+                p.observe(m);
+            }
+            p.prediction()
+        })
+        .collect()
+}
+
+/// The matrix with each aggregate's volume replaced by its prediction.
+fn predicted_matrix(tm: &TrafficMatrix, history: &[AggregateTrace]) -> TrafficMatrix {
+    assert_eq!(history.len(), tm.aggregates().len(), "one trace per aggregate");
+    let volumes = predict_volumes(history);
+    TrafficMatrix::new(
+        tm.aggregates()
+            .iter()
+            .zip(&volumes)
+            // Floor keeps the aggregate list aligned with the traces:
+            // `TrafficMatrix::new` drops zero-volume entries.
+            .map(|(a, &v)| Aggregate { volume_mbps: v.max(1e-6), ..*a })
+            .collect(),
+    )
+}
 
 /// Why a scheme failed outright (congestion is *not* a failure).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,6 +113,42 @@ pub trait RoutingScheme: Send + Sync {
     /// Computes a placement for `tm` on the graph `cache` serves, growing
     /// (and reusing) the cached path sets as needed.
     fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError>;
+
+    /// As [`RoutingScheme::place`], warm-starting any LPs from `ctx` — the
+    /// §5 deployment-cycle hot path. Long-running controllers keep one
+    /// [`SolveContext`] per scheme so successive minutes restart from each
+    /// other's bases; schemes without an LP core ignore the context.
+    fn place_with_context(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+        ctx: &mut SolveContext,
+    ) -> Result<Placement, SchemeError> {
+        let _ = ctx;
+        self.place(cache, tm)
+    }
+
+    /// Places using the measured history: the timeline controller's
+    /// per-minute entry point. The default predicts each aggregate's
+    /// next-minute demand (Algorithm 1) and re-places the predicted matrix;
+    /// LDR overrides this with its full trace-driven Figure-14 loop.
+    ///
+    /// `history[i]` is the measured trace of `tm.aggregates()[i]` so far.
+    ///
+    /// # Panics
+    /// Panics if `history` is not aligned with the matrix.
+    fn place_with_history(
+        &self,
+        cache: &PathCache<'_>,
+        tm: &TrafficMatrix,
+        history: &[AggregateTrace],
+        ctx: &mut SolveContext,
+    ) -> Result<Placement, SchemeError> {
+        if history.is_empty() || history.iter().any(|tr| tr.minutes() == 0) {
+            return self.place_with_context(cache, tm, ctx);
+        }
+        self.place_with_context(cache, &predicted_matrix(tm, history), ctx)
+    }
 
     /// Convenience for one-shot use: places on `topology` through a fresh,
     /// private cache. Experiment loops should build one [`PathCache`] per

@@ -17,6 +17,12 @@
 //! * Dantzig pricing with an automatic switch to Bland's rule when
 //!   degeneracy stalls progress (guaranteeing termination)
 //! * periodic refactorization of the basis inverse for numerical hygiene
+//! * **warm starts**: [`Problem::solve_warm`] re-optimizes from the
+//!   [`Basis`] a previous solve exported — the §5 minute-by-minute
+//!   deployment cycle poses nearly identical LPs, and restarting from the
+//!   previous optimal vertex skips phase 1 and most pivots. Stale bases
+//!   (wrong shape, singular, infeasible under the new data) fall back to a
+//!   cold solve automatically.
 //!
 //! Not implemented (not needed by this workspace): general variable bounds
 //! (shift/negate at the call site), sparse LU factorization, dual simplex,
@@ -44,4 +50,4 @@ mod problem;
 mod simplex;
 
 pub use problem::{Problem, Relation, RowId};
-pub use simplex::{LpError, Solution, SolverOptions};
+pub use simplex::{Basis, LpError, Solution, SolverOptions};

@@ -1,6 +1,9 @@
 //! Problem construction API.
 
-use crate::simplex::{solve_standard_form, LpError, Solution, SolverOptions, StandardForm};
+use crate::simplex::{
+    solve_standard_form, solve_standard_form_warm, Basis, LpError, Solution, SolverOptions,
+    StandardForm,
+};
 
 /// Relation of a constraint row.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,6 +117,31 @@ impl Problem {
     pub fn solve_with(&self, opts: &SolverOptions) -> Result<Solution, LpError> {
         let sf = self.to_standard_form();
         solve_standard_form(&sf, opts)
+    }
+
+    /// Solves warm: re-optimizes from the basis a previous solve left in
+    /// `basis`, and stores this solve's optimal basis back into it.
+    ///
+    /// This is the §5 deployment-cycle accelerator — successive minutes pose
+    /// nearly identical LPs, and restarting phase 2 from the previous
+    /// optimal vertex skips both phase 1 and most pivots. The handle is
+    /// self-validating: when the stored basis does not fit this problem
+    /// (different shape) or is no longer primal-feasible (data moved too
+    /// far, or the basis went singular), the solve silently falls back to
+    /// the cold two-phase method. Warm and cold solves always agree on the
+    /// objective; see [`Solution::warm_started`] for which path ran.
+    pub fn solve_warm(&self, basis: &mut Basis) -> Result<Solution, LpError> {
+        self.solve_warm_with(&SolverOptions::default(), basis)
+    }
+
+    /// [`Problem::solve_warm`] with explicit options.
+    pub fn solve_warm_with(
+        &self,
+        opts: &SolverOptions,
+        basis: &mut Basis,
+    ) -> Result<Solution, LpError> {
+        let sf = self.to_standard_form();
+        solve_standard_form_warm(&sf, opts, basis)
     }
 
     /// Converts to equality standard form: appends one slack (`<=`, coeff

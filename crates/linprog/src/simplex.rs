@@ -74,12 +74,131 @@ impl Default for SolverOptions {
     }
 }
 
+/// A reusable simplex basis — the warm-start handle.
+///
+/// [`crate::Problem::solve_warm`] reads the previous optimum's basis out of
+/// this handle, re-optimizes from it, and writes the new optimal basis back.
+/// A fresh (or [`Basis::clear`]ed) handle makes the solve cold. The handle
+/// is deliberately forgiving: a basis whose shape does not match the
+/// problem, or that turns out singular or infeasible under the new data,
+/// silently degrades to a cold solve — staleness can cost time, never
+/// correctness.
+#[derive(Clone, Default)]
+pub struct Basis {
+    /// Basic column per row, in standard-form column space (structural
+    /// variables first, then slacks). Empty = no basis stored.
+    basic: Vec<usize>,
+    /// Nonbasic standard-form columns resting at their upper bound.
+    at_upper: Vec<usize>,
+    /// `(rows, standard-form columns)` of the problem that produced this
+    /// basis; reuse requires an exact match.
+    shape: (usize, usize),
+    /// The basis inverse at export time (column-major m*m), carried so a
+    /// restart against an *unchanged* constraint matrix skips the O(m³)
+    /// refactorization — it is verified against the new matrix before use
+    /// and recomputed when the verification fails. Omitted for very large
+    /// bases (memory) — see [`BINV_CARRY_LIMIT`].
+    binv: Option<Vec<f64>>,
+}
+
+/// Largest row count whose basis inverse is carried inside [`Basis`]
+/// (8 MB of f64 at the limit); beyond it a warm restart refactorizes.
+const BINV_CARRY_LIMIT: usize = 1024;
+
+impl std::fmt::Debug for Basis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Basis")
+            .field("shape", &self.shape)
+            .field("basic", &self.basic)
+            .field("at_upper", &self.at_upper)
+            .field("carries_binv", &self.binv.is_some())
+            .finish()
+    }
+}
+
+impl Basis {
+    /// A fresh, cold handle.
+    pub fn new() -> Self {
+        Basis::default()
+    }
+
+    /// True when a previous solve stored a basis to restart from.
+    pub fn is_warm(&self) -> bool {
+        !self.basic.is_empty()
+    }
+
+    /// Forgets the stored basis; the next `solve_warm` will run cold.
+    pub fn clear(&mut self) {
+        self.basic.clear();
+        self.at_upper.clear();
+        self.shape = (0, 0);
+        self.binv = None;
+    }
+
+    /// Re-labels the stored basis for a problem whose *structural* columns
+    /// were renumbered — the lazy-path-growth case, where new variables are
+    /// spliced in and every surviving column keeps its exact coefficients
+    /// and the row set is unchanged. `map[old] = new` for each old
+    /// structural column; slacks keep their positions after the structural
+    /// block. The carried inverse stays valid because neither the rows nor
+    /// any mapped column's coefficients changed.
+    ///
+    /// Returns `false` (and clears the basis) when the stored basis does
+    /// not match `old_structural` or the map is inconsistent — the caller
+    /// simply loses the warm start, never correctness.
+    pub fn remap_columns(
+        &mut self,
+        old_structural: usize,
+        new_structural: usize,
+        map: &[usize],
+    ) -> bool {
+        if !self.is_warm() || map.len() != old_structural || self.shape.1 < old_structural {
+            self.clear();
+            return false;
+        }
+        let slacks = self.shape.1 - old_structural;
+        let remap = |col: usize| -> Option<usize> {
+            if col < old_structural {
+                let new = map[col];
+                (new < new_structural).then_some(new)
+            } else {
+                Some(new_structural + (col - old_structural))
+            }
+        };
+        let mut basic = Vec::with_capacity(self.basic.len());
+        for &j in &self.basic {
+            match remap(j) {
+                Some(new) => basic.push(new),
+                None => {
+                    self.clear();
+                    return false;
+                }
+            }
+        }
+        let mut at_upper = Vec::with_capacity(self.at_upper.len());
+        for &j in &self.at_upper {
+            match remap(j) {
+                Some(new) => at_upper.push(new),
+                None => {
+                    self.clear();
+                    return false;
+                }
+            }
+        }
+        self.basic = basic;
+        self.at_upper = at_upper;
+        self.shape.1 = new_structural + slacks;
+        true
+    }
+}
+
 /// An optimal solution.
 #[derive(Clone, Debug)]
 pub struct Solution {
     x: Vec<f64>,
     objective: f64,
     iterations: usize,
+    warm_started: bool,
 }
 
 impl Solution {
@@ -101,6 +220,12 @@ impl Solution {
     /// Total simplex pivots across both phases.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// True when this solve re-optimized from a caller-supplied [`Basis`]
+    /// instead of running the two-phase method from scratch.
+    pub fn warm_started(&self) -> bool {
+        self.warm_started
     }
 }
 
@@ -456,6 +581,13 @@ impl<'a> Engine<'a> {
         }
         let inv = invert_column_major(&bmat, m).ok_or(LpError::Numerical)?;
         self.binv = inv;
+        self.recompute_xb();
+        Ok(())
+    }
+
+    /// Recomputes `xb = B^-1 (b - N x_N)` from the current inverse.
+    fn recompute_xb(&mut self) {
+        let m = self.m;
         // Effective rhs: b minus contributions of nonbasics at upper bound.
         let mut rhs = self.sf.b.clone();
         for j in 0..self.art_start {
@@ -473,7 +605,113 @@ impl<'a> Engine<'a> {
             }
             self.xb[i] = if acc < 0.0 && acc > -1e-7 { 0.0 } else { acc };
         }
-        Ok(())
+    }
+
+    /// Checks that `binv` really inverts the current basis matrix: for each
+    /// basis position `i`, `B^-1 A_{basis[i]}` must be the unit vector
+    /// `e_i`. O(m² · column-nnz) — far below the O(m³) refactorization it
+    /// lets a warm restart skip when the constraint matrix is unchanged.
+    fn binv_is_current(&mut self) -> bool {
+        let m = self.m;
+        for i in 0..m {
+            self.compute_w(self.basis[i]);
+            for (k, &wk) in self.scratch_w.iter().enumerate() {
+                let expect = if k == i { 1.0 } else { 0.0 };
+                if (wk - expect).abs() > 1e-6 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Dual-simplex-style repair: drives bound-violating basic variables to
+    /// the bound they violate, entering the nonbasic column that least
+    /// damages phase-2 optimality. This is what makes a warm restart
+    /// survive the deployment cycle's minute-to-minute drift — the restored
+    /// vertex is usually *slightly* infeasible under the new data, and a
+    /// handful of dual pivots repairs it where a cold solve would redo
+    /// phase 1 from scratch. Returns `false` when it gives up (caller
+    /// falls back to a cold solve); correctness never depends on success.
+    fn dual_repair(&mut self, cost: &dyn Fn(usize) -> f64, max_pivots: usize) -> bool {
+        let m = self.m;
+        let scale = 1.0 + self.sf.b.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        let feas_tol = 1e-7 * scale;
+        for _ in 0..max_pivots {
+            // Most violated basic variable.
+            let mut r = usize::MAX;
+            let mut worst = feas_tol;
+            let mut to_upper = false;
+            for i in 0..m {
+                if -self.xb[i] > worst {
+                    worst = -self.xb[i];
+                    r = i;
+                    to_upper = false;
+                }
+                let ub = self.upper(self.basis[i]);
+                if self.xb[i] - ub > worst {
+                    worst = self.xb[i] - ub;
+                    r = i;
+                    to_upper = true;
+                }
+            }
+            if r == usize::MAX {
+                // Feasible (within tolerance): snap round-off into range.
+                for i in 0..m {
+                    let ub = self.upper(self.basis[i]);
+                    self.xb[i] = self.xb[i].clamp(0.0, ub);
+                }
+                return true;
+            }
+            self.compute_y(cost);
+            // Entering candidate: the eligible column with the smallest
+            // |reduced cost| per unit of repair (classic dual ratio test,
+            // used as a least-damage heuristic since c may have drifted).
+            let mut best: Option<(usize, f64, f64)> = None;
+            for j in 0..self.total_n {
+                if self.rest[j] == Rest::Basic {
+                    continue;
+                }
+                let alpha = if j < self.art_start {
+                    self.sf.cols[j].iter().map(|&(row, v)| v * self.binv[row * m + r]).sum::<f64>()
+                } else {
+                    self.binv[self.art_row[j - self.art_start] * m + r]
+                };
+                let sign = if self.rest[j] == Rest::Upper { -1.0 } else { 1.0 };
+                // Moving j off its bound changes xb[r] by -t * dir.
+                let dir = sign * alpha;
+                let eligible = if to_upper { dir > 1e-7 } else { dir < -1e-7 };
+                if !eligible {
+                    continue;
+                }
+                let d = self.reduced_cost(j, cost);
+                let d_eff = if self.rest[j] == Rest::Upper { -d } else { d };
+                let ratio = d_eff.abs() / dir.abs();
+                let better = match best {
+                    Some((_, br, ba)) => {
+                        ratio < br - 1e-12 || (ratio <= br + 1e-12 && dir.abs() > ba)
+                    }
+                    None => true,
+                };
+                if better {
+                    best = Some((j, ratio, dir.abs()));
+                }
+            }
+            let Some((j, _, _)) = best else {
+                return false; // nothing can repair this row
+            };
+            self.compute_w(j);
+            let from_upper = self.rest[j] == Rest::Upper;
+            let sign = if from_upper { -1.0 } else { 1.0 };
+            let wr = sign * self.scratch_w[r];
+            let target = if to_upper { self.upper(self.basis[r]) } else { 0.0 };
+            let theta = (self.xb[r] - target) / wr;
+            if !theta.is_finite() || theta < 0.0 {
+                return false;
+            }
+            self.pivot(j, r, theta, sign, from_upper, to_upper);
+        }
+        false
     }
 
     /// After phase 1: pivot basic artificials out where possible so phase 2
@@ -530,7 +768,94 @@ impl<'a> Engine<'a> {
             }
         }
         let objective = x.iter().zip(&self.sf.c).map(|(xi, ci)| xi * ci).sum();
-        Solution { x, objective, iterations: self.iterations }
+        Solution { x, objective, iterations: self.iterations, warm_started: false }
+    }
+
+    /// Restores an engine from a previously exported basis. The carried
+    /// inverse is reused when it still inverts this problem's basis matrix
+    /// (the constraint matrix did not change — the deployment-cycle common
+    /// case); otherwise the inverse is rebuilt by refactorization. The
+    /// restored vertex may be primal-infeasible under the new data — the
+    /// caller repairs it with [`Engine::dual_repair`]. `None` means the
+    /// basis is unusable (wrong shape, corrupt, or singular) and the caller
+    /// should solve cold.
+    fn with_basis(sf: &'a StandardForm, opts: SolverOptions, warm: &Basis) -> Option<Self> {
+        let m = sf.b.len();
+        let n = sf.cols.len();
+        if warm.shape != (m, n) || warm.basic.len() != m || m == 0 {
+            return None;
+        }
+        let mut rest = vec![Rest::Lower; n];
+        for &j in &warm.at_upper {
+            if j >= n || !sf.upper[j].is_finite() {
+                return None;
+            }
+            rest[j] = Rest::Upper;
+        }
+        for &j in &warm.basic {
+            // Out-of-range column, duplicate, or a column listed both basic
+            // and at-upper: the basis is corrupt.
+            if j >= n || rest[j] == Rest::Basic || warm.at_upper.contains(&j) {
+                return None;
+            }
+            rest[j] = Rest::Basic;
+        }
+        let mut eng = Engine {
+            sf,
+            m,
+            total_n: n,
+            art_start: n,
+            art_row: Vec::new(),
+            binv: vec![0.0; m * m],
+            basis: warm.basic.clone(),
+            rest,
+            xb: vec![0.0; m],
+            opts,
+            iterations: 0,
+            stall: 0,
+            scratch_y: vec![0.0; m],
+            scratch_w: vec![0.0; m],
+        };
+        let carried = match &warm.binv {
+            Some(binv) if binv.len() == m * m => {
+                eng.binv.copy_from_slice(binv);
+                eng.binv_is_current()
+            }
+            _ => false,
+        };
+        if carried {
+            eng.recompute_xb();
+        } else {
+            // Rebuild the inverse; a singular basis surfaces here.
+            eng.refactorize().ok()?;
+        }
+        Some(eng)
+    }
+
+    /// Writes the current basis (and its inverse) into `out` for reuse by a
+    /// later solve. A basis still holding an artificial (a degenerate,
+    /// linearly dependent row) is not representable for restart; `out` is
+    /// cleared instead.
+    fn export_basis(&self, out: &mut Basis) {
+        if self.basis.iter().any(|&j| j >= self.art_start) {
+            out.clear();
+            return;
+        }
+        out.basic.clear();
+        out.basic.extend_from_slice(&self.basis);
+        out.at_upper.clear();
+        out.at_upper.extend((0..self.art_start).filter(|&j| self.rest[j] == Rest::Upper));
+        out.shape = (self.m, self.art_start);
+        if self.m <= BINV_CARRY_LIMIT {
+            match &mut out.binv {
+                Some(store) if store.len() == self.binv.len() => {
+                    store.copy_from_slice(&self.binv);
+                }
+                store => *store = Some(self.binv.clone()),
+            }
+        } else {
+            out.binv = None;
+        }
     }
 }
 
@@ -598,12 +923,69 @@ pub(crate) fn solve_standard_form(
     sf: &StandardForm,
     opts: &SolverOptions,
 ) -> Result<Solution, LpError> {
+    solve_standard_form_cold(sf, opts, None)
+}
+
+/// Warm entry point used by [`crate::Problem::solve_warm_with`]: restart
+/// phase 2 from `basis` when it still fits the problem, fall back to the
+/// two-phase cold solve otherwise, and leave the new optimal basis in
+/// `basis` either way.
+pub(crate) fn solve_standard_form_warm(
+    sf: &StandardForm,
+    opts: &SolverOptions,
+    basis: &mut Basis,
+) -> Result<Solution, LpError> {
+    if basis.is_warm() {
+        if let Some(mut eng) = Engine::with_basis(sf, opts.clone(), basis) {
+            let m = sf.b.len();
+            let n = sf.cols.len();
+            let max_iter =
+                if opts.max_iterations == 0 { 20_000 + 100 * (m + n) } else { opts.max_iterations };
+            let c = &sf.c;
+            let cost = move |j: usize| if j < c.len() { c[j] } else { 0.0 };
+            // The restored vertex is usually slightly infeasible under the
+            // new data; a few dual pivots repair it. Budget is generous —
+            // repair beyond it means the problems diverged too far for a
+            // restart to pay off anyway.
+            if eng.dual_repair(&cost, 64 + m / 2) {
+                match eng.run_phase(&cost, &|_| false, max_iter) {
+                    Ok(()) => {
+                        eng.export_basis(basis);
+                        let mut sol = eng.extract();
+                        sol.warm_started = true;
+                        return Ok(sol);
+                    }
+                    Err(LpError::Unbounded) => {
+                        // Reachable from a feasible vertex => genuinely
+                        // unbounded.
+                        return Err(LpError::Unbounded);
+                    }
+                    // Iteration-limit or numerical trouble along the warm
+                    // path: retry cold rather than propagate a restart
+                    // artifact.
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+    solve_standard_form_cold(sf, opts, Some(basis))
+}
+
+/// The two-phase cold solve; exports the final basis when asked.
+fn solve_standard_form_cold(
+    sf: &StandardForm,
+    opts: &SolverOptions,
+    export: Option<&mut Basis>,
+) -> Result<Solution, LpError> {
     let m = sf.b.len();
     let n = sf.cols.len();
 
     // Trivial case: no constraints. Negative-cost variables run to their
     // upper bound (or to infinity).
     if m == 0 {
+        if let Some(basis) = export {
+            basis.clear();
+        }
         let mut x = vec![0.0; sf.num_structural];
         for j in 0..sf.num_structural {
             if sf.c[j] < -opts.tol {
@@ -615,7 +997,7 @@ pub(crate) fn solve_standard_form(
             }
         }
         let objective = x.iter().zip(&sf.c).map(|(a, b)| a * b).sum();
-        return Ok(Solution { x, objective, iterations: 0 });
+        return Ok(Solution { x, objective, iterations: 0, warm_started: false });
     }
 
     let max_iter =
@@ -646,6 +1028,9 @@ pub(crate) fn solve_standard_form(
     let c = &sf.c;
     let phase2_cost = move |j: usize| if j < c.len() { c[j] } else { 0.0 };
     eng.run_phase(&phase2_cost, &|j| j >= art_start, max_iter)?;
+    if let Some(basis) = export {
+        eng.export_basis(basis);
+    }
     Ok(eng.extract())
 }
 

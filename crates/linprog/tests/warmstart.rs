@@ -1,0 +1,274 @@
+//! Warm-start correctness: `solve_warm` must always agree with the cold
+//! `solve` on the objective, whatever state the [`Basis`] handle is in —
+//! fresh, optimal for the same problem, optimal for a neighboring problem,
+//! stale in shape, or downright singular under the new data.
+
+use proptest::prelude::*;
+
+use lowlat_linprog::{Basis, Problem, Relation};
+
+/// Relative-ish tolerance: the issue's 1e-9, scaled by objective magnitude.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+#[test]
+fn warm_resolve_of_identical_problem_is_pivot_free() {
+    let mut p = Problem::minimize(3);
+    p.set_objective(0, -2.0);
+    p.set_objective(1, -3.0);
+    p.set_objective(2, 1.0);
+    p.add_row(Relation::Le, 10.0, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+    p.add_row(Relation::Le, 6.0, &[(0, 1.0), (1, 2.0)]);
+    let mut basis = Basis::new();
+    let cold = p.solve_warm(&mut basis).unwrap();
+    assert!(!cold.warm_started(), "fresh handle must solve cold");
+    assert!(basis.is_warm(), "cold solve must export its basis");
+    let warm = p.solve_warm(&mut basis).unwrap();
+    assert!(warm.warm_started());
+    assert_eq!(warm.iterations(), 0, "restarting at the optimum needs no pivots");
+    assert!(close(cold.objective(), warm.objective()));
+}
+
+#[test]
+fn warm_chain_tracks_rhs_drift() {
+    // The deployment-cycle shape: the same transport LP re-solved minute
+    // after minute with slightly different demands.
+    let (ns, nd) = (4usize, 5usize);
+    let mut basis = Basis::new();
+    for minute in 0..12u64 {
+        let mut p = Problem::minimize(ns * nd);
+        for i in 0..ns {
+            for j in 0..nd {
+                p.set_objective(i * nd + j, (i as f64 - j as f64).abs() + 1.0);
+            }
+        }
+        // Inequality (full-row-rank) transport: supplies cap the rows,
+        // demands must be met. The equality form's redundant row would keep
+        // an artificial basic and block basis export; this form never does.
+        let drift = |k: u64| 1.0 + 0.03 * (((minute * 7 + k) % 5) as f64 - 2.0);
+        let supplies: Vec<f64> = (0..ns as u64).map(|i| (20.0 + i as f64) * drift(i)).collect();
+        let total: f64 = supplies.iter().sum();
+        for (i, s) in supplies.iter().enumerate() {
+            let coeffs: Vec<(usize, f64)> = (0..nd).map(|j| (i * nd + j, 1.0)).collect();
+            p.add_row(Relation::Le, *s, &coeffs);
+        }
+        for j in 0..nd {
+            let coeffs: Vec<(usize, f64)> = (0..ns).map(|i| (i * nd + j, 1.0)).collect();
+            p.add_row(Relation::Ge, 0.8 * total / nd as f64, &coeffs);
+        }
+        let warm = p.solve_warm(&mut basis).unwrap();
+        let cold = p.solve().unwrap();
+        assert!(
+            close(warm.objective(), cold.objective()),
+            "minute {minute}: warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+        if minute > 0 {
+            assert!(
+                warm.warm_started(),
+                "minute {minute} should restart from minute {}",
+                minute - 1
+            );
+        }
+    }
+}
+
+#[test]
+fn shape_mismatch_falls_back_to_cold() {
+    let mut small = Problem::minimize(2);
+    small.set_objective(0, -1.0);
+    small.add_row(Relation::Le, 4.0, &[(0, 1.0), (1, 1.0)]);
+    let mut basis = Basis::new();
+    small.solve_warm(&mut basis).unwrap();
+    assert!(basis.is_warm());
+
+    // Different row/column count: the stored basis cannot apply.
+    let mut big = Problem::minimize(3);
+    big.set_objective(0, -1.0);
+    big.set_objective(2, -1.0);
+    big.add_row(Relation::Le, 4.0, &[(0, 1.0), (1, 1.0)]);
+    big.add_row(Relation::Le, 2.0, &[(2, 1.0)]);
+    let warm = big.solve_warm(&mut basis).unwrap();
+    assert!(!warm.warm_started(), "mismatched shape must degrade to cold");
+    assert!(close(warm.objective(), big.solve().unwrap().objective()));
+}
+
+#[test]
+fn infeasible_stale_basis_is_repaired() {
+    // P1 leaves x basic at 5; P2 has the same shape but caps x at 3, so the
+    // restored vertex violates its bound. The dual-repair pass fixes it (or
+    // the solve degrades to cold) — either way the answer must be exact.
+    let mut p1 = Problem::minimize(2);
+    p1.set_objective(0, -1.0);
+    p1.add_row(Relation::Le, 5.0, &[(0, 1.0), (1, 1.0)]);
+    let mut basis = Basis::new();
+    p1.solve_warm(&mut basis).unwrap();
+
+    let mut p2 = Problem::minimize(2);
+    p2.set_objective(0, -1.0);
+    p2.set_upper_bound(0, 3.0);
+    p2.add_row(Relation::Le, 5.0, &[(0, 1.0), (1, 1.0)]);
+    let warm = p2.solve_warm(&mut basis).unwrap();
+    assert!((warm.value(0) - 3.0).abs() < 1e-8);
+    assert!(close(warm.objective(), -3.0));
+}
+
+#[test]
+fn singular_degenerate_basis_falls_back_to_cold() {
+    // P1's optimum makes both structural columns basic (B = I). P2 keeps
+    // the shape but makes those two columns identical, so the restored
+    // basis matrix is singular and refactorization must reject it.
+    let mut p1 = Problem::minimize(2);
+    p1.set_objective(0, -1.0);
+    p1.set_objective(1, -1.0);
+    p1.add_row(Relation::Le, 3.0, &[(0, 1.0)]);
+    p1.add_row(Relation::Le, 3.0, &[(1, 1.0)]);
+    let mut basis = Basis::new();
+    let s1 = p1.solve_warm(&mut basis).unwrap();
+    assert!(close(s1.objective(), -6.0));
+
+    let mut p2 = Problem::minimize(2);
+    p2.set_objective(0, -1.0);
+    p2.set_objective(1, -1.0);
+    p2.add_row(Relation::Le, 3.0, &[(0, 1.0), (1, 1.0)]);
+    p2.add_row(Relation::Le, 3.0, &[(0, 1.0), (1, 1.0)]);
+    let warm = p2.solve_warm(&mut basis).unwrap();
+    assert!(!warm.warm_started(), "singular basis must degrade to cold");
+    assert!(close(warm.objective(), -3.0));
+}
+
+#[test]
+fn cleared_handle_solves_cold_again() {
+    let mut p = Problem::minimize(1);
+    p.set_objective(0, -1.0);
+    p.add_row(Relation::Le, 2.0, &[(0, 1.0)]);
+    let mut basis = Basis::new();
+    p.solve_warm(&mut basis).unwrap();
+    basis.clear();
+    assert!(!basis.is_warm());
+    let again = p.solve_warm(&mut basis).unwrap();
+    assert!(!again.warm_started());
+    assert!(basis.is_warm(), "clear + solve re-exports");
+}
+
+/// A guaranteed-feasible LP: right-hand sides are derived from a known
+/// interior point, and a bounding-box row keeps the optimum finite.
+#[derive(Clone, Debug)]
+struct FeasibleLp {
+    n: usize,
+    c: Vec<f64>,
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+}
+
+impl FeasibleLp {
+    fn to_problem(&self) -> Problem {
+        let mut p = Problem::minimize(self.n);
+        for (j, &cj) in self.c.iter().enumerate() {
+            p.set_objective(j, cj);
+        }
+        for (coeffs, rel, rhs) in &self.rows {
+            let sparse: Vec<(usize, f64)> = coeffs
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(j, &v)| (j, v))
+                .collect();
+            p.add_row(*rel, *rhs, &sparse);
+        }
+        // Bounding box: keeps every instance bounded (and stays feasible at
+        // the witness point, whose coordinates are at most 3 each).
+        let all: Vec<(usize, f64)> = (0..self.n).map(|j| (j, 1.0)).collect();
+        p.add_row(Relation::Le, 50.0, &all);
+        p
+    }
+}
+
+/// Two same-shape feasible LPs — "minute t" and "minute t+1".
+fn arb_feasible_pair() -> impl Strategy<Value = (FeasibleLp, FeasibleLp)> {
+    (2usize..=4, 1usize..=4).prop_flat_map(|(n, m)| {
+        let coeffs = proptest::collection::vec(proptest::collection::vec(-4i32..=4, n), m);
+        let rels = proptest::collection::vec(
+            prop_oneof![Just(Relation::Le), Just(Relation::Eq), Just(Relation::Ge)],
+            m,
+        );
+        let witness1 = proptest::collection::vec(0i32..=3, n);
+        let witness2 = proptest::collection::vec(0i32..=3, n);
+        let slacks = proptest::collection::vec(0i32..=5, m);
+        let c1 = proptest::collection::vec(-5i32..=5, n);
+        let c2 = proptest::collection::vec(-5i32..=5, n);
+        ((coeffs, rels, slacks), (witness1, c1), (witness2, c2)).prop_map(
+            move |((coeffs, rels, slacks), (w1, c1), (w2, c2))| {
+                let build = |witness: &[i32], c: &[i32]| {
+                    let rows = coeffs
+                        .iter()
+                        .zip(&rels)
+                        .zip(&slacks)
+                        .map(|((a, rel), &slack)| {
+                            let dot: f64 =
+                                a.iter().zip(witness).map(|(&ai, &xi)| ai as f64 * xi as f64).sum();
+                            let rhs = match rel {
+                                Relation::Le => dot + slack as f64,
+                                Relation::Eq => dot,
+                                Relation::Ge => dot - slack as f64,
+                            };
+                            (a.iter().map(|&v| v as f64).collect(), *rel, rhs)
+                        })
+                        .collect();
+                    FeasibleLp { n, c: c.iter().map(|&v| v as f64).collect(), rows }
+                };
+                (build(&w1, &c1), build(&w2, &c2))
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tentpole invariant: warm-starting minute t+1 from minute t's
+    /// basis reaches the same objective as a cold solve of minute t+1.
+    #[test]
+    fn warm_and_cold_agree_on_random_feasible_problems(
+        (lp1, lp2) in arb_feasible_pair()
+    ) {
+        let p1 = lp1.to_problem();
+        let p2 = lp2.to_problem();
+        let mut basis = Basis::new();
+        p1.solve_warm(&mut basis).expect("feasible by construction");
+        let warm = p2.solve_warm(&mut basis).expect("feasible by construction");
+        let cold = p2.solve().expect("feasible by construction");
+        prop_assert!(
+            close(warm.objective(), cold.objective()),
+            "warm {} vs cold {} (warm_started {})",
+            warm.objective(), cold.objective(), warm.warm_started()
+        );
+        // The warm solution must satisfy the rows it claims to solve.
+        for (coeffs, rel, rhs) in &lp2.rows {
+            let lhs: f64 = coeffs.iter().enumerate().map(|(j, v)| v * warm.value(j)).sum();
+            let ok = match rel {
+                Relation::Le => lhs <= rhs + 1e-6,
+                Relation::Eq => (lhs - rhs).abs() <= 1e-6,
+                Relation::Ge => lhs >= rhs - 1e-6,
+            };
+            prop_assert!(ok, "warm solution violates {coeffs:?} {rel:?} {rhs}: lhs={lhs}");
+        }
+        for j in 0..lp2.n {
+            prop_assert!(warm.value(j) >= -1e-9);
+        }
+    }
+
+    /// Re-solving the *same* instance warm is exact and pivot-free.
+    #[test]
+    fn warm_self_resolve_is_exact((lp, _) in arb_feasible_pair()) {
+        let p = lp.to_problem();
+        let mut basis = Basis::new();
+        let cold = p.solve_warm(&mut basis).expect("feasible by construction");
+        let warm = p.solve_warm(&mut basis).expect("feasible by construction");
+        prop_assert!(close(cold.objective(), warm.objective()));
+        if basis.is_warm() {
+            prop_assert!(warm.warm_started());
+        }
+    }
+}

@@ -9,21 +9,7 @@
 
 use lowlat_core::schemes::registry;
 use lowlat_sim::output::print_records_tsv;
-use lowlat_sim::runner::{run_grid, RunGrid, Scale};
-
-fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
-    args.get(i + 1).unwrap_or_else(|| {
-        eprintln!("error: flag {flag} expects a value");
-        std::process::exit(2);
-    })
-}
-
-fn parse_f64(flag: &str, value: &str) -> f64 {
-    value.parse().unwrap_or_else(|_| {
-        eprintln!("error: {flag} expects a number, got '{value}'");
-        std::process::exit(2);
-    })
-}
+use lowlat_sim::runner::{flag_value, parse_flag, run_grid, RunGrid, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,11 +20,11 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--load" => {
-                load = parse_f64("--load", flag_value(&args, i, "--load"));
+                load = parse_flag("--load", flag_value(&args, i, "--load"));
                 i += 1;
             }
             "--locality" => {
-                locality = parse_f64("--locality", flag_value(&args, i, "--locality"));
+                locality = parse_flag("--locality", flag_value(&args, i, "--locality"));
                 i += 1;
             }
             "--schemes" => {

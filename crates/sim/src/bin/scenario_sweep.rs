@@ -14,31 +14,19 @@
 
 use lowlat_core::schemes::registry;
 use lowlat_sim::output::{print_records_header, print_records_rows};
-use lowlat_sim::runner::{run_scenarios, Scale};
+use lowlat_sim::runner::{flag_value, parse_flag, run_scenarios, Scale};
 
 fn parse_f64_list(flag: &str, spec: &str) -> Vec<f64> {
     let values: Vec<f64> = spec
         .split(',')
         .filter(|s| !s.trim().is_empty())
-        .map(|s| {
-            s.trim().parse().unwrap_or_else(|_| {
-                eprintln!("error: {flag} expects comma-separated numbers, got '{s}'");
-                std::process::exit(2);
-            })
-        })
+        .map(|s| parse_flag(flag, s.trim()))
         .collect();
     if values.is_empty() {
         eprintln!("error: {flag} expects at least one value");
         std::process::exit(2);
     }
     values
-}
-
-fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
-    args.get(i + 1).unwrap_or_else(|| {
-        eprintln!("error: flag {flag} expects a value");
-        std::process::exit(2);
-    })
 }
 
 fn main() {

@@ -1,0 +1,171 @@
+//! Timeline sweep: the §5 deployment cycle run across the corpus for any
+//! set of controllers — bursty-trace scenarios join the sweep surface.
+//!
+//! Where `scenario_sweep` crosses static operating points, this crosses
+//! *dynamics*: every (network × controller) cell simulates the
+//! minute-by-minute measure→optimize→install loop against evolving traffic
+//! and reports the queueing that actually materialized, plus the LP
+//! warm-start telemetry that makes the per-minute cycle affordable.
+//!
+//! Usage:
+//! `cargo run --release --bin timeline_sweep -- [--quick|--std|--full]
+//!     [--minutes N] [--warmup N] [--cv 0.3] [--seed 99]
+//!     [--schemes LDR,SP,static:SP]`
+//!
+//! Controllers are registry specs, `static:`-prefixed for the placed-once
+//! baseline. One TSV row per (network, controller).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lowlat_core::scale::ScaleToLoad;
+use lowlat_sim::runner::{flag_value, parse_flag, Scale};
+use lowlat_sim::timeline::{self, simulate, Controller, TimelineConfig};
+use lowlat_tmgen::{GravityTmGen, TmGenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut minutes: Option<usize> = None;
+    let mut warmup: Option<usize> = None;
+    let mut cv = timeline::DEFAULT_CV;
+    let mut seed = timeline::DEFAULT_SEED;
+    let mut specs = vec!["LDR".to_string(), "SP".to_string(), "static:SP".to_string()];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--minutes" => {
+                minutes = Some(parse_flag("--minutes", flag_value(&args, i, "--minutes")));
+                i += 1;
+            }
+            "--warmup" => {
+                warmup = Some(parse_flag("--warmup", flag_value(&args, i, "--warmup")));
+                i += 1;
+            }
+            "--cv" => {
+                cv = parse_flag("--cv", flag_value(&args, i, "--cv"));
+                i += 1;
+            }
+            "--seed" => {
+                seed = parse_flag("--seed", flag_value(&args, i, "--seed"));
+                i += 1;
+            }
+            "--schemes" => {
+                specs = flag_value(&args, i, "--schemes")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                i += 1;
+            }
+            _ => {} // --quick/--std/--full (or junk) handled by Scale::parse
+        }
+        i += 1;
+    }
+    let scale =
+        Scale::from_args_filtered(&["--minutes", "--warmup", "--cv", "--seed", "--schemes"]);
+    let controllers: Vec<Controller> = specs
+        .iter()
+        .map(|s| {
+            Controller::parse(s).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    // Scale-dependent defaults: the timeline multiplies whole-corpus cost by
+    // its minute count, so --quick trims both axes.
+    let config = TimelineConfig {
+        minutes: minutes.unwrap_or(match scale {
+            Scale::Quick => 3,
+            Scale::Std => timeline::DEFAULT_MINUTES,
+            Scale::Full => 2 * timeline::DEFAULT_MINUTES,
+        }),
+        warmup_minutes: warmup.unwrap_or(match scale {
+            Scale::Quick => 2,
+            _ => timeline::DEFAULT_WARMUP_MINUTES,
+        }),
+        cv,
+        seed,
+    };
+
+    let nets = scale.select_networks(lowlat_topology::zoo::synthetic_zoo());
+    eprintln!(
+        "timeline space: {} networks x {} controllers ({}), {} minutes (+{} warm-up), cv {cv}, \
+         seed {seed}",
+        nets.len(),
+        controllers.len(),
+        controllers.iter().map(|c| c.name()).collect::<Vec<_>>().join(","),
+        config.minutes,
+        config.warmup_minutes,
+    );
+
+    // (network, controller) cells are independent: work-steal them off an
+    // atomic counter into pre-assigned slots (deterministic output order).
+    struct Row {
+        network: String,
+        pops: usize,
+        links: usize,
+        controller: String,
+        worst_queue_ms: f64,
+        queue_minutes: usize,
+        mean_stretch: f64,
+        lp_solves: usize,
+        lp_warm_hits: usize,
+    }
+    let tms: Vec<_> = nets
+        .iter()
+        .map(|t| GravityTmGen::new(TmGenConfig::default()).generate(t, 0).scaled_to_load(t, 0.7))
+        .collect();
+    let cells: Vec<(usize, usize)> =
+        (0..nets.len()).flat_map(|n| (0..controllers.len()).map(move |c| (n, c))).collect();
+    // Pre-assigned result slots keep the output order deterministic
+    // whatever the worker count (the engine's idiom).
+    let slots: std::sync::Mutex<Vec<Option<Row>>> =
+        std::sync::Mutex::new((0..cells.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(cells.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let (n, c) = cells[i];
+                let out = simulate(&nets[n], &tms[n], &controllers[c], &config);
+                let row = Row {
+                    network: nets[n].name().to_string(),
+                    pops: nets[n].pop_count(),
+                    links: nets[n].link_count(),
+                    controller: controllers[c].name(),
+                    worst_queue_ms: out.worst_queue_ms(),
+                    queue_minutes: out.minutes_with_queue_above(1.0),
+                    mean_stretch: out.mean_stretch(),
+                    lp_solves: out.lp_solves,
+                    lp_warm_hits: out.lp_warm_hits,
+                };
+                slots.lock().expect("slots")[i] = Some(row);
+            });
+        }
+    });
+    println!(
+        "network\tpops\tlinks\tcontroller\tminutes\tcv\tseed\tworst_queue_ms\tqueue_minutes\t\
+         mean_stretch\tlp_solves\tlp_warm_hits"
+    );
+    for row in slots.into_inner().expect("slots").into_iter().flatten() {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.4}\t{}\t{}",
+            row.network,
+            row.pops,
+            row.links,
+            row.controller,
+            config.minutes,
+            cv,
+            seed,
+            row.worst_queue_ms,
+            row.queue_minutes,
+            row.mean_stretch,
+            row.lp_solves,
+            row.lp_warm_hits,
+        );
+    }
+}

@@ -116,6 +116,23 @@ impl Scale {
     }
 }
 
+/// The value following flag `args[i]`, or exit 2 — shared by the sweep
+/// binaries' hand-rolled argument loops.
+pub fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("error: flag {flag} expects a value");
+        std::process::exit(2);
+    })
+}
+
+/// Parses a flag's value, or exit 2 with the offending text.
+pub fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} got unparsable value '{value}'");
+        std::process::exit(2);
+    })
+}
+
 /// Grid parameters shared by most figures. Schemes are trait objects built
 /// directly or requested by name through the registry
 /// ([`RunGrid::with_schemes`]).

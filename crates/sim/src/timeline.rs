@@ -7,24 +7,104 @@
 //! actual 100 ms traffic over each minute's placement and reports how much
 //! queueing materialized, so the headroom claims can be checked end to end
 //! (and fault-injected with arbitrarily bursty traces).
+//!
+//! Any [`registry`] scheme can drive the loop: a [`Controller`] wraps a
+//! scheme either *adaptively* (re-placed every minute from the measured
+//! history — LDR runs its full Figure-14 loop, everything else re-places
+//! Algorithm-1 predicted demands) or *statically* (placed once up front,
+//! the OSPF-style baseline). One shared [`PathCache`] and one warm-start
+//! [`SolveContext`] persist across the whole run, so successive minutes
+//! restart from each other's LP bases — the reason the cycle is fast
+//! enough to run every minute.
+
+use std::sync::Arc;
 
 use lowlat_core::eval::PlacementEval;
-use lowlat_core::schemes::ldr::{Ldr, LdrConfig};
-use lowlat_core::schemes::sp::ShortestPathRouting;
-use lowlat_core::schemes::RoutingScheme;
+use lowlat_core::pathset::PathCache;
+use lowlat_core::schemes::registry::{self, UnknownScheme};
+use lowlat_core::schemes::{RoutingScheme, SolveContext};
 use lowlat_core::Placement;
 use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::Topology;
-use lowlat_traffic::{synthesize, AggregateTrace, TraceGenConfig};
+use lowlat_traffic::{spread_seed, synthesize, AggregateTrace, TraceGenConfig};
 
-/// Which controller drives path computation each minute.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Controller {
-    /// Full LDR: Algorithm-1 prediction + multiplexing loop, re-run every
-    /// minute on the history so far.
-    Ldr,
+/// Default decision minutes per run.
+pub const DEFAULT_MINUTES: usize = 10;
+/// Default history minutes before the first decision.
+pub const DEFAULT_WARMUP_MINUTES: usize = 5;
+/// Default burstiness (coefficient of variation) of the synthetic traffic.
+pub const DEFAULT_CV: f64 = 0.3;
+/// Default RNG seed for trace synthesis.
+pub const DEFAULT_SEED: u64 = 99;
+
+/// Which controller drives path computation each minute: any registry
+/// scheme, run adaptively (re-placed every minute on the history so far)
+/// or statically (placed once — the paper's OSPF baseline, generalized).
+#[derive(Clone)]
+pub struct Controller {
+    scheme: Arc<dyn RoutingScheme>,
+    adaptive: bool,
+}
+
+impl Controller {
+    /// An adaptive controller: re-runs the named registry scheme every
+    /// minute on the measured history. LDR uses its full trace-driven
+    /// Figure-14 loop; other schemes re-place Algorithm-1 predictions.
+    pub fn adaptive(spec: &str) -> Result<Controller, UnknownScheme> {
+        Ok(Controller { scheme: registry::build(spec)?, adaptive: true })
+    }
+
+    /// A static controller: the named scheme placed once on the base
+    /// matrix, then left alone for the whole run.
+    pub fn static_baseline(spec: &str) -> Result<Controller, UnknownScheme> {
+        Ok(Controller { scheme: registry::build(spec)?, adaptive: false })
+    }
+
+    /// Parses a sweep spec: a registry name, optionally prefixed with
+    /// `static:` for the placed-once variant (`"LDR"`, `"static:SP"`).
+    pub fn parse(spec: &str) -> Result<Controller, UnknownScheme> {
+        match spec.trim().strip_prefix("static:") {
+            Some(rest) => Controller::static_baseline(rest),
+            None => Controller::adaptive(spec),
+        }
+    }
+
+    /// The paper's full LDR deployment cycle.
+    ///
+    /// # Panics
+    /// Never — `LDR` is a registry spec.
+    pub fn ldr() -> Controller {
+        Controller::adaptive("LDR").expect("LDR is a registry spec")
+    }
+
     /// Static shortest paths computed once (the OSPF baseline).
-    StaticShortestPath,
+    ///
+    /// # Panics
+    /// Never — `SP` is a registry spec.
+    pub fn static_sp() -> Controller {
+        Controller::static_baseline("SP").expect("SP is a registry spec")
+    }
+
+    /// Display name: the scheme's registry name, `static:`-prefixed for
+    /// placed-once controllers. Round-trips through [`Controller::parse`].
+    pub fn name(&self) -> String {
+        if self.adaptive {
+            self.scheme.name()
+        } else {
+            format!("static:{}", self.scheme.name())
+        }
+    }
+
+    /// True when the controller re-places every minute.
+    pub fn is_adaptive(&self) -> bool {
+        self.adaptive
+    }
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller").field("name", &self.name()).finish()
+    }
 }
 
 /// Timeline parameters.
@@ -42,7 +122,12 @@ pub struct TimelineConfig {
 
 impl Default for TimelineConfig {
     fn default() -> Self {
-        TimelineConfig { minutes: 10, warmup_minutes: 5, cv: 0.3, seed: 99 }
+        TimelineConfig {
+            minutes: DEFAULT_MINUTES,
+            warmup_minutes: DEFAULT_WARMUP_MINUTES,
+            cv: DEFAULT_CV,
+            seed: DEFAULT_SEED,
+        }
     }
 }
 
@@ -62,6 +147,11 @@ pub struct MinuteReport {
 pub struct TimelineOutcome {
     /// One report per simulated minute.
     pub minutes: Vec<MinuteReport>,
+    /// LP solves that warm-started from a previous minute's (or growth
+    /// round's) basis, over the total — the §5 hot-path telemetry.
+    pub lp_warm_hits: usize,
+    /// Total LP solves the controller issued.
+    pub lp_solves: usize,
 }
 
 impl TimelineOutcome {
@@ -87,11 +177,12 @@ impl TimelineOutcome {
 /// traffic is replayed over the placement.
 ///
 /// # Panics
-/// Panics if the matrix is empty or config is degenerate.
+/// Panics if the matrix is empty, the config is degenerate, or the wrapped
+/// scheme fails to place (a solver failure, not congestion).
 pub fn simulate(
     topology: &Topology,
     tm: &TrafficMatrix,
-    controller: Controller,
+    controller: &Controller,
     config: &TimelineConfig,
 ) -> TimelineOutcome {
     assert!(!tm.is_empty());
@@ -108,32 +199,36 @@ pub fn simulate(
                 mean_mbps: a.volume_mbps,
                 cv: config.cv,
                 minutes: total_minutes,
-                seed: config.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+                seed: spread_seed(config.seed, i as u64),
                 ..Default::default()
             })
         })
         .collect();
 
-    let static_sp: Option<Placement> = match controller {
-        Controller::StaticShortestPath => {
-            Some(ShortestPathRouting.place_on(topology, tm).expect("sp"))
-        }
-        Controller::Ldr => None,
+    let graph = topology.graph();
+    // One cache and one warm-start context for the whole run: the §5 cycle's
+    // speed comes from successive minutes reusing paths and LP bases.
+    let cache = PathCache::new(graph);
+    let mut ctx = SolveContext::new();
+
+    let static_placement: Option<Placement> = if controller.adaptive {
+        None
+    } else {
+        Some(controller.scheme.place(&cache, tm).expect("static placement"))
     };
 
-    let graph = topology.graph();
     let mut minutes = Vec::with_capacity(config.minutes);
     for t in config.warmup_minutes..total_minutes {
         // Decide on history [0, t).
-        let placement = match &controller {
-            Controller::StaticShortestPath => static_sp.clone().expect("precomputed"),
-            Controller::Ldr => {
+        let placement = match &static_placement {
+            Some(p) => p.clone(),
+            None => {
                 let history: Vec<AggregateTrace> =
                     traces.iter().map(|tr| tr.truncated(t)).collect();
-                Ldr::new(LdrConfig::default())
-                    .place_with_traces(topology, tm, &history)
-                    .expect("ldr")
-                    .placement
+                controller
+                    .scheme
+                    .place_with_history(&cache, tm, &history, &mut ctx)
+                    .expect("adaptive placement")
             }
         };
 
@@ -171,7 +266,7 @@ pub fn simulate(
             latency_stretch: ev.latency_stretch(),
         });
     }
-    TimelineOutcome { minutes }
+    TimelineOutcome { minutes, lp_warm_hits: ctx.warm_hits(), lp_solves: ctx.solves() }
 }
 
 #[cfg(test)]
@@ -192,7 +287,7 @@ mod tests {
     fn ldr_controller_bounds_queueing_on_smooth_traffic() {
         let (topo, tm) = setup();
         let cfg = TimelineConfig { minutes: 4, warmup_minutes: 3, cv: 0.1, seed: 1 };
-        let out = simulate(&topo, &tm, Controller::Ldr, &cfg);
+        let out = simulate(&topo, &tm, &Controller::ldr(), &cfg);
         assert_eq!(out.minutes.len(), 4);
         // Smooth traffic + LDR headroom: queueing stays near the allowance.
         assert!(
@@ -207,8 +302,8 @@ mod tests {
     fn ldr_beats_static_sp_on_realized_queueing() {
         let (topo, tm) = setup();
         let cfg = TimelineConfig { minutes: 4, warmup_minutes: 3, cv: 0.3, seed: 7 };
-        let ldr = simulate(&topo, &tm, Controller::Ldr, &cfg);
-        let sp = simulate(&topo, &tm, Controller::StaticShortestPath, &cfg);
+        let ldr = simulate(&topo, &tm, &Controller::ldr(), &cfg);
+        let sp = simulate(&topo, &tm, &Controller::static_sp(), &cfg);
         assert!(
             ldr.worst_queue_ms() <= sp.worst_queue_ms() + 1e-9,
             "LDR {} ms vs SP {} ms",
@@ -226,8 +321,8 @@ mod tests {
         // robust axis to test.)
         let (topo, tm) = setup();
         let cfg = TimelineConfig { minutes: 3, warmup_minutes: 2, cv: 0.2, seed: 3 };
-        let light = simulate(&topo, &tm.scaled(0.5), Controller::StaticShortestPath, &cfg);
-        let heavy = simulate(&topo, &tm.scaled(1.9), Controller::StaticShortestPath, &cfg);
+        let light = simulate(&topo, &tm.scaled(0.5), &Controller::static_sp(), &cfg);
+        let heavy = simulate(&topo, &tm.scaled(1.9), &Controller::static_sp(), &cfg);
         assert!(
             heavy.worst_queue_ms() > light.worst_queue_ms() + 10.0,
             "overload must dominate queueing: heavy {} ms vs light {} ms",
@@ -235,5 +330,37 @@ mod tests {
             light.worst_queue_ms()
         );
         assert!(heavy.minutes_with_queue_above(10.0) > 0);
+    }
+
+    #[test]
+    fn any_registry_scheme_drives_the_timeline() {
+        let (topo, tm) = setup();
+        let cfg = TimelineConfig { minutes: 2, warmup_minutes: 2, cv: 0.2, seed: 5 };
+        for spec in ["SP", "ECMP", "B4", "MinMaxK4", "LatOpt", "static:B4"] {
+            let controller = Controller::parse(spec).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(controller.name(), spec, "controller names round-trip");
+            let out = simulate(&topo, &tm, &controller, &cfg);
+            assert_eq!(out.minutes.len(), 2, "{spec} must produce every minute");
+            assert!(out.mean_stretch() >= 1.0 - 1e-9, "{spec} stretch sane");
+        }
+        assert!(Controller::parse("static:nope").is_err());
+        assert!(Controller::parse("nope").is_err());
+    }
+
+    #[test]
+    fn adaptive_lp_controllers_warm_start_across_minutes() {
+        let (topo, tm) = setup();
+        let cfg = TimelineConfig { minutes: 4, warmup_minutes: 3, cv: 0.2, seed: 11 };
+        let out = simulate(&topo, &tm, &Controller::ldr(), &cfg);
+        assert!(out.lp_solves > 0, "LDR solves LPs every minute");
+        assert!(
+            out.lp_warm_hits > 0,
+            "successive minutes must reuse bases: {} hits / {} solves",
+            out.lp_warm_hits,
+            out.lp_solves
+        );
+        // Static controllers never touch the per-minute LP context.
+        let sp = simulate(&topo, &tm, &Controller::static_sp(), &cfg);
+        assert_eq!(sp.lp_solves, 0);
     }
 }

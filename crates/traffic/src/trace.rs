@@ -175,6 +175,15 @@ pub fn synthesize(config: &TraceGenConfig) -> AggregateTrace {
     AggregateTrace::from_samples(samples, config.bins_per_minute)
 }
 
+/// Decorrelates indexed streams sharing one base seed (golden-ratio
+/// spread): stream `idx`'s RNG seed. The single definition behind the
+/// CAIDA-like corpus here and the timeline controller's per-aggregate
+/// traces — one formula, so a corpus and a timeline run with the same base
+/// seed stay reproducible against each other.
+pub fn spread_seed(seed: u64, idx: u64) -> u64 {
+    seed.wrapping_add(idx).wrapping_mul(0x9E37_79B9)
+}
+
 /// A CAIDA-like trace set: `links x traces_per_link` one-hour traces with
 /// means spread over 1-3 Gb/s, deterministic in `seed` — the corpus behind
 /// Figures 9 and 10.
@@ -183,7 +192,7 @@ pub fn caida_like_traces(links: usize, traces_per_link: usize, seed: u64) -> Vec
     for l in 0..links {
         for t in 0..traces_per_link {
             let idx = (l * traces_per_link + t) as u64;
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(idx).wrapping_mul(0x9E37_79B9));
+            let mut rng = StdRng::seed_from_u64(spread_seed(seed, idx));
             let mean = rng.gen_range(1000.0..3000.0);
             let cv = rng.gen_range(0.15..0.4);
             out.push(synthesize(&TraceGenConfig {

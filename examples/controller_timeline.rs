@@ -21,8 +21,8 @@ fn main() {
 
     for cv in [0.15, 0.5] {
         let cfg = TimelineConfig { minutes: 8, warmup_minutes: 4, cv, seed: 2026 };
-        let ldr = simulate(&topo, &tm, Controller::Ldr, &cfg);
-        let sp = simulate(&topo, &tm, Controller::StaticShortestPath, &cfg);
+        let ldr = simulate(&topo, &tm, &Controller::ldr(), &cfg);
+        let sp = simulate(&topo, &tm, &Controller::static_sp(), &cfg);
         println!("burstiness cv = {cv}:");
         println!(
             "  {:<22} {:>16} {:>18} {:>14}",

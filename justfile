@@ -12,6 +12,26 @@ verify:
 bench:
     cargo bench
 
+# Quick benches -> fresh BENCH_N.json, gated >25% against the latest
+# committed baseline (engine/* skipped: worker-count-bound). The default
+# `out=auto` writes the next free number — commit it to refresh the
+# baseline after an intentional performance change.
+bench-report out="auto":
+    cargo bench -p lowlat_bench --bench substrates --bench fig_schemes \
+        --bench warmstart --bench timeline \
+        | cargo run --release -p lowlat_bench --bin bench_report -- \
+            --baseline auto --out {{out}} --max-regress 0.25 --skip engine/
+
+# The §5 deployment cycle across the corpus: any controllers (registry
+# specs, `static:`-prefixed for the placed-once baseline) against bursty
+# synthetic traffic. Results land in sweeps/ as TSV.
+timeline minutes="10" cv="0.3" seed="99" schemes="LDR,SP,static:SP" scale="--std":
+    mkdir -p sweeps
+    cargo run --release -p lowlat_sim --bin timeline_sweep -- {{scale}} \
+        --minutes {{minutes}} --cv {{cv}} --seed {{seed}} --schemes {{schemes}} \
+        > sweeps/timeline_sweep.tsv
+    @echo "wrote sweeps/timeline_sweep.tsv"
+
 # Open scenario sweep over the corpus: any loads x localities x schemes
 # (registry specs). Results land in sweeps/ as TSV.
 sweep loads="0.6,0.7,0.9" localities="1.0" schemes="SP,ECMP,B4,MinMax,MinMaxK10,LatOpt,LDR" scale="--std":
