@@ -1,0 +1,99 @@
+//! Failure-subsystem benchmarks: the two claims the recovery path makes.
+//!
+//! * **repair vs rebuild** — after a cable failure, repairing the shared
+//!   [`PathCache`] (regrow only the crossing pairs; steady-state
+//!   re-application of the mask) must beat constructing a fresh cache and
+//!   re-materializing the same path sets under the mask, because a single
+//!   failure leaves most pairs' Yen state untouched.
+//! * **warm vs cold re-place** — the post-failure LDR solve restarted from
+//!   the pre-failure LP bases (the [`SolveContext`] carried across the
+//!   event) vs the same solve from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lowlat_bench::{abilene, gts, standard_tm};
+use lowlat_core::failure::{partition_routable, single_link_failures};
+use lowlat_core::pathset::PathCache;
+use lowlat_core::schemes::{registry, SolveContext};
+use lowlat_netgraph::NodeId;
+
+fn bench_repair_vs_rebuild(c: &mut Criterion) {
+    let topo = gts();
+    let graph = topo.graph();
+    let tm = standard_tm(&topo, 0);
+    let cache = PathCache::new(graph);
+    // Warm the cache the way an experiment run would: one LDR placement.
+    let scheme = registry::build("LDR").expect("registry spec");
+    scheme.place(&cache, &tm).expect("baseline placement");
+    // A mid-corpus cable failure (deterministic pick).
+    let scenarios = single_link_failures(&topo);
+    let mask = scenarios[scenarios.len() / 2].mask(&topo);
+    // The materialized workload a rebuild has to reproduce.
+    let mut workload: Vec<(NodeId, NodeId, usize)> = Vec::new();
+    for s in 0..topo.pop_count() as u32 {
+        for d in 0..topo.pop_count() as u32 {
+            if s != d {
+                let k = cache.cached_count(NodeId(s), NodeId(d));
+                if k > 0 {
+                    workload.push((NodeId(s), NodeId(d), k));
+                }
+            }
+        }
+    }
+    assert!(!workload.is_empty());
+
+    // Prime the failed state once: steady-state iterations then measure
+    // the per-event repair cost (re-masking the crossing pairs only).
+    cache.apply_failure(&mask);
+    let mut group = c.benchmark_group("failure/gts-cache");
+    group.sample_size(10);
+    group.bench_function("repair", |b| {
+        b.iter(|| cache.apply_failure(black_box(&mask)).repaired_pairs)
+    });
+    group.bench_function("rebuild", |b| {
+        b.iter(|| {
+            let fresh = PathCache::new(graph);
+            fresh.apply_failure(black_box(&mask));
+            for &(s, d, k) in &workload {
+                black_box(fresh.paths(s, d, k).len());
+            }
+            fresh.cached_pairs()
+        })
+    });
+    group.finish();
+    cache.clear_failure();
+}
+
+fn bench_warm_vs_cold_replace(c: &mut Criterion) {
+    let topo = abilene();
+    let tm = standard_tm(&topo, 0);
+    let cache = PathCache::new(topo.graph());
+    let scheme = registry::build("LDR").expect("registry spec");
+    let mut ctx = SolveContext::new();
+    scheme.place_with_context(&cache, &tm, &mut ctx).expect("baseline placement");
+    let scenarios = single_link_failures(&topo);
+    let mask = scenarios[0].mask(&topo);
+    cache.apply_failure(&mask);
+    let part = partition_routable(topo.graph(), &tm, &mask);
+    // Prime the warm context with one post-failure solve so the bench
+    // measures steady-state recovery minutes.
+    scheme.place_with_context(&cache, &part.tm, &mut ctx).expect("recovery placement");
+
+    let mut group = c.benchmark_group("failure/abilene-replace");
+    group.sample_size(10);
+    group.bench_function("warm", |b| {
+        b.iter(|| scheme.place_with_context(&cache, black_box(&part.tm), &mut ctx).unwrap())
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut cold = SolveContext::new();
+            scheme.place_with_context(&cache, black_box(&part.tm), &mut cold).unwrap()
+        })
+    });
+    group.finish();
+    cache.clear_failure();
+}
+
+criterion_group!(benches, bench_repair_vs_rebuild, bench_warm_vs_cold_replace);
+criterion_main!(benches);

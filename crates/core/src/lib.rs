@@ -17,6 +17,10 @@
 //!   Figures 3, 4, 7, 16–18).
 //! * [`growth`] — §8's topology-growth experiment: greedily add the cables
 //!   that raise LLPD the most (Figure 20).
+//! * [`failure`] — the topology-dynamics axis: failure-scenario generators
+//!   (single-link, random-k, node-down, SRLG), routable-demand
+//!   partitioning, post-failure metrics, and the cache-repair +
+//!   warm-re-place recovery drill.
 //!
 //! The scheme implementations share two pieces of machinery that the paper
 //! singles out as generally useful (§8 "Generality of building blocks"):
@@ -28,6 +32,7 @@
 
 pub mod classes;
 pub mod eval;
+pub mod failure;
 pub mod growth;
 pub mod llpd;
 pub mod pathgrow;
@@ -37,6 +42,7 @@ pub mod scale;
 pub mod schemes;
 
 pub use eval::PlacementEval;
+pub use failure::{FailureImpact, FailureScenario, RecoveryOutcome};
 pub use llpd::{LlpdAnalysis, LlpdConfig};
 pub use placement::Placement;
 pub use scale::ScaleToLoad;

@@ -11,36 +11,98 @@
 //! The interior is lock-striped: pairs hash onto [`SHARD_COUNT`] independent
 //! mutexes, so concurrent placements of different aggregates on the same
 //! graph contend only when they land on the same shard, not on every lookup.
+//!
+//! ## Failure-aware repair
+//!
+//! When links or nodes fail, the cache does not start over:
+//! [`PathCache::apply_failure`] walks the cached generators, *keeps* every
+//! pair whose materialized paths avoid the failed elements, and rebuilds
+//! only the crossing pairs under the mask (regrown to the path count they
+//! had, so schemes see equally-deep path sets after repair). All subsequent
+//! growth — of repaired pairs and of pairs first requested after the
+//! failure — runs masked, so a failed topology behaves like a view of the
+//! intact graph. [`PathCache::clear_failure`] reverses the process. On real
+//! backbones a single link failure touches a small fraction of pairs, which
+//! is why repair beats a full rebuild (the `failure` bench measures it).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-use lowlat_netgraph::{Graph, KspGenerator, NodeId, Path};
+use lowlat_netgraph::{FailureMask, Graph, KspGenerator, NodeId, Path};
 
 /// Number of independent lock shards. A power of two well above the worker
 /// counts we run with; per-shard memory is one empty `HashMap`, so
 /// over-provisioning is free.
 const SHARD_COUNT: usize = 64;
 
-type Shard<'g> = Mutex<HashMap<(NodeId, NodeId), KspGenerator<'g>>>;
+/// One cached generator plus whether it was constructed under the cache's
+/// active failure mask (pure generators survive failures that miss their
+/// paths; masked ones are rebuilt whenever the mask changes).
+struct CachedGen<'g> {
+    gen: KspGenerator<'g>,
+    masked: bool,
+}
+
+type Shard<'g> = Mutex<HashMap<(NodeId, NodeId), CachedGen<'g>>>;
+
+/// What [`PathCache::apply_failure`] did — the cache-repair telemetry the
+/// failure sweep and the `failure` bench report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Cached pairs whose materialized paths all avoid the failed elements:
+    /// their generators (and all Yen state) survive untouched.
+    pub kept_pairs: usize,
+    /// Pairs invalidated (a path crossed a failed element, an endpoint went
+    /// down, or the generator was built under a previous mask) and regrown
+    /// under the new mask.
+    pub repaired_pairs: usize,
+    /// Paths re-materialized while regrowing repaired pairs.
+    pub paths_regrown: usize,
+    /// Paths that could not be regrown (the masked graph has fewer paths —
+    /// possibly none, when a pair is disconnected).
+    pub paths_lost: usize,
+}
+
+impl RepairStats {
+    /// Total cached pairs examined.
+    pub fn pairs(&self) -> usize {
+        self.kept_pairs + self.repaired_pairs
+    }
+}
 
 /// Thread-safe cache of k-shortest paths per ordered pair, lock-striped
-/// across [`SHARD_COUNT`] shards.
+/// across [`SHARD_COUNT`] shards, with failure-aware repair.
 pub struct PathCache<'g> {
     graph: &'g Graph,
     shards: Vec<Shard<'g>>,
+    /// The failure mask in force; `None` means the intact topology. A
+    /// read-write lock so the per-lookup read never contends in the
+    /// (overwhelmingly common) failure-free hot path; writes happen only
+    /// at failure transitions, which are documented quiescent (see
+    /// [`PathCache::apply_failure`]).
+    mask: RwLock<Option<Arc<FailureMask>>>,
 }
 
 impl<'g> PathCache<'g> {
     /// Creates an empty cache over `graph`.
     pub fn new(graph: &'g Graph) -> Self {
-        PathCache { graph, shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect() }
+        PathCache {
+            graph,
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: RwLock::new(None),
+        }
     }
 
     /// The graph this cache serves.
     pub fn graph(&self) -> &'g Graph {
         self.graph
+    }
+
+    /// The failure mask currently in force, if any.
+    pub fn failure_mask(&self) -> Option<Arc<FailureMask>> {
+        self.mask.read().clone()
     }
 
     /// The shard holding `(src, dst)`. Fibonacci-style mixing spreads the
@@ -53,30 +115,99 @@ impl<'g> PathCache<'g> {
         &self.shards[(h >> 16) as usize % SHARD_COUNT]
     }
 
+    /// A fresh generator for `(src, dst)` under the given mask. A mask that
+    /// does not affect routing (degradation only) yields a pure generator —
+    /// enumeration is identical, and the pure flag spares it from rebuilds
+    /// on later mask transitions.
+    fn make_gen(&self, src: NodeId, dst: NodeId, mask: Option<&FailureMask>) -> CachedGen<'g> {
+        match mask.filter(|m| m.affects_routing()) {
+            Some(m) => {
+                CachedGen { gen: KspGenerator::under_mask(self.graph, src, dst, m), masked: true }
+            }
+            None => CachedGen { gen: KspGenerator::new(self.graph, src, dst), masked: false },
+        }
+    }
+
     /// Returns the `k` shortest loopless paths from `src` to `dst` (fewer if
-    /// the graph has fewer), cloned out of the cache.
+    /// the masked graph has fewer — possibly zero under a disconnecting
+    /// failure), cloned out of the cache.
     ///
-    /// The result depends only on the graph and `k`, never on what other
-    /// pairs or smaller `k` values were requested before — the generator
-    /// produces paths in a deterministic order and this returns its prefix.
-    /// The experiment engine's worker-count-independent output rests on
-    /// this.
+    /// The result depends only on the graph, the active failure mask, and
+    /// `k`, never on what other pairs or smaller `k` values were requested
+    /// before — the generator produces paths in a deterministic order and
+    /// this returns its prefix. The experiment engine's
+    /// worker-count-independent output rests on this.
     pub fn paths(&self, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+        let mask = self.mask.read().clone();
         let mut map = self.shard(src, dst).lock();
-        let gen = map.entry((src, dst)).or_insert_with(|| KspGenerator::new(self.graph, src, dst));
-        let produced = gen.take_up_to(k);
+        let entry =
+            map.entry((src, dst)).or_insert_with(|| self.make_gen(src, dst, mask.as_deref()));
+        // A pure (unmasked) generator that survived `apply_failure` holds a
+        // verified-clean prefix, but growing it would enumerate unmasked
+        // paths: rebuild it masked on the first post-failure growth. (The
+        // clean prefix *is* the masked prefix, so results are unchanged.
+        // Degradation-only masks change no paths and skip the rebuild.)
+        if k > entry.gen.produced().len()
+            && mask.as_deref().is_some_and(FailureMask::affects_routing)
+            && !entry.masked
+        {
+            *entry = self.make_gen(src, dst, mask.as_deref());
+        }
+        let produced = entry.gen.take_up_to(k);
         produced[..produced.len().min(k)].to_vec()
     }
 
-    /// The single shortest path (None when disconnected).
+    /// The single shortest path (None when disconnected under the mask).
     pub fn shortest(&self, src: NodeId, dst: NodeId) -> Option<Path> {
         self.paths(src, dst, 1).into_iter().next()
+    }
+
+    /// Puts the failure mask in force and repairs the cache: pairs whose
+    /// materialized paths avoid every failed element keep their generators
+    /// (and Yen state); crossing pairs are rebuilt under the mask and
+    /// regrown to the path count they had. An empty mask is equivalent to
+    /// [`PathCache::clear_failure`].
+    ///
+    /// Concurrent [`PathCache::paths`] lookups from *other* threads must be
+    /// quiescent while the mask changes — the experiment drivers apply
+    /// failures between placement phases, never during one.
+    pub fn apply_failure(&self, mask: &FailureMask) -> RepairStats {
+        let active: Option<Arc<FailureMask>> = (!mask.is_empty()).then(|| Arc::new(mask.clone()));
+        *self.mask.write() = active.clone();
+        let mut stats = RepairStats::default();
+        for shard in &self.shards {
+            let mut map = shard.lock();
+            for (&(src, dst), cg) in map.iter_mut() {
+                let endpoint_down = mask.node_down(src) || mask.node_down(dst);
+                let dirty = cg.masked
+                    || endpoint_down
+                    || cg.gen.produced().iter().any(|p| mask.hits_path(self.graph, p));
+                if !dirty {
+                    stats.kept_pairs += 1;
+                    continue;
+                }
+                let want = cg.gen.produced().len();
+                let mut fresh = self.make_gen(src, dst, active.as_deref());
+                let got = fresh.gen.take_up_to(want).len();
+                *cg = fresh;
+                stats.repaired_pairs += 1;
+                stats.paths_regrown += got;
+                stats.paths_lost += want - got;
+            }
+        }
+        stats
+    }
+
+    /// Restores the intact topology: masked generators are rebuilt pure and
+    /// regrown; untouched pure generators survive.
+    pub fn clear_failure(&self) -> RepairStats {
+        self.apply_failure(&FailureMask::new())
     }
 
     /// Number of paths currently materialized for the pair (0 when the pair
     /// was never requested).
     pub fn cached_count(&self, src: NodeId, dst: NodeId) -> usize {
-        self.shard(src, dst).lock().get(&(src, dst)).map_or(0, |g| g.produced().len())
+        self.shard(src, dst).lock().get(&(src, dst)).map_or(0, |cg| cg.gen.produced().len())
     }
 
     /// Number of (src, dst) pairs with at least one materialized generator —
@@ -185,5 +316,127 @@ mod tests {
             }
         });
         assert_eq!(cache.paths(NodeId(0), NodeId(2), 2).len(), 2);
+    }
+
+    /// The failure mask downing the 0-1 cable of the square.
+    fn mask_01(g: &Graph) -> FailureMask {
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let mut mask = FailureMask::new();
+        mask.fail_cable(g, l01);
+        mask
+    }
+
+    #[test]
+    fn repair_keeps_clean_pairs_and_regrows_crossing_ones() {
+        let g = square();
+        let cache = PathCache::new(&g);
+        // Materialize: 0->2 (2 paths, one crossing 0-1), 3->2 (clean).
+        cache.paths(NodeId(0), NodeId(2), 2);
+        cache.paths(NodeId(3), NodeId(2), 1);
+        let stats = cache.apply_failure(&mask_01(&g));
+        assert_eq!(stats.repaired_pairs, 1, "only 0->2 crossed the failure");
+        assert_eq!(stats.kept_pairs, 1);
+        assert_eq!(stats.pairs(), 2);
+        // The repaired pair was regrown under the mask: the masked square
+        // has exactly one 0->2 path (via 3).
+        assert_eq!(stats.paths_regrown, 1);
+        assert_eq!(stats.paths_lost, 1);
+        let got = cache.paths(NodeId(0), NodeId(2), 2);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].delay_ms(), 3.0);
+    }
+
+    #[test]
+    fn masked_results_equal_fresh_masked_cache() {
+        let g = square();
+        let mask = mask_01(&g);
+        let warm = PathCache::new(&g);
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                if s != d {
+                    warm.paths(NodeId(s), NodeId(d), 3);
+                }
+            }
+        }
+        warm.apply_failure(&mask);
+        let fresh = PathCache::new(&g);
+        fresh.apply_failure(&mask);
+        for s in 0..4u32 {
+            for d in 0..4u32 {
+                if s != d {
+                    let a: Vec<f64> =
+                        warm.paths(NodeId(s), NodeId(d), 3).iter().map(|p| p.delay_ms()).collect();
+                    let b: Vec<f64> =
+                        fresh.paths(NodeId(s), NodeId(d), 3).iter().map(|p| p.delay_ms()).collect();
+                    assert_eq!(a, b, "pair {s}->{d} under failure");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn growth_after_failure_is_masked_even_for_kept_pairs() {
+        let g = square();
+        let cache = PathCache::new(&g);
+        // 3->2 materializes only its direct path (clean under the mask)...
+        assert_eq!(cache.paths(NodeId(3), NodeId(2), 1).len(), 1);
+        let stats = cache.apply_failure(&mask_01(&g));
+        assert_eq!(stats.kept_pairs, 1);
+        // ...but growing it now must not surface the 3-0-1-2 path that
+        // crosses the failed cable.
+        let grown = cache.paths(NodeId(3), NodeId(2), 5);
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        assert!(grown.iter().all(|p| !p.contains_link(l01)));
+        assert_eq!(grown.len(), 1, "masked square has one 3->2 path");
+    }
+
+    #[test]
+    fn clear_failure_restores_the_intact_view() {
+        let g = square();
+        let cache = PathCache::new(&g);
+        cache.paths(NodeId(0), NodeId(2), 2);
+        cache.apply_failure(&mask_01(&g));
+        assert_eq!(cache.paths(NodeId(0), NodeId(2), 2).len(), 1);
+        let stats = cache.clear_failure();
+        assert_eq!(stats.repaired_pairs, 1, "the masked generator is rebuilt pure");
+        assert!(cache.failure_mask().is_none());
+        let restored = cache.paths(NodeId(0), NodeId(2), 2);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored[0].delay_ms(), 2.0, "shortest path is back");
+    }
+
+    #[test]
+    fn degradation_only_masks_keep_every_pair() {
+        let g = square();
+        let cache = PathCache::new(&g);
+        cache.paths(NodeId(0), NodeId(2), 2);
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let mut mask = FailureMask::new();
+        mask.degrade_cable(&g, l01, 0.5);
+        let stats = cache.apply_failure(&mask);
+        assert_eq!(stats.kept_pairs, 1, "degradation does not invalidate paths");
+        assert_eq!(stats.repaired_pairs, 0);
+        assert_eq!(cache.paths(NodeId(0), NodeId(2), 2).len(), 2);
+        // Growth under a degradation-only mask keeps the generator pure:
+        // re-applying the same mask must not count the pair as repaired.
+        assert_eq!(cache.paths(NodeId(0), NodeId(2), 5).len(), 2);
+        let again = cache.apply_failure(&mask);
+        assert_eq!(again.kept_pairs, 1, "degradation-only growth must stay pure");
+        assert_eq!(again.repaired_pairs, 0);
+    }
+
+    #[test]
+    fn disconnecting_failure_yields_empty_path_sets() {
+        let g = square();
+        let cache = PathCache::new(&g);
+        cache.paths(NodeId(0), NodeId(2), 2);
+        let mut mask = FailureMask::new();
+        mask.fail_node(NodeId(0));
+        let stats = cache.apply_failure(&mask);
+        assert_eq!(stats.repaired_pairs, 1);
+        assert_eq!(stats.paths_regrown, 0);
+        assert_eq!(stats.paths_lost, 2);
+        assert!(cache.paths(NodeId(0), NodeId(2), 2).is_empty());
+        assert!(cache.shortest(NodeId(0), NodeId(2)).is_none());
     }
 }

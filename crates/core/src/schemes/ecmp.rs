@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use lowlat_netgraph::{shortest_path_tree, Graph, LinkId, NodeId, Path};
+use lowlat_netgraph::{shortest_path_tree, FailureMask, Graph, LinkId, NodeId, Path};
 use lowlat_tmgen::TrafficMatrix;
 
 use crate::pathset::PathCache;
@@ -34,10 +34,22 @@ impl EcmpRouting {
     /// share evenly among its outgoing DAG links. Exponential path counts
     /// cannot occur in backbone-sized graphs with geographic delays (ties
     /// need exactly equal sums), but a cap guards pathological inputs.
-    fn ecmp_paths(graph: &Graph, src: NodeId, dst: NodeId) -> Vec<(Path, f64)> {
+    fn ecmp_paths(
+        graph: &Graph,
+        src: NodeId,
+        dst: NodeId,
+        mask: Option<&FailureMask>,
+    ) -> Vec<(Path, f64)> {
         // Distances *to* dst: run the tree from dst over reversed edges by
         // using dist from src and checking the forward condition instead.
-        let tree = shortest_path_tree(graph, src, None, None);
+        // Failed elements are excluded both here and from the DAG below, so
+        // ECMP reroutes like a re-converged IGP.
+        let tree = shortest_path_tree(
+            graph,
+            src,
+            mask.and_then(|m| m.link_mask()),
+            mask.and_then(|m| m.node_mask()),
+        );
         let dist_to = |v: NodeId| tree.dist_ms(v);
         debug_assert!(dist_to(dst).is_finite());
 
@@ -51,6 +63,9 @@ impl EcmpRouting {
         reach[dst.idx()] = true;
         while let Some(v) = stack.pop() {
             for &l in graph.in_links(v) {
+                if mask.is_some_and(|m| m.link_down(graph, l)) {
+                    continue;
+                }
                 let link = graph.link(l);
                 let u = link.src;
                 if dist_to(u).is_finite()
@@ -121,10 +136,13 @@ impl RoutingScheme for EcmpRouting {
 
     fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
         let graph = cache.graph();
+        let mask = cache.failure_mask();
         let per_aggregate = tm
             .aggregates()
             .iter()
-            .map(|a| AggregatePlacement { splits: Self::ecmp_paths(graph, a.src, a.dst) })
+            .map(|a| AggregatePlacement {
+                splits: Self::ecmp_paths(graph, a.src, a.dst, mask.as_deref()),
+            })
             .collect();
         let placement = Placement::new(per_aggregate);
         debug_assert!(placement.validate(graph, tm).is_ok());

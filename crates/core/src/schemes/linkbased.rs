@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use lowlat_linprog::{LpError, Problem, Relation};
-use lowlat_netgraph::{Graph, LinkId, NodeId, Path};
+use lowlat_netgraph::{FailureMask, Graph, LinkId, NodeId, Path};
 use lowlat_tmgen::TrafficMatrix;
 
 use crate::pathset::PathCache;
@@ -60,10 +60,26 @@ impl LinkBasedOptimal {
         LinkBasedOptimal { headroom, form: CommodityForm::PerAggregate }
     }
 
-    fn solve(&self, graph: &Graph, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+    fn solve(
+        &self,
+        graph: &Graph,
+        tm: &TrafficMatrix,
+        mask: Option<&FailureMask>,
+    ) -> Result<Placement, SchemeError> {
         match self.form {
-            CommodityForm::PerDestination => self.solve_per_destination(graph, tm),
-            CommodityForm::PerAggregate => self.solve_per_aggregate(graph, tm),
+            CommodityForm::PerDestination => self.solve_per_destination(graph, tm, mask),
+            CommodityForm::PerAggregate => self.solve_per_aggregate(graph, tm, mask),
+        }
+    }
+
+    /// Per-link capacity under the failure overlay: 0 for downed links
+    /// (forcing their flow to zero — the MCF sees the failed topology),
+    /// the degraded value otherwise.
+    fn effective_cap(graph: &Graph, mask: Option<&FailureMask>, l: usize) -> f64 {
+        let id = LinkId(l as u32);
+        match mask {
+            Some(m) => m.effective_capacity(graph, id),
+            None => graph.link(id).capacity_mbps,
         }
     }
 
@@ -74,6 +90,7 @@ impl LinkBasedOptimal {
         &self,
         graph: &Graph,
         tm: &TrafficMatrix,
+        mask: Option<&FailureMask>,
     ) -> Result<Placement, SchemeError> {
         let nl = graph.link_count();
         let na = tm.aggregates().len();
@@ -104,11 +121,7 @@ impl LinkBasedOptimal {
         let cap_scale = 1.0 - self.headroom;
         for l in 0..nl {
             let coeffs: Vec<(usize, f64)> = (0..na).map(|a| (var(a, l), 1.0)).collect();
-            p.add_row(
-                Relation::Le,
-                graph.link(LinkId(l as u32)).capacity_mbps * cap_scale,
-                &coeffs,
-            );
+            p.add_row(Relation::Le, Self::effective_cap(graph, mask, l) * cap_scale, &coeffs);
         }
         let sol = match p.solve() {
             Ok(s) => s,
@@ -118,7 +131,7 @@ impl LinkBasedOptimal {
         let mut per_aggregate = Vec::with_capacity(na);
         for (a, agg) in tm.aggregates().iter().enumerate() {
             let mut flow: Vec<f64> = (0..nl).map(|l| sol.value(var(a, l))).collect();
-            let splits = decompose(graph, &mut flow, agg.src, agg.dst, agg.volume_mbps);
+            let splits = decompose(graph, &mut flow, agg.src, agg.dst, agg.volume_mbps, mask);
             per_aggregate.push(AggregatePlacement { splits });
         }
         Ok(Placement::new(per_aggregate))
@@ -128,6 +141,7 @@ impl LinkBasedOptimal {
         &self,
         graph: &Graph,
         tm: &TrafficMatrix,
+        mask: Option<&FailureMask>,
     ) -> Result<Placement, SchemeError> {
         let nl = graph.link_count();
 
@@ -167,15 +181,12 @@ impl LinkBasedOptimal {
                 p.add_row(Relation::Eq, supply, &coeffs);
             }
         }
-        // Capacity per link across commodities.
+        // Capacity per link across commodities (0 for failed links: the
+        // MCF routes on the failed topology).
         let cap_scale = 1.0 - self.headroom;
         for l in 0..nl {
             let coeffs: Vec<(usize, f64)> = (0..dests.len()).map(|t| (var(t, l), 1.0)).collect();
-            p.add_row(
-                Relation::Le,
-                graph.link(LinkId(l as u32)).capacity_mbps * cap_scale,
-                &coeffs,
-            );
+            p.add_row(Relation::Le, Self::effective_cap(graph, mask, l) * cap_scale, &coeffs);
         }
 
         let sol = match p.solve() {
@@ -194,7 +205,7 @@ impl LinkBasedOptimal {
             .collect();
         for agg in tm.aggregates() {
             let t = dest_index[&agg.dst];
-            let splits = decompose(graph, &mut flows[t], agg.src, agg.dst, agg.volume_mbps);
+            let splits = decompose(graph, &mut flows[t], agg.src, agg.dst, agg.volume_mbps, mask);
             per_aggregate.push(AggregatePlacement { splits });
         }
         Ok(Placement::new(per_aggregate))
@@ -210,6 +221,7 @@ fn decompose(
     s: NodeId,
     t: NodeId,
     volume: f64,
+    failure: Option<&FailureMask>,
 ) -> Vec<(Path, f64)> {
     let mut remaining = volume;
     let mut out: Vec<(Path, f64)> = Vec::new();
@@ -239,8 +251,15 @@ fn decompose(
         out[last].1 += remaining;
     } else if out.is_empty() {
         // Degenerate: no flow found (should not happen on feasible LPs);
-        // fall back to the plain shortest path.
-        let path = lowlat_netgraph::shortest_path(graph, s, t, None, None).expect("connected");
+        // fall back to the (masked) shortest path.
+        let path = lowlat_netgraph::shortest_path(
+            graph,
+            s,
+            t,
+            failure.and_then(|m| m.link_mask()),
+            failure.and_then(|m| m.node_mask()),
+        )
+        .expect("connected");
         out.push((path, volume));
     }
     let total: f64 = out.iter().map(|(_, v)| v).sum();
@@ -254,8 +273,8 @@ impl RoutingScheme for LinkBasedOptimal {
 
     fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
         // The link-based MCF works on raw link flows; it only borrows the
-        // cache's graph, never its path sets.
-        self.solve(cache.graph(), tm)
+        // cache's graph (and failure overlay), never its path sets.
+        self.solve(cache.graph(), tm, cache.failure_mask().as_deref())
     }
 }
 

@@ -5,9 +5,10 @@
 //! tested — for free.
 
 use lowlat_core::eval::PlacementEval;
+use lowlat_core::failure::{partition_routable, single_link_failures};
 use lowlat_core::pathset::PathCache;
 use lowlat_core::scale::min_cut_load_with_cache;
-use lowlat_core::schemes::registry;
+use lowlat_core::schemes::{registry, SchemeError, SolveContext};
 use lowlat_tmgen::{GravityTmGen, TmGenConfig, TrafficMatrix};
 use lowlat_topology::zoo::named;
 use lowlat_topology::Topology;
@@ -15,6 +16,11 @@ use lowlat_topology::Topology;
 /// The link-based MCF baseline is O(pops²) LP rows (Figure 15's point);
 /// keep it to the small networks so the suite stays CI-sized.
 const LINK_BASED_POP_CAP: usize = 15;
+
+/// The exhaustive failure suite multiplies the corpus by its cable count;
+/// the iterative-LP schemes only run it on networks this small so the
+/// suite stays CI-sized (the cheap combinatorial schemes run everywhere).
+const FAILURE_LP_POP_CAP: usize = 15;
 
 fn named_corpus() -> Vec<Topology> {
     vec![
@@ -81,6 +87,69 @@ fn every_registry_scheme_satisfies_the_placement_invariants() {
                 _ => {}
             }
         }
+    }
+}
+
+#[test]
+fn registry_schemes_survive_every_single_cable_failure() {
+    // The failure axis of the invariant suite: every scheme family placed
+    // under every single-cable failure of every named topology, through
+    // the *same* repaired cache and warm LP context (the recovery path the
+    // failure sweep drives). Disconnected pairs are dropped, not fatal.
+    let lp_specs = ["MinMax", "MinMaxK10", "LatOpt", "LDR", "LinkBased"];
+    for topo in named_corpus() {
+        let graph = topo.graph();
+        let cache = PathCache::new(graph);
+        let tm = standard_tm(&topo, &cache);
+        let specs: Vec<&str> = registry::ALL_SPECS
+            .iter()
+            .copied()
+            .filter(|s| topo.pop_count() <= FAILURE_LP_POP_CAP || !lp_specs.contains(s))
+            .collect();
+        // One warm context per scheme, carried across scenarios — recovery
+        // re-places must warm-start, never change results.
+        let mut ctxs: Vec<SolveContext> = specs.iter().map(|_| SolveContext::new()).collect();
+        let mut total_kept = 0usize;
+        let mut total_repaired = 0usize;
+        for scenario in single_link_failures(&topo) {
+            cache.clear_failure();
+            let mask = scenario.mask(&topo);
+            let stats = cache.apply_failure(&mask);
+            total_kept += stats.kept_pairs;
+            total_repaired += stats.repaired_pairs;
+            let part = partition_routable(graph, &tm, &mask);
+            for (spec, ctx) in specs.iter().zip(&mut ctxs) {
+                let scheme = registry::build(spec).expect("registry spec");
+                let placement = match scheme.place_with_context(&cache, &part.tm, ctx) {
+                    Ok(p) => p,
+                    // The link-based MCF has no overload variables: a
+                    // failure that pushes demand past capacity is reported
+                    // as infeasible, which is its documented contract.
+                    Err(SchemeError::Infeasible) if *spec == "LinkBased" => continue,
+                    Err(e) => {
+                        panic!("{spec} failed under {} on {}: {e}", scenario.name, topo.name())
+                    }
+                };
+                let ctx_label = format!("{spec} under {} on {}", scenario.name, topo.name());
+                placement
+                    .validate(graph, &part.tm)
+                    .unwrap_or_else(|e| panic!("{ctx_label}: invalid placement: {e}"));
+                for (i, pl) in placement.per_aggregate().iter().enumerate() {
+                    for (path, x) in &pl.splits {
+                        assert!(
+                            *x <= 1e-9 || !mask.hits_path(graph, path),
+                            "{ctx_label}: aggregate {i} routed over the failed cable"
+                        );
+                    }
+                }
+            }
+        }
+        // Across the whole sweep, repair must both keep and rebuild pairs —
+        // all-kept would mean failures never hit cached paths, all-rebuilt
+        // would mean repair degenerated to a full rebuild.
+        assert!(total_kept > 0, "{}: repair never kept a pair", topo.name());
+        assert!(total_repaired > 0, "{}: no failure touched a cached path", topo.name());
+        cache.clear_failure();
     }
 }
 

@@ -1,46 +1,60 @@
-//! A tiny fixed-capacity bit set used for link/node masks.
+//! A tiny growable bit set used for link/node masks.
 //!
 //! `Vec<bool>` would work, but masks are created and cleared in the inner
 //! loops of Yen's algorithm; a word-packed set keeps that cheap and gives us
-//! O(words) clearing.
+//! O(words) clearing. The set grows on demand: inserting past the current
+//! capacity extends the word array, so a mask built for one graph keeps
+//! working when the topology grows (the §8 growth experiment adds links to
+//! existing grids, and failure masks outlive individual graph builds).
 
-/// Fixed-capacity bit set over `usize` indices.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Growable bit set over `usize` indices.
+///
+/// Equality is semantic — two sets are equal when they contain the same
+/// indices, regardless of how much capacity each happens to have grown to.
+#[derive(Clone, Debug, Eq)]
 pub struct BitSet {
     words: Vec<u64>,
     len: usize,
 }
 
 impl BitSet {
-    /// Creates an empty set able to hold indices `0..len`.
+    /// Creates an empty set pre-sized to hold indices `0..len` without
+    /// reallocating. Inserts past `len` grow the set instead of panicking.
     pub fn new(len: usize) -> Self {
         BitSet { words: vec![0; len.div_ceil(64)], len }
     }
 
-    /// Number of indices the set can hold.
+    /// Number of indices the set can hold without growing.
     pub fn capacity(&self) -> usize {
         self.len
     }
 
-    /// Inserts `idx`. Panics if out of range.
+    /// Inserts `idx`, growing the set if `idx` is past the current capacity.
     #[inline]
     pub fn insert(&mut self, idx: usize) {
-        assert!(idx < self.len, "BitSet index {idx} out of range {}", self.len);
+        if idx >= self.len {
+            self.len = idx + 1;
+            let need = self.len.div_ceil(64);
+            if need > self.words.len() {
+                self.words.resize(need, 0);
+            }
+        }
         self.words[idx / 64] |= 1u64 << (idx % 64);
     }
 
-    /// Removes `idx`.
+    /// Removes `idx`. Indices past the capacity are trivially absent.
     #[inline]
     pub fn remove(&mut self, idx: usize) {
-        assert!(idx < self.len, "BitSet index {idx} out of range {}", self.len);
-        self.words[idx / 64] &= !(1u64 << (idx % 64));
+        if idx < self.len {
+            self.words[idx / 64] &= !(1u64 << (idx % 64));
+        }
     }
 
-    /// Tests membership.
+    /// Tests membership. Indices past the capacity are absent, not errors —
+    /// a mask sized for a small graph answers correctly on a grown one.
     #[inline]
     pub fn contains(&self, idx: usize) -> bool {
-        debug_assert!(idx < self.len);
-        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+        idx < self.len && self.words[idx / 64] & (1u64 << (idx % 64)) != 0
     }
 
     /// Removes all elements.
@@ -71,6 +85,22 @@ impl BitSet {
                 Some(wi * 64 + tz)
             })
         })
+    }
+}
+
+impl Default for BitSet {
+    /// An empty zero-capacity set (it grows on first insert).
+    fn default() -> Self {
+        BitSet::new(0)
+    }
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) =
+            if self.words.len() <= other.words.len() { (self, other) } else { (other, self) };
+        short.words.iter().zip(&long.words).all(|(a, b)| a == b)
+            && long.words[short.words.len()..].iter().all(|&w| w == 0)
     }
 }
 
@@ -115,9 +145,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn out_of_range_panics() {
+    fn grows_at_the_old_panic_boundary() {
+        // Inserting at exactly `len` used to panic; now it grows the set.
         let mut s = BitSet::new(8);
         s.insert(8);
+        assert!(s.contains(8));
+        assert!(s.capacity() >= 9);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn grows_across_word_boundaries() {
+        let mut s = BitSet::new(0);
+        assert_eq!(s.capacity(), 0);
+        s.insert(5);
+        s.insert(64);
+        s.insert(1000);
+        assert!(s.contains(5) && s.contains(64) && s.contains(1000));
+        assert!(!s.contains(999) && !s.contains(1001));
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 64, 1000]);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_absent_not_errors() {
+        let mut s = BitSet::new(8);
+        assert!(!s.contains(1000));
+        s.remove(1000); // no-op, not a panic
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(500);
+        a.insert(3);
+        b.insert(3);
+        assert_eq!(a, b);
+        b.insert(400);
+        assert_ne!(a, b);
+        b.remove(400);
+        assert_eq!(b, a);
     }
 }

@@ -14,6 +14,9 @@
 //! * [`maxflow`] — Dinic max-flow / min-cut, used to decide when a set of
 //!   alternate paths has enough capacity to stand in for a congested shortest
 //!   path (APA, §2 of the paper).
+//! * [`failure`] — [`FailureMask`] overlays (link/node down, capacity
+//!   degradation) that turn a failed topology into a *view* of the intact
+//!   graph, plus masked variants of the three algorithms above.
 //!
 //! Everything is index-based ([`NodeId`], [`LinkId`]) and allocation-light;
 //! no unsafe code.
@@ -24,6 +27,7 @@
 pub mod bitset;
 pub mod bridges;
 pub mod dijkstra;
+pub mod failure;
 pub mod graph;
 pub mod maxflow;
 pub mod path;
@@ -32,6 +36,7 @@ pub mod yen;
 pub use bitset::BitSet;
 pub use bridges::bridges;
 pub use dijkstra::{all_pairs_delays, shortest_path, shortest_path_tree, ShortestPathTree};
+pub use failure::{max_flow_masked, FailureMask};
 pub use graph::{Graph, GraphBuilder, Link, LinkId, NodeId};
 pub use maxflow::{max_flow, min_cut_of_links};
 pub use path::Path;

@@ -18,8 +18,9 @@ struct Arc {
     rev: usize,
 }
 
-/// Dinic solver over an explicit arc list.
-struct Dinic {
+/// Dinic solver over an explicit arc list. Crate-visible so the failure
+/// overlay can pose masked instances without re-deriving the solver.
+pub(crate) struct Dinic {
     arcs: Vec<Arc>,
     head: Vec<Vec<usize>>, // arc indices per node
     level: Vec<i32>,
@@ -27,11 +28,11 @@ struct Dinic {
 }
 
 impl Dinic {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Dinic { arcs: Vec::new(), head: vec![Vec::new(); n], level: vec![0; n], iter: vec![0; n] }
     }
 
-    fn add_arc(&mut self, from: usize, to: usize, cap: f64) {
+    pub(crate) fn add_arc(&mut self, from: usize, to: usize, cap: f64) {
         let a = self.arcs.len();
         self.arcs.push(Arc { to, cap, rev: a + 1 });
         self.arcs.push(Arc { to: from, cap: 0.0, rev: a });
@@ -77,7 +78,7 @@ impl Dinic {
         0.0
     }
 
-    fn run(&mut self, s: usize, t: usize) -> f64 {
+    pub(crate) fn run(&mut self, s: usize, t: usize) -> f64 {
         let mut flow = 0.0;
         while self.bfs(s, t) {
             self.iter.iter_mut().for_each(|i| *i = 0);

@@ -59,6 +59,7 @@ pub struct KspGenerator<'g> {
     src: NodeId,
     dst: NodeId,
     avoid: Option<BitSet>,
+    avoid_nodes: Option<BitSet>,
     accepted: Vec<Path>,
     candidates: BinaryHeap<Candidate>,
     seen: HashSet<Vec<LinkId>>,
@@ -71,7 +72,7 @@ impl<'g> KspGenerator<'g> {
     /// # Panics
     /// Panics if `src == dst` — a PoP pair is always two distinct PoPs.
     pub fn new(graph: &'g Graph, src: NodeId, dst: NodeId) -> Self {
-        Self::with_avoided_links(graph, src, dst, None)
+        Self::with_avoided(graph, src, dst, None, None)
     }
 
     /// Like [`KspGenerator::new`] but never uses links in `avoid`.
@@ -81,12 +82,27 @@ impl<'g> KspGenerator<'g> {
         dst: NodeId,
         avoid: Option<BitSet>,
     ) -> Self {
+        Self::with_avoided(graph, src, dst, avoid, None)
+    }
+
+    /// Like [`KspGenerator::new`] but never using links in `avoid` nor
+    /// touching nodes in `avoid_nodes` — the failure-masked variant (see
+    /// [`KspGenerator::under_mask`]). A masked `src` or `dst` yields no
+    /// paths.
+    pub fn with_avoided(
+        graph: &'g Graph,
+        src: NodeId,
+        dst: NodeId,
+        avoid: Option<BitSet>,
+        avoid_nodes: Option<BitSet>,
+    ) -> Self {
         assert!(src != dst, "k-shortest paths between a node and itself");
         KspGenerator {
             graph,
             src,
             dst,
             avoid,
+            avoid_nodes,
             accepted: Vec::new(),
             candidates: BinaryHeap::new(),
             seen: HashSet::new(),
@@ -106,7 +122,13 @@ impl<'g> KspGenerator<'g> {
             return None;
         }
         if self.accepted.is_empty() {
-            match shortest_path(self.graph, self.src, self.dst, self.avoid.as_ref(), None) {
+            match shortest_path(
+                self.graph,
+                self.src,
+                self.dst,
+                self.avoid.as_ref(),
+                self.avoid_nodes.as_ref(),
+            ) {
                 Some(p) => {
                     self.seen.insert(p.links().to_vec());
                     self.accepted.push(p.clone());
@@ -163,8 +185,11 @@ impl<'g> KspGenerator<'g> {
                 }
             }
             // Mask root-path nodes (except the spur node) to keep paths
-            // loopless.
-            let mut node_mask = BitSet::new(n_nodes);
+            // loopless, on top of any base avoided nodes.
+            let mut node_mask = match &self.avoid_nodes {
+                Some(a) => a.clone(),
+                None => BitSet::new(n_nodes),
+            };
             for &nd in &prev_nodes[..i] {
                 node_mask.insert(nd.idx());
             }
@@ -268,6 +293,30 @@ mod tests {
         assert_eq!(gen.take_up_to(100).len(), 4);
         // idempotent once exhausted
         assert_eq!(gen.take_up_to(100).len(), 4);
+        assert!(gen.next_path().is_none());
+    }
+
+    #[test]
+    fn avoided_nodes_respected() {
+        let g = diamond();
+        let mut avoid_nodes = BitSet::new(g.node_count());
+        avoid_nodes.insert(1);
+        let mut gen = KspGenerator::with_avoided(&g, NodeId(0), NodeId(3), None, Some(avoid_nodes));
+        let mut count = 0;
+        while let Some(p) = gen.next_path() {
+            assert!(!p.nodes(&g).contains(&NodeId(1)), "avoided node used");
+            count += 1;
+        }
+        // Only 0-2-3 survives once node 1 is gone.
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn avoided_destination_yields_nothing() {
+        let g = diamond();
+        let mut avoid_nodes = BitSet::new(g.node_count());
+        avoid_nodes.insert(3);
+        let mut gen = KspGenerator::with_avoided(&g, NodeId(0), NodeId(3), None, Some(avoid_nodes));
         assert!(gen.next_path().is_none());
     }
 

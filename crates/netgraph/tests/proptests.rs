@@ -7,8 +7,34 @@
 use proptest::prelude::*;
 
 use lowlat_netgraph::{
-    max_flow, shortest_path, shortest_path_tree, Graph, GraphBuilder, KspGenerator, NodeId,
+    max_flow, max_flow_masked, shortest_path, shortest_path_tree, FailureMask, Graph, GraphBuilder,
+    KspGenerator, NodeId,
 };
+
+/// The physically rebuilt subgraph: same node set, failed links dropped,
+/// degraded capacities baked in. The oracle the masked algorithms must
+/// agree with.
+fn rebuild_without(g: &Graph, mask: &FailureMask) -> Graph {
+    let mut b = GraphBuilder::new(g.node_count());
+    for l in g.link_ids() {
+        let factor = mask.capacity_factor(g, l);
+        if factor > 0.0 {
+            let link = g.link(l);
+            b.add_link(link.src, link.dst, link.delay_ms, link.capacity_mbps * factor);
+        }
+    }
+    b.build()
+}
+
+/// A failure mask downing every `stride`-th cable-ish link (deterministic
+/// in the graph, so shrinking stays meaningful).
+fn stride_mask(g: &Graph, stride: usize) -> FailureMask {
+    let mut mask = FailureMask::new();
+    for l in g.link_ids().filter(|l| l.idx() % stride == 0) {
+        mask.fail_link(l);
+    }
+    mask
+}
 
 /// A random strongly-connectable graph: a duplex ring (guaranteeing strong
 /// connectivity) plus random duplex chords.
@@ -195,6 +221,100 @@ proptest! {
         prop_assert!(f <= out_cap + 1e-6);
         prop_assert!(f <= in_cap + 1e-6);
         prop_assert!(f > 0.0, "ring guarantees connectivity");
+    }
+
+    #[test]
+    fn masked_dijkstra_equals_rebuilt_subgraph(g in arb_graph(12, 20), stride in 2usize..5) {
+        // A failed topology as a *view* must agree with the failed topology
+        // as a *rebuild*: distances under the mask equal distances on the
+        // graph with the failed links physically removed.
+        let mask = stride_mask(&g, stride);
+        let rebuilt = rebuild_without(&g, &mask);
+        let masked = shortest_path_tree(&g, NodeId(0), mask.link_mask(), mask.node_mask());
+        let reference = shortest_path_tree(&rebuilt, NodeId(0), None, None);
+        for v in g.nodes() {
+            let (a, b) = (masked.dist_ms(v), reference.dist_ms(v));
+            prop_assert!(
+                (a == b) || (a - b).abs() < 1e-9,
+                "node {v:?}: masked {a} vs rebuilt {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_dijkstra_with_node_failures_equals_rebuilt(g in arb_graph(12, 20)) {
+        // Down one non-terminal node by masking it; the rebuild drops every
+        // incident link. (Source stays up so both sides root identically.)
+        let victim = NodeId((g.node_count() - 1) as u32);
+        let mut mask = FailureMask::new();
+        mask.fail_node(victim);
+        // capacity_factor is 0 for links incident to a downed node, so the
+        // shared rebuild helper drops exactly the victim's links.
+        let rebuilt = rebuild_without(&g, &mask);
+        let masked = shortest_path_tree(&g, NodeId(0), mask.link_mask(), mask.node_mask());
+        let reference = shortest_path_tree(&rebuilt, NodeId(0), None, None);
+        for v in g.nodes().filter(|&v| v != victim) {
+            let (a, b) = (masked.dist_ms(v), reference.dist_ms(v));
+            prop_assert!(
+                (a == b) || (a - b).abs() < 1e-9,
+                "node {v:?}: masked {a} vs rebuilt {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_max_flow_equals_rebuilt_subgraph(g in arb_graph(10, 12), stride in 2usize..5) {
+        let mask = stride_mask(&g, stride);
+        let rebuilt = rebuild_without(&g, &mask);
+        let (s, t) = (NodeId(0), NodeId((g.node_count() / 2) as u32));
+        let a = max_flow_masked(&g, s, t, &mask);
+        let b = max_flow(&rebuilt, s, t);
+        prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()), "masked {a} vs rebuilt {b}");
+    }
+
+    #[test]
+    fn degraded_max_flow_equals_rebuilt_subgraph(g in arb_graph(10, 12), stride in 2usize..4) {
+        // Degradation: every stride-th link at 30% capacity, the next one
+        // down entirely — the mixed overlay the sweep generators produce.
+        let mut mask = FailureMask::new();
+        for l in g.link_ids() {
+            match l.idx() % (2 * stride) {
+                0 => { mask.degrade_link(l, 0.3); }
+                1 => { mask.fail_link(l); }
+                _ => {}
+            }
+        }
+        let rebuilt = rebuild_without(&g, &mask);
+        let (s, t) = (NodeId(0), NodeId(1));
+        let a = max_flow_masked(&g, s, t, &mask);
+        let b = max_flow(&rebuilt, s, t);
+        prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()), "masked {a} vs rebuilt {b}");
+    }
+
+    #[test]
+    fn masked_yen_equals_rebuilt_subgraph(g in arb_graph(7, 6), stride in 3usize..6) {
+        // Masked Yen must produce the same delay sequence as Yen on the
+        // rebuilt subgraph (path link ids differ; delays are comparable).
+        let mask = stride_mask(&g, stride);
+        let rebuilt = rebuild_without(&g, &mask);
+        let (s, t) = (NodeId(0), NodeId(1));
+        let mut masked = KspGenerator::under_mask(&g, s, t, &mask);
+        let mut reference = KspGenerator::new(&rebuilt, s, t);
+        for _ in 0..12 {
+            match (masked.next_path(), reference.next_path()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    prop_assert!(
+                        (a.delay_ms() - b.delay_ms()).abs() < 1e-9,
+                        "masked {} vs rebuilt {}", a.delay_ms(), b.delay_ms()
+                    );
+                    for &l in a.links() {
+                        prop_assert!(!mask.link_down(&g, l));
+                    }
+                }
+                (a, b) => prop_assert!(false, "path count mismatch: {:?} vs {:?}", a.map(|p| p.delay_ms()), b.map(|p| p.delay_ms())),
+            }
+        }
     }
 
     #[test]

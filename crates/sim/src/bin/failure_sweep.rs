@@ -1,0 +1,278 @@
+//! Failure sweep: the survivability axis of the experiment surface.
+//!
+//! Where `scenario_sweep` crosses static operating points and
+//! `timeline_sweep` crosses traffic dynamics, this crosses *topology
+//! dynamics*: every (network × scheme × failure scenario) cell runs the
+//! full §5 reaction — repair the shared path cache under the failure mask
+//! (keeping every pair the failure missed), drop disconnected demand,
+//! re-place the survivors through the scheme's warm LP context — and
+//! reports both the outcome (unroutable fraction, stretch, overload) and
+//! the recovery telemetry (kept vs repaired pairs, warm-started solves,
+//! wall time).
+//!
+//! Usage:
+//! `cargo run --release --bin failure_sweep -- [--quick|--std|--full]
+//!     [--scenarios single,node,srlg,random] [--k 2] [--count 5]
+//!     [--seed 7] [--load 0.7] [--schemes LDR,LatOpt,SP]`
+//!
+//! Scenario axes: `single` (exhaustive single-cable), `node` (each PoP
+//! down), `srlg` (per-PoP conduit groups), `random` (`--count` draws of
+//! `--k` simultaneous cable failures, deterministic in `--seed`). One TSV
+//! row per (network, scheme, scenario).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use lowlat_core::failure::{self, replace_under_failure, FailureScenario};
+use lowlat_core::pathset::PathCache;
+use lowlat_core::scale::ScaleToLoad;
+use lowlat_core::schemes::{registry, SolveContext};
+use lowlat_sim::runner::{flag_value, parse_flag, Scale};
+use lowlat_tmgen::{GravityTmGen, TmGenConfig};
+use lowlat_topology::zoo::named;
+use lowlat_topology::Topology;
+
+/// The named backbone corpus the survivability claims are made on.
+fn named_corpus(scale: Scale) -> Vec<Topology> {
+    match scale {
+        Scale::Quick => vec![named::abilene(), named::gts_like()],
+        _ => vec![
+            named::abilene(),
+            named::nsfnet(),
+            named::geant_like(),
+            named::gts_like(),
+            named::cogent_like(),
+            named::google_like(),
+        ],
+    }
+}
+
+fn scenarios_for(
+    topo: &Topology,
+    axes: &[String],
+    k: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<FailureScenario> {
+    let mut out = Vec::new();
+    for axis in axes {
+        match axis.as_str() {
+            "single" => out.extend(failure::single_link_failures(topo)),
+            "node" => out.extend(failure::node_failures(topo)),
+            "srlg" => out.extend(failure::pop_conduit_srlgs(topo)),
+            "random" => {
+                let k = k.min(topo.cables().len());
+                out.extend(failure::random_k_link_failures(topo, k, count, seed));
+            }
+            other => {
+                eprintln!("error: unknown scenario axis '{other}' (single, node, srlg, random)");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+struct Row {
+    network: String,
+    pops: usize,
+    links: usize,
+    scheme: String,
+    scenario: String,
+    failed_elements: usize,
+    kept_pairs: usize,
+    repaired_pairs: usize,
+    paths_regrown: usize,
+    unroutable_fraction: f64,
+    latency_stretch: f64,
+    max_path_stretch: f64,
+    max_overload: f64,
+    lp_solves: usize,
+    lp_warm_hits: usize,
+    repair_ms: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut axes = vec!["single".to_string()];
+    let mut k = 2usize;
+    let mut count = 5usize;
+    let mut seed = 7u64;
+    let mut load = 0.7f64;
+    let mut specs = vec!["LDR".to_string(), "LatOpt".to_string(), "SP".to_string()];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenarios" => {
+                axes = flag_value(&args, i, "--scenarios")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                i += 1;
+            }
+            "--k" => {
+                k = parse_flag("--k", flag_value(&args, i, "--k"));
+                i += 1;
+            }
+            "--count" => {
+                count = parse_flag("--count", flag_value(&args, i, "--count"));
+                i += 1;
+            }
+            "--seed" => {
+                seed = parse_flag("--seed", flag_value(&args, i, "--seed"));
+                i += 1;
+            }
+            "--load" => {
+                load = parse_flag("--load", flag_value(&args, i, "--load"));
+                i += 1;
+            }
+            "--schemes" => {
+                specs = flag_value(&args, i, "--schemes")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+                i += 1;
+            }
+            _ => {} // --quick/--std/--full (or junk) handled by Scale::parse
+        }
+        i += 1;
+    }
+    let scale = Scale::from_args_filtered(&[
+        "--scenarios",
+        "--k",
+        "--count",
+        "--seed",
+        "--load",
+        "--schemes",
+    ]);
+    let schemes: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            registry::build(s).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let nets = named_corpus(scale);
+    let tms: Vec<_> = nets
+        .iter()
+        .map(|t| GravityTmGen::new(TmGenConfig::default()).generate(t, 0).scaled_to_load(t, load))
+        .collect();
+    let scenario_sets: Vec<Vec<FailureScenario>> =
+        nets.iter().map(|t| scenarios_for(t, &axes, k, count, seed)).collect();
+    // Intact all-pairs delays, once per network — every scenario row of a
+    // network judges stretch against the same baseline.
+    let intact_delays: Vec<Vec<Vec<f64>>> =
+        nets.iter().map(|t| lowlat_netgraph::all_pairs_delays(t.graph())).collect();
+    eprintln!(
+        "failure space: {} networks x {} schemes ({}), {} scenarios total ({}), load {load}",
+        nets.len(),
+        schemes.len(),
+        schemes.iter().map(|s| s.name()).collect::<Vec<_>>().join(","),
+        scenario_sets.iter().map(Vec::len).sum::<usize>(),
+        axes.join(","),
+    );
+
+    // (network, scheme) cells are independent and each iterates its
+    // scenarios sequentially over ONE shared cache + LP context — the
+    // repair-not-rebuild, warm-not-cold recovery story. Work-steal cells
+    // off an atomic counter into pre-assigned slots (deterministic order).
+    let cells: Vec<(usize, usize)> =
+        (0..nets.len()).flat_map(|n| (0..schemes.len()).map(move |s| (n, s))).collect();
+    let slots: std::sync::Mutex<Vec<Option<Vec<Row>>>> =
+        std::sync::Mutex::new((0..cells.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(cells.len()) {
+            scope.spawn(|| loop {
+                let ci = next.fetch_add(1, Ordering::Relaxed);
+                if ci >= cells.len() {
+                    break;
+                }
+                let (n, s) = cells[ci];
+                let (net, tm, scheme) = (&nets[n], &tms[n], &schemes[s]);
+                let cache = PathCache::new(net.graph());
+                let mut ctx = SolveContext::new();
+                // Pre-failure baseline warms the cache and the LP bases.
+                scheme.place_with_context(&cache, tm, &mut ctx).unwrap_or_else(|e| {
+                    panic!("{} baseline on {}: {e}", scheme.name(), net.name())
+                });
+                let mut rows = Vec::with_capacity(scenario_sets[n].len());
+                for scenario in &scenario_sets[n] {
+                    let mask = scenario.mask(net);
+                    // Restore the intact view first: generators repaired for
+                    // the previous scenario go back to pure, so each row
+                    // measures repair against the warm pre-failure cache
+                    // (direct mask-to-mask transitions would re-mask a
+                    // monotonically growing pair set). Timed separately —
+                    // repair_ms covers the failure reaction itself.
+                    cache.clear_failure();
+                    let t0 = Instant::now();
+                    let out = replace_under_failure(
+                        scheme.as_ref(),
+                        net,
+                        &cache,
+                        tm,
+                        &mask,
+                        &mut ctx,
+                        Some(&intact_delays[n]),
+                    )
+                    .unwrap_or_else(|e| {
+                        panic!("{} under {} on {}: {e}", scheme.name(), scenario.name, net.name())
+                    });
+                    rows.push(Row {
+                        network: net.name().to_string(),
+                        pops: net.pop_count(),
+                        links: net.link_count(),
+                        scheme: scheme.name(),
+                        scenario: scenario.name.clone(),
+                        failed_elements: scenario.failed_elements(),
+                        kept_pairs: out.repair.kept_pairs,
+                        repaired_pairs: out.repair.repaired_pairs,
+                        paths_regrown: out.repair.paths_regrown,
+                        unroutable_fraction: out.impact.unroutable_fraction,
+                        latency_stretch: out.impact.latency_stretch,
+                        max_path_stretch: out.impact.max_path_stretch,
+                        max_overload: out.impact.max_overload,
+                        lp_solves: out.lp_solves,
+                        lp_warm_hits: out.lp_warm_hits,
+                        repair_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    });
+                }
+                slots.lock().expect("slots")[ci] = Some(rows);
+            });
+        }
+    });
+    println!(
+        "network\tpops\tlinks\tscheme\tscenario\tfailed_elements\tkept_pairs\trepaired_pairs\t\
+         paths_regrown\tunroutable_frac\tlatency_stretch\tmax_path_stretch\tmax_overload\t\
+         lp_solves\tlp_warm_hits\trepair_ms"
+    );
+    for rows in slots.into_inner().expect("slots").into_iter().flatten() {
+        for r in rows {
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{}\t{}\t{:.2}",
+                r.network,
+                r.pops,
+                r.links,
+                r.scheme,
+                r.scenario,
+                r.failed_elements,
+                r.kept_pairs,
+                r.repaired_pairs,
+                r.paths_regrown,
+                r.unroutable_fraction,
+                r.latency_stretch,
+                r.max_path_stretch,
+                r.max_overload,
+                r.lp_solves,
+                r.lp_warm_hits,
+                r.repair_ms,
+            );
+        }
+    }
+}

@@ -16,14 +16,29 @@
 //! [`SolveContext`] persist across the whole run, so successive minutes
 //! restart from each other's LP bases — the reason the cycle is fast
 //! enough to run every minute.
+//!
+//! ## Failure events
+//!
+//! [`simulate_with_events`] interleaves topology changes with the TM
+//! minutes: each [`TimelineEvent`] puts a [`FailureMask`] in force from a
+//! given decision minute (an empty mask models repair/link-up). The shared
+//! cache is *repaired*, not rebuilt — only cached paths crossing failed
+//! elements regrow under the mask — and adaptive controllers re-place the
+//! surviving demand through the same warm [`SolveContext`], so recovery
+//! minutes restart from pre-failure bases. Static baselines keep their
+//! placement; whatever they had routed over failed elements is counted
+//! lost, which is exactly the availability argument for the adaptive
+//! cycle.
 
 use std::sync::Arc;
 
 use lowlat_core::eval::PlacementEval;
+use lowlat_core::failure::{partition_routable, RoutablePartition};
 use lowlat_core::pathset::PathCache;
 use lowlat_core::schemes::registry::{self, UnknownScheme};
 use lowlat_core::schemes::{RoutingScheme, SolveContext};
 use lowlat_core::Placement;
+use lowlat_netgraph::FailureMask;
 use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::Topology;
 use lowlat_traffic::{spread_seed, synthesize, AggregateTrace, TraceGenConfig};
@@ -131,15 +146,36 @@ impl Default for TimelineConfig {
     }
 }
 
+/// A topology change taking effect at a decision minute: the failure mask
+/// in force from that minute on. An empty mask restores the intact
+/// topology (link-up), so an outage window is two events.
+#[derive(Clone, Debug)]
+pub struct TimelineEvent {
+    /// 0-based decision-minute index (warm-up excluded) at which the mask
+    /// takes effect — before that minute's placement decision.
+    pub at_minute: usize,
+    /// The complete mask in force from this minute (not a delta).
+    pub mask: FailureMask,
+}
+
 /// What one simulated minute looked like.
 #[derive(Clone, Debug)]
 pub struct MinuteReport {
-    /// Worst realized queueing delay over any link this minute (ms).
+    /// Worst realized queueing delay over any surviving link this minute
+    /// (ms).
     pub worst_queue_ms: f64,
-    /// Links whose 100 ms load ever exceeded capacity.
+    /// Links whose 100 ms load ever exceeded (effective) capacity.
     pub overloaded_links: usize,
-    /// Propagation latency stretch of the placement in force.
+    /// Propagation latency stretch of the placement in force. Adaptive
+    /// controllers are judged on the routable demand they re-placed (1.0
+    /// when nothing was routable); static placements on the full matrix —
+    /// including traffic currently being lost, whose share is reported in
+    /// `unroutable_fraction`, not discounted here.
     pub latency_stretch: f64,
+    /// Volume fraction of demand not delivered this minute: disconnected
+    /// pairs for adaptive controllers, plus traffic a static placement
+    /// kept sending into failed elements.
+    pub unroutable_fraction: f64,
 }
 
 /// Result of a timeline run.
@@ -152,6 +188,14 @@ pub struct TimelineOutcome {
     pub lp_warm_hits: usize,
     /// Total LP solves the controller issued.
     pub lp_solves: usize,
+    /// Topology events applied (mask changes, including link-ups).
+    pub repair_events: usize,
+    /// Cached pairs invalidated and regrown across all repairs (0 for
+    /// static controllers, which never consult the cache after placing).
+    pub repaired_pairs: usize,
+    /// Cached pairs that survived repairs untouched (0 for static
+    /// controllers).
+    pub kept_pairs: usize,
 }
 
 impl TimelineOutcome {
@@ -170,6 +214,11 @@ impl TimelineOutcome {
     pub fn minutes_with_queue_above(&self, threshold_ms: f64) -> usize {
         self.minutes.iter().filter(|m| m.worst_queue_ms > threshold_ms).count()
     }
+
+    /// Worst per-minute undelivered-demand fraction.
+    pub fn max_unroutable_fraction(&self) -> f64 {
+        self.minutes.iter().map(|m| m.unroutable_fraction).fold(0.0, f64::max)
+    }
 }
 
 /// Runs the controller cycle: each minute the controller re-places traffic
@@ -185,8 +234,32 @@ pub fn simulate(
     controller: &Controller,
     config: &TimelineConfig,
 ) -> TimelineOutcome {
+    simulate_with_events(topology, tm, controller, config, &[])
+}
+
+/// As [`simulate`], with failure events interleaved into the minute loop.
+///
+/// Events fire before their minute's placement decision: the cache is
+/// repaired under the new mask, adaptive controllers re-place the demand
+/// that survives, static placements soldier on and leak whatever they had
+/// routed across the failed elements.
+///
+/// # Panics
+/// As [`simulate`]; additionally if an event's minute is out of range.
+pub fn simulate_with_events(
+    topology: &Topology,
+    tm: &TrafficMatrix,
+    controller: &Controller,
+    config: &TimelineConfig,
+    events: &[TimelineEvent],
+) -> TimelineOutcome {
     assert!(!tm.is_empty());
     assert!(config.minutes >= 1 && config.warmup_minutes >= 2);
+    assert!(
+        events.iter().all(|e| e.at_minute < config.minutes),
+        "event minute out of 0..{}",
+        config.minutes
+    );
     let total_minutes = config.warmup_minutes + config.minutes;
     // Ground-truth traffic: one evolving trace per aggregate, mean anchored
     // at its matrix volume.
@@ -207,7 +280,8 @@ pub fn simulate(
 
     let graph = topology.graph();
     // One cache and one warm-start context for the whole run: the §5 cycle's
-    // speed comes from successive minutes reusing paths and LP bases.
+    // speed comes from successive minutes reusing paths and LP bases — and
+    // from repairing, not rebuilding, the cache when the topology changes.
     let cache = PathCache::new(graph);
     let mut ctx = SolveContext::new();
 
@@ -216,38 +290,124 @@ pub fn simulate(
     } else {
         Some(controller.scheme.place(&cache, tm).expect("static placement"))
     };
+    let total_volume = tm.total_volume_mbps();
+
+    let mut current_mask = FailureMask::new();
+    // The routable view under the current mask; `None` while everything is
+    // up (the common fast path: no partition, no per-minute mask checks).
+    let mut partition: Option<RoutablePartition> = None;
+    // Static placements leak a fixed volume fraction per mask; recomputed
+    // only when the mask changes.
+    let mut static_lost_fraction = 0.0f64;
+
+    let mut repair_events = 0usize;
+    let mut repaired_pairs = 0usize;
+    let mut kept_pairs = 0usize;
 
     let mut minutes = Vec::with_capacity(config.minutes);
     for t in config.warmup_minutes..total_minutes {
+        // Topology events due this decision minute fire first.
+        for ev in events.iter().filter(|e| e.at_minute == t - config.warmup_minutes) {
+            repair_events += 1;
+            // A static controller never consults the cache after its
+            // initial placement, so there is nothing to repair — the mask
+            // alone drives its loss accounting and replay.
+            if controller.adaptive {
+                let stats = cache.apply_failure(&ev.mask);
+                repaired_pairs += stats.repaired_pairs;
+                kept_pairs += stats.kept_pairs;
+            }
+            current_mask = ev.mask.clone();
+            partition =
+                (!current_mask.is_empty()).then(|| partition_routable(graph, tm, &current_mask));
+            static_lost_fraction = match &static_placement {
+                Some(p) if !current_mask.is_empty() => {
+                    let mut lost = 0.0;
+                    for (agg, pl) in tm.aggregates().iter().zip(p.per_aggregate()) {
+                        for (path, x) in &pl.splits {
+                            if *x > 1e-9 && current_mask.hits_path(graph, path) {
+                                lost += agg.volume_mbps * x;
+                            }
+                        }
+                    }
+                    lost / total_volume
+                }
+                _ => 0.0,
+            };
+        }
+
+        // The demand the controller can see/route this minute, and the
+        // original-matrix index of each of its aggregates.
+        let minute_tm: &TrafficMatrix = partition.as_ref().map_or(tm, |p| &p.tm);
+        let trace_of = |j: usize| partition.as_ref().map_or(j, |p| p.kept[j]);
+
         // Decide on history [0, t).
         let placement = match &static_placement {
-            Some(p) => p.clone(),
+            Some(p) => Some(p.clone()),
+            None if minute_tm.is_empty() => None,
             None => {
-                let history: Vec<AggregateTrace> =
-                    traces.iter().map(|tr| tr.truncated(t)).collect();
-                controller
-                    .scheme
-                    .place_with_history(&cache, tm, &history, &mut ctx)
-                    .expect("adaptive placement")
+                let history: Vec<AggregateTrace> = (0..minute_tm.aggregates().len())
+                    .map(|j| traces[trace_of(j)].truncated(t))
+                    .collect();
+                Some(
+                    controller
+                        .scheme
+                        .place_with_history(&cache, minute_tm, &history, &mut ctx)
+                        .expect("adaptive placement"),
+                )
             }
         };
 
-        // Replay minute t's actual samples over the placement.
+        // Replay minute t's actual samples over the placement. A static
+        // placement aligns with the *full* matrix (its traffic into failed
+        // elements is dropped and counted); an adaptive one with the
+        // routable view.
+        let unroutable_fraction = if static_placement.is_some() {
+            static_lost_fraction
+        } else {
+            partition.as_ref().map_or(0.0, |p| p.unroutable_fraction)
+        };
         let bins = traces[0].bins_per_minute();
         let mut per_link_load = vec![vec![0.0f64; bins]; graph.link_count()];
-        for (a, trace) in traces.iter().enumerate() {
-            let samples = trace.samples(t);
-            for (l, x) in placement.link_fractions_of(a) {
-                let row = &mut per_link_load[l as usize];
-                for (bin, &s) in samples.iter().enumerate() {
-                    row[bin] += s * x;
+        if let Some(pl) = &placement {
+            for (j, agg_pl) in pl.per_aggregate().iter().enumerate() {
+                let trace =
+                    if static_placement.is_some() { &traces[j] } else { &traces[trace_of(j)] };
+                let samples = trace.samples(t);
+                for (path, x) in &agg_pl.splits {
+                    if *x <= 1e-9 {
+                        continue;
+                    }
+                    if !current_mask.is_empty() && current_mask.hits_path(graph, path) {
+                        // Lost traffic, accounted in static_lost_fraction.
+                        // Adaptive placements are built from the repaired
+                        // cache and must never route over failed elements.
+                        debug_assert!(
+                            static_placement.is_some(),
+                            "adaptive placement routed over a failed element"
+                        );
+                        continue;
+                    }
+                    for &l in path.links() {
+                        let row = &mut per_link_load[l.idx()];
+                        for (bin, &s) in samples.iter().enumerate() {
+                            row[bin] += s * x;
+                        }
+                    }
                 }
             }
         }
         let mut worst_queue_ms = 0.0f64;
         let mut overloaded_links = 0usize;
         for l in graph.link_ids() {
-            let cap = graph.link(l).capacity_mbps;
+            let cap = if current_mask.is_empty() {
+                graph.link(l).capacity_mbps
+            } else {
+                current_mask.effective_capacity(graph, l)
+            };
+            if cap <= 0.0 {
+                continue; // downed link: carries nothing (filtered above)
+            }
             let mut backlog_mb = 0.0f64;
             let mut overloaded = false;
             for &load in &per_link_load[l.idx()] {
@@ -259,19 +419,34 @@ pub fn simulate(
                 overloaded_links += 1;
             }
         }
-        let ev = PlacementEval::evaluate(topology, tm, &placement);
+        let latency_stretch = match &placement {
+            Some(pl) if static_placement.is_some() => {
+                PlacementEval::evaluate(topology, tm, pl).latency_stretch()
+            }
+            Some(pl) => PlacementEval::evaluate(topology, minute_tm, pl).latency_stretch(),
+            None => 1.0,
+        };
         minutes.push(MinuteReport {
             worst_queue_ms,
             overloaded_links,
-            latency_stretch: ev.latency_stretch(),
+            latency_stretch,
+            unroutable_fraction,
         });
     }
-    TimelineOutcome { minutes, lp_warm_hits: ctx.warm_hits(), lp_solves: ctx.solves() }
+    TimelineOutcome {
+        minutes,
+        lp_warm_hits: ctx.warm_hits(),
+        lp_solves: ctx.solves(),
+        repair_events,
+        repaired_pairs,
+        kept_pairs,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lowlat_core::failure::single_link_failures;
     use lowlat_core::scale::ScaleToLoad;
     use lowlat_tmgen::{GravityTmGen, TmGenConfig};
     use lowlat_topology::zoo::named;
@@ -296,6 +471,9 @@ mod tests {
             out.worst_queue_ms()
         );
         assert!(out.mean_stretch() >= 1.0 - 1e-9);
+        // No events: nothing repaired, nothing lost.
+        assert_eq!(out.repair_events, 0);
+        assert_eq!(out.max_unroutable_fraction(), 0.0);
     }
 
     #[test]
@@ -362,5 +540,61 @@ mod tests {
         // Static controllers never touch the per-minute LP context.
         let sp = simulate(&topo, &tm, &Controller::static_sp(), &cfg);
         assert_eq!(sp.lp_solves, 0);
+    }
+
+    /// An outage window: the first single-cable failure from minute 1,
+    /// repaired at `up_minute`.
+    fn outage(topo: &Topology, up_minute: usize) -> Vec<TimelineEvent> {
+        let scenario = &single_link_failures(topo)[0];
+        vec![
+            TimelineEvent { at_minute: 1, mask: scenario.mask(topo) },
+            TimelineEvent { at_minute: up_minute, mask: FailureMask::new() },
+        ]
+    }
+
+    #[test]
+    fn adaptive_controller_reroutes_around_an_outage() {
+        let (topo, tm) = setup();
+        let cfg = TimelineConfig { minutes: 5, warmup_minutes: 3, cv: 0.15, seed: 13 };
+        let events = outage(&topo, 4);
+        let out = simulate_with_events(&topo, &tm, &Controller::ldr(), &cfg, &events);
+        assert_eq!(out.minutes.len(), 5);
+        assert_eq!(out.repair_events, 2, "down then up");
+        assert!(out.repaired_pairs > 0, "the failed cable crossed cached paths");
+        assert!(out.kept_pairs > 0, "repair must not rebuild the whole cache");
+        // Abilene survives any single failure: the adaptive controller
+        // delivers everything, every minute.
+        assert_eq!(out.max_unroutable_fraction(), 0.0);
+        assert!(out.mean_stretch() >= 1.0 - 1e-9);
+        assert!(out.lp_warm_hits > 0, "recovery minutes must stay warm");
+    }
+
+    #[test]
+    fn static_baseline_loses_traffic_during_the_outage() {
+        let (topo, tm) = setup();
+        let cfg = TimelineConfig { minutes: 4, warmup_minutes: 3, cv: 0.15, seed: 13 };
+        // Fail a cable SP actually uses: try scenarios until one leaks.
+        let mut leaked = false;
+        for scenario in single_link_failures(&topo) {
+            let events = vec![TimelineEvent { at_minute: 1, mask: scenario.mask(&topo) }];
+            let out = simulate_with_events(&topo, &tm, &Controller::static_sp(), &cfg, &events);
+            assert_eq!(out.minutes[0].unroutable_fraction, 0.0, "pre-failure minute clean");
+            if out.max_unroutable_fraction() > 0.0 {
+                leaked = true;
+                break;
+            }
+        }
+        assert!(leaked, "some single failure must hit SP's placed paths");
+    }
+
+    #[test]
+    fn events_out_of_range_panic() {
+        let (topo, tm) = setup();
+        let cfg = TimelineConfig { minutes: 2, warmup_minutes: 2, cv: 0.2, seed: 5 };
+        let events = vec![TimelineEvent { at_minute: 2, mask: FailureMask::new() }];
+        let result = std::panic::catch_unwind(|| {
+            simulate_with_events(&topo, &tm, &Controller::static_sp(), &cfg, &events)
+        });
+        assert!(result.is_err());
     }
 }

@@ -18,7 +18,7 @@ bench:
 # baseline after an intentional performance change.
 bench-report out="auto":
     cargo bench -p lowlat_bench --bench substrates --bench fig_schemes \
-        --bench warmstart --bench timeline \
+        --bench warmstart --bench timeline --bench failure \
         | cargo run --release -p lowlat_bench --bin bench_report -- \
             --baseline auto --out {{out}} --max-regress 0.25 --skip engine/
 
@@ -31,6 +31,16 @@ timeline minutes="10" cv="0.3" seed="99" schemes="LDR,SP,static:SP" scale="--std
         --minutes {{minutes}} --cv {{cv}} --seed {{seed}} --schemes {{schemes}} \
         > sweeps/timeline_sweep.tsv
     @echo "wrote sweeps/timeline_sweep.tsv"
+
+# Survivability sweep over the named corpus: failure scenarios (single =
+# exhaustive single-cable, node, srlg, random) x schemes, each cell running
+# cache repair + warm re-placement. Results land in sweeps/ as TSV.
+failures scenarios="single" schemes="LDR,LatOpt,SP" load="0.7" scale="--std":
+    mkdir -p sweeps
+    cargo run --release -p lowlat_sim --bin failure_sweep -- {{scale}} \
+        --scenarios {{scenarios}} --schemes {{schemes}} --load {{load}} \
+        > sweeps/failure_sweep.tsv
+    @echo "wrote sweeps/failure_sweep.tsv"
 
 # Open scenario sweep over the corpus: any loads x localities x schemes
 # (registry specs). Results land in sweeps/ as TSV.
