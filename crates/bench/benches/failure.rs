@@ -8,6 +8,10 @@
 //! * **warm vs cold re-place** — the post-failure LDR solve restarted from
 //!   the pre-failure LP bases (the [`SolveContext`] carried across the
 //!   event) vs the same solve from scratch.
+//! * **brown-out re-place** — the same warm/cold comparison under a
+//!   degradation-only mask (every cable dimmed, nothing down): no paths
+//!   change, only the LP's effective capacities, so this isolates the
+//!   capacity-row update cost the brown-out reaction pays each minute.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -16,7 +20,7 @@ use lowlat_bench::{abilene, gts, standard_tm};
 use lowlat_core::failure::{partition_routable, single_link_failures};
 use lowlat_core::pathset::PathCache;
 use lowlat_core::schemes::{registry, SolveContext};
-use lowlat_netgraph::NodeId;
+use lowlat_netgraph::{FailureMask, NodeId};
 
 fn bench_repair_vs_rebuild(c: &mut Criterion) {
     let topo = gts();
@@ -95,5 +99,46 @@ fn bench_warm_vs_cold_replace(c: &mut Criterion) {
     cache.clear_failure();
 }
 
-criterion_group!(benches, bench_repair_vs_rebuild, bench_warm_vs_cold_replace);
+fn bench_brownout_replace(c: &mut Criterion) {
+    // The brown-out reaction on the GTS-like mesh: every cable degraded to
+    // half capacity (a degradation-only mask — repair is free, the path
+    // sets are untouched) and the demand re-placed against the effective
+    // capacities. Warm restarts from the pre-brown-out LP bases.
+    let topo = gts();
+    let graph = topo.graph();
+    let tm = standard_tm(&topo, 0).scaled(0.5);
+    let cache = PathCache::new(graph);
+    let scheme = registry::build("LDR").expect("registry spec");
+    let mut ctx = SolveContext::new();
+    scheme.place_with_context(&cache, &tm, &mut ctx).expect("baseline placement");
+    let mut mask = FailureMask::new();
+    for cable in topo.cables() {
+        mask.degrade_cable(graph, cable, 0.5);
+    }
+    let stats = cache.apply_failure(&mask);
+    assert_eq!(stats.repaired_pairs, 0, "degradation-only repair regrows nothing");
+    // Prime the warm context with one post-brown-out solve.
+    scheme.place_with_context(&cache, &tm, &mut ctx).expect("brown-out placement");
+
+    let mut group = c.benchmark_group("failure/gts-brownout-replace");
+    group.sample_size(10);
+    group.bench_function("warm", |b| {
+        b.iter(|| scheme.place_with_context(&cache, black_box(&tm), &mut ctx).unwrap())
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let mut cold = SolveContext::new();
+            scheme.place_with_context(&cache, black_box(&tm), &mut cold).unwrap()
+        })
+    });
+    group.finish();
+    cache.clear_failure();
+}
+
+criterion_group!(
+    benches,
+    bench_repair_vs_rebuild,
+    bench_warm_vs_cold_replace,
+    bench_brownout_replace
+);
 criterion_main!(benches);

@@ -192,6 +192,88 @@ pub fn pop_conduit_srlgs(topology: &Topology) -> Vec<FailureScenario> {
         .collect()
 }
 
+/// Exhaustive single-cable brown-outs: one degradation-only scenario per
+/// physical cable, each dimming both directions to `factor * capacity`.
+/// Nothing goes down, so path caches keep every pair — the scenarios
+/// exercise exactly the effective-capacity path through the LP stack.
+///
+/// # Panics
+/// Panics unless `0 < factor < 1` (use [`single_link_failures`] for 0).
+pub fn brownout_failures(topology: &Topology, factor: f64) -> Vec<FailureScenario> {
+    assert!(factor > 0.0 && factor < 1.0, "brown-out factor {factor} out of (0,1)");
+    topology
+        .cables()
+        .into_iter()
+        .map(|c| FailureScenario {
+            name: format!("brownout:{}@{factor}", cable_label(topology, c)),
+            cables: Vec::new(),
+            nodes: Vec::new(),
+            degradations: vec![(c, factor)],
+        })
+        .collect()
+}
+
+/// Geographic SRLGs from PoP coordinates: for each cable, the group of
+/// cables whose great-circle corridors pass within `corridor_km` of its own
+/// — fibre runs plausibly trenched along the same right-of-way, which real
+/// outages (backhoes, floods) take out together. Cables sharing an endpoint
+/// are excluded (the [`pop_conduit_srlgs`] corpus already covers shared
+/// exits); groups with no non-adjacent neighbour are dropped, and duplicate
+/// groups are emitted once.
+pub fn geo_corridor_srlgs(topology: &Topology, corridor_km: f64) -> Vec<FailureScenario> {
+    let graph = topology.graph();
+    let cables = topology.cables();
+    let segments: Vec<(lowlat_topology::GeoPoint, lowlat_topology::GeoPoint)> = cables
+        .iter()
+        .map(|&c| {
+            let l = graph.link(c);
+            (topology.location(l.src), topology.location(l.dst))
+        })
+        .collect();
+    let mut seen: Vec<Vec<u32>> = Vec::new();
+    let mut out = Vec::new();
+    for (i, &c) in cables.iter().enumerate() {
+        let li = graph.link(c);
+        let mut group = vec![c];
+        for (j, &d) in cables.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let lj = graph.link(d);
+            let adjacent =
+                li.src == lj.src || li.src == lj.dst || li.dst == lj.src || li.dst == lj.dst;
+            if adjacent {
+                continue;
+            }
+            let dist = lowlat_topology::corridor_distance_km(
+                &segments[i].0,
+                &segments[i].1,
+                &segments[j].0,
+                &segments[j].1,
+            );
+            if dist <= corridor_km {
+                group.push(d);
+            }
+        }
+        if group.len() < 2 {
+            continue;
+        }
+        group.sort_unstable_by_key(|l| l.0);
+        let key: Vec<u32> = group.iter().map(|l| l.0).collect();
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        out.push(FailureScenario {
+            name: format!("srlg:geo-{}", cable_label(topology, c)),
+            cables: group,
+            nodes: Vec::new(),
+            degradations: Vec::new(),
+        });
+    }
+    out
+}
+
 /// The demand that survives a failure, and how much did not.
 #[derive(Clone, Debug)]
 pub struct RoutablePartition {
@@ -257,14 +339,23 @@ pub struct FailureImpact {
     /// Worst used-path delay over intact shortest delay, over routable
     /// aggregates.
     pub max_path_stretch: f64,
-    /// `max_l load_l / effective_cap_l - 1` clamped at 0; infinite when
-    /// traffic is placed on a downed link (static placements do this).
+    /// `max_l load_l / effective_cap_l - 1` clamped at 0;
+    /// [`FailureImpact::INFINITE_OVERLOAD`] when traffic is placed on a
+    /// downed link (static placements do this).
     pub max_overload: f64,
-    /// Highest link utilization against effective capacity.
+    /// Highest link utilization against effective capacity (same sentinel).
     pub max_utilization: f64,
 }
 
 impl FailureImpact {
+    /// The sentinel `max_utilization`/`max_overload` take when positive load
+    /// sits on a link with zero effective capacity: any amount of traffic on
+    /// a dead link is unboundedly overloaded. Always `+∞`, never NaN —
+    /// zero-load links are skipped before the division, so the 0/0 case
+    /// cannot arise. Test with `is_infinite()`; the value orders correctly
+    /// against every finite overload.
+    pub const INFINITE_OVERLOAD: f64 = f64::INFINITY;
+
     /// Evaluates `placement` (over `partition.tm`) under `mask`.
     pub fn evaluate(
         topology: &Topology,
@@ -295,11 +386,14 @@ impl FailureImpact {
         let loads = placement.link_loads(graph, &partition.tm);
         let mut max_utilization = 0.0f64;
         for l in graph.link_ids() {
+            // Skipping zero-load links first keeps the arithmetic NaN-free:
+            // a downed link (cap 0) only matters when something is placed
+            // on it, and then the documented sentinel applies.
             if loads[l.idx()] <= 0.0 {
                 continue;
             }
             let cap = mask.effective_capacity(graph, l);
-            let util = if cap > 0.0 { loads[l.idx()] / cap } else { f64::INFINITY };
+            let util = if cap > 0.0 { loads[l.idx()] / cap } else { Self::INFINITE_OVERLOAD };
             max_utilization = max_utilization.max(util);
         }
         let mut weighted_delay = 0.0;
@@ -522,5 +616,108 @@ mod tests {
         let impact = FailureImpact::evaluate(&topo, &partition, &mask, &placement);
         assert!(impact.max_overload.is_infinite());
         assert!(impact.max_utilization.is_infinite());
+    }
+
+    #[test]
+    fn infinite_overload_sentinel_is_never_nan() {
+        // Load on a downed link yields the documented sentinel — +inf, not
+        // NaN — and idle downed links (the 0/0 case) are skipped entirely.
+        let mut b = TopologyBuilder::new("line");
+        let a = b.add_pop("A", GeoPoint::new(40.0, -100.0));
+        let m = b.add_pop("B", GeoPoint::new(40.0, -97.0));
+        let c = b.add_pop("C", GeoPoint::new(40.0, -94.0));
+        b.connect(a, m, 100.0);
+        b.connect(m, c, 100.0);
+        let topo = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate {
+            src: a,
+            dst: m,
+            volume_mbps: 30.0,
+            flow_count: 3,
+        }]);
+        let cache = PathCache::new(topo.graph());
+        let placement = registry::build("SP").unwrap().place(&cache, &tm).unwrap();
+        let partition =
+            RoutablePartition { tm: tm.clone(), kept: vec![0], unroutable_fraction: 0.0 };
+        // Down both cables: A-B carries 30 (sentinel), B-C idles (skipped).
+        let mut mask = FailureMask::new();
+        let g = topo.graph();
+        mask.fail_cable(g, g.find_link(a, m).unwrap());
+        mask.fail_cable(g, g.find_link(m, c).unwrap());
+        let impact = FailureImpact::evaluate(&topo, &partition, &mask, &placement);
+        assert_eq!(impact.max_utilization, FailureImpact::INFINITE_OVERLOAD);
+        assert_eq!(impact.max_overload, FailureImpact::INFINITE_OVERLOAD);
+        assert!(!impact.max_overload.is_nan() && !impact.max_utilization.is_nan());
+        assert!(impact.max_overload > 1e12, "sentinel orders above any finite overload");
+    }
+
+    #[test]
+    fn brownout_scenarios_degrade_without_downing() {
+        let topo = named::abilene();
+        let scenarios = brownout_failures(&topo, 0.5);
+        assert_eq!(scenarios.len(), topo.cables().len());
+        let g = topo.graph();
+        for s in &scenarios {
+            assert!(s.name.starts_with("brownout:"), "{}", s.name);
+            assert_eq!(s.failed_elements(), 0, "nothing goes down in a brown-out");
+            let mask = s.mask(&topo);
+            assert!(!mask.affects_routing(), "degradation-only mask");
+            let (c, f) = s.degradations[0];
+            assert!((mask.effective_capacity(g, c) - g.link(c).capacity_mbps * f).abs() < 1e-9);
+            assert!(
+                (mask.effective_capacity(g, topo.reverse_link(c))
+                    - g.link(topo.reverse_link(c)).capacity_mbps * f)
+                    .abs()
+                    < 1e-9,
+                "both directions dim"
+            );
+        }
+    }
+
+    #[test]
+    fn geo_corridor_srlgs_group_nearby_non_adjacent_cables() {
+        // A tall, narrow rectangular ring. The two vertical edges run ~39 km
+        // apart (0.5° of longitude at lat 44–45); the two horizontal edges
+        // run 111 km apart (1° of latitude). A 60 km corridor groups exactly
+        // the vertical pair — every other non-adjacent pair is too far, and
+        // adjacent pairs are excluded by construction.
+        let mut b = TopologyBuilder::new("corridors");
+        let a1 = b.add_pop("A1", GeoPoint::new(45.0, 5.0));
+        let a2 = b.add_pop("A2", GeoPoint::new(45.0, 5.5));
+        let b1 = b.add_pop("B1", GeoPoint::new(44.0, 5.0));
+        let b2 = b.add_pop("B2", GeoPoint::new(44.0, 5.5));
+        b.connect(a1, a2, 100.0); // top
+        b.connect(b1, b2, 100.0); // bottom
+        b.connect(a1, b1, 100.0); // left
+        b.connect(a2, b2, 100.0); // right
+        let topo = b.build();
+        let srlgs = geo_corridor_srlgs(&topo, 60.0);
+        assert_eq!(srlgs.len(), 1, "exactly the left/right corridor pair: {srlgs:?}");
+        let s = &srlgs[0];
+        assert!(s.name.starts_with("srlg:geo-"));
+        assert_eq!(s.cables.len(), 2);
+        let g = topo.graph();
+        let left = g.find_link(a1, b1).unwrap();
+        let right = g.find_link(a2, b2).unwrap();
+        let mut got = s.cables.clone();
+        got.sort_unstable_by_key(|l| l.0);
+        let mut want = vec![left, right];
+        want.sort_unstable_by_key(|l| l.0);
+        assert_eq!(got, want, "the two parallel runs share fate; the far edges do not");
+        // A generous corridor still never groups adjacent cables.
+        for s in geo_corridor_srlgs(&topo, 10_000.0) {
+            for (x, &cx) in s.cables.iter().enumerate() {
+                for &cy in &s.cables[x + 1..] {
+                    let (lx, ly) = (g.link(cx), g.link(cy));
+                    assert!(
+                        lx.src != ly.src
+                            && lx.src != ly.dst
+                            && lx.dst != ly.src
+                            && lx.dst != ly.dst,
+                        "adjacent cables belong to conduit SRLGs, not geo ones"
+                    );
+                }
+            }
+        }
     }
 }

@@ -28,6 +28,21 @@
 //! sets across *saturated* (not just overloaded) links so the delay
 //! objective can rebalance them (the Figure-6 effect), which the LP can only
 //! exploit if the alternative paths exist in the model.
+//!
+//! ## Effective capacities (brown-outs)
+//!
+//! Every capacity row, utilization cap, and tight-link filter poses the
+//! *effective* capacity under the cache's active
+//! [`lowlat_netgraph::FailureMask`] ([`PathCache::effective_capacities`]),
+//! not the raw `capacity_mbps`. A degraded-but-up link — a brown-out — thus
+//! constrains the LP at `factor * capacity`, so every scheme built on this
+//! module (LatOpt, LDR, MinMax) re-places against the capacity that actually
+//! survives, with warm bases intact ([`lowlat_linprog::Problem::solve_warm`]
+//! re-verifies the basis against the changed coefficients, so a stale basis
+//! degrades to a cold solve, never to a wrong answer). Downed links never
+//! appear: masked cache repair keeps them off every candidate path, and
+//! degradation factors are strictly inside (0, 1), so every capacity the LP
+//! divides by is positive.
 
 use std::collections::HashMap;
 
@@ -224,6 +239,7 @@ impl LpMode {
 /// (and refreshing) the context's basis for this mode and problem size.
 ///
 /// `volumes[a]` is the (possibly inflated — LDR) demand of aggregate `a`;
+/// `caps[l]` is the effective per-link capacity (masked; see module docs);
 /// `cap_scale` scales every capacity (1 - headroom).
 #[allow(clippy::too_many_arguments)] // one call site; a params struct would just rename the args
 fn solve_lp(
@@ -231,6 +247,7 @@ fn solve_lp(
     aggs: &[AggInfo],
     path_sets: &[Vec<Path>],
     volumes: &[f64],
+    caps: &[f64],
     cap_scale: f64,
     m1: f64,
     mode: &LpMode,
@@ -295,7 +312,11 @@ fn solve_lp(
     //   Σ (z_ap / C_l) - o_l <= cap_scale - fixed_l / C_l      (overload modes)
     //   Σ (B_a x_ap / C_l) - U <= -fixed_l / C_l               (MinUtilization)
     for (oi, &l) in used_links.iter().enumerate() {
-        let cap = graph.link(LinkId(l as u32)).capacity_mbps;
+        let cap = caps[l];
+        assert!(
+            cap > 0.0,
+            "used link {l} has zero effective capacity (path crosses a downed link)"
+        );
         let mut coeffs: Vec<(usize, f64)> = Vec::new();
         for (a, paths) in path_sets.iter().enumerate() {
             if paths.len() > 1 {
@@ -366,7 +387,7 @@ fn solve_lp(
             if util_cap.is_finite() {
                 // Utilization cap rows: Σ (B_a/C_l) x + fixed/C <= util_cap.
                 for &l in &used_links {
-                    let cap = graph.link(LinkId(l as u32)).capacity_mbps;
+                    let cap = caps[l];
                     let mut coeffs: Vec<(usize, f64)> = Vec::new();
                     for (a, paths) in path_sets.iter().enumerate() {
                         if paths.len() > 1 {
@@ -688,6 +709,7 @@ pub fn solve_latency_optimal_weighted_ctx(
         });
     }
     let aggs = agg_infos(cache, tm, class_weights);
+    let caps = cache.effective_capacities();
     let cap_scale = 1.0 - config.headroom;
     let mut path_sets: Vec<Vec<Path>> =
         tm.aggregates().iter().map(|a| cache.paths(a.src, a.dst, 1)).collect();
@@ -703,6 +725,7 @@ pub fn solve_latency_optimal_weighted_ctx(
             &aggs,
             &path_sets,
             volumes,
+            &caps,
             cap_scale,
             config.m1,
             &LpMode::MinOverload,
@@ -728,16 +751,22 @@ pub fn solve_latency_optimal_weighted_ctx(
     // Phase 2: minimize delay subject to the achieved overload level (with
     // slack covering LP tolerance so phase 1's solution stays feasible).
     let mode = LpMode::MinLatency { omax_cap: omax * (1.0 + 1e-6) + 1e-7, util_cap: f64::INFINITY };
-    let mut out = solve_lp(graph, &aggs, &path_sets, volumes, cap_scale, config.m1, &mode, ctx)?;
+    let mut out =
+        solve_lp(graph, &aggs, &path_sets, volumes, &caps, cap_scale, config.m1, &mode, ctx)?;
     pivots += out.pivots;
 
     // Refinement: give the delay objective alternatives across *saturated*
-    // links (Figure-6 rebalancing), as long as it keeps helping.
+    // links (Figure-6 rebalancing), as long as it keeps helping. Saturation
+    // is judged against effective capacity, so a browned-out link at its
+    // degraded limit is a growth target even when its raw-capacity slack
+    // looks comfortable.
     for _ in 0..config.refine_rounds {
         let loads = loads_of(graph, &path_sets, &out.fractions, volumes);
         let saturated: Vec<LinkId> = graph
             .link_ids()
-            .filter(|&l| loads[l.idx()] >= graph.link(l).capacity_mbps * cap_scale * (1.0 - 1e-6))
+            .filter(|&l| {
+                caps[l.idx()] > 0.0 && loads[l.idx()] >= caps[l.idx()] * cap_scale * (1.0 - 1e-6)
+            })
             .collect();
         if saturated.is_empty() {
             break;
@@ -748,7 +777,8 @@ pub fn solve_latency_optimal_weighted_ctx(
             break;
         }
         remap_basis_after_growth(ctx, mode.tag(), out.rows, graph, &old_lens, &path_sets);
-        let next = solve_lp(graph, &aggs, &path_sets, volumes, cap_scale, config.m1, &mode, ctx)?;
+        let next =
+            solve_lp(graph, &aggs, &path_sets, volumes, &caps, cap_scale, config.m1, &mode, ctx)?;
         pivots += next.pivots;
         out = next;
         rounds += 1;
@@ -793,6 +823,7 @@ pub fn solve_minmax_ctx(
         });
     }
     let aggs = agg_infos(cache, tm, None);
+    let caps = cache.effective_capacities();
     let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
     let mut path_sets: Vec<Vec<Path>> = match k_limit {
         Some(k) => tm.aggregates().iter().map(|a| cache.paths(a.src, a.dst, k)).collect(),
@@ -811,6 +842,7 @@ pub fn solve_minmax_ctx(
             &aggs,
             &path_sets,
             &volumes,
+            &caps,
             1.0,
             config.m1,
             &LpMode::MinUtilization,
@@ -822,10 +854,13 @@ pub fn solve_minmax_ctx(
         if k_limit.is_some() || rounds >= config.max_rounds || (rounds > 1 && !improved) {
             break;
         }
+        // The links pinning U, judged against effective (masked) capacity.
         let loads = loads_of(graph, &path_sets, &out.fractions, &volumes);
         let pinning: Vec<LinkId> = graph
             .link_ids()
-            .filter(|&l| loads[l.idx()] >= graph.link(l).capacity_mbps * out.level * (1.0 - 1e-6))
+            .filter(|&l| {
+                caps[l.idx()] > 0.0 && loads[l.idx()] >= caps[l.idx()] * out.level * (1.0 - 1e-6)
+            })
             .collect();
         if !grow_crossing(cache, tm, &mut path_sets, &out.fractions, &pinning, config.growth_step) {
             break;
@@ -839,7 +874,7 @@ pub fn solve_minmax_ctx(
         omax_cap: (best_u - 1.0).max(0.0) * (1.0 + 1e-6) + 1e-7,
         util_cap: best_u * (1.0 + 1e-5) + 1e-7,
     };
-    let out = solve_lp(graph, &aggs, &path_sets, &volumes, 1.0, config.m1, &mode, ctx)?;
+    let out = solve_lp(graph, &aggs, &path_sets, &volumes, &caps, 1.0, config.m1, &mode, ctx)?;
     pivots += out.pivots;
     let omax = (best_u - 1.0).max(0.0);
     Ok(GrowOutcome {
@@ -1027,6 +1062,63 @@ mod tests {
             ctx.solves() - solves_minute0
         );
         let _ = first;
+    }
+
+    /// `two_path` with each cable's capacity pre-scaled by its factor — the
+    /// physically rebuilt counterpart of a degradation-only mask.
+    fn two_path_scaled(factors: [f64; 4]) -> Topology {
+        let mut b = TopologyBuilder::new("two-scaled");
+        let a = b.add_pop("A", GeoPoint::new(40.0, -100.0));
+        let m = b.add_pop("M", GeoPoint::new(41.0, -97.0));
+        let n = b.add_pop("N", GeoPoint::new(39.0, -97.0));
+        let z = b.add_pop("Z", GeoPoint::new(40.0, -94.0));
+        b.connect_with_delay(a, m, 1.0, 100.0 * factors[0]);
+        b.connect_with_delay(m, z, 1.0, 100.0 * factors[1]);
+        b.connect_with_delay(a, n, 3.0, 100.0 * factors[2]);
+        b.connect_with_delay(n, z, 3.0, 100.0 * factors[3]);
+        b.build()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// A degradation-only mask must constrain the LP exactly like a
+        /// graph whose capacities are physically scaled down: same overload,
+        /// same mean delay. This pins the masked capacity-provider path to
+        /// the rebuilt-graph oracle.
+        #[test]
+        fn masked_lp_matches_physically_rebuilt_graph(
+            (f0, f1, f2, f3) in (0.1f64..0.95, 0.1f64..0.95, 0.1f64..0.95, 0.1f64..0.95),
+            volume in 20.0f64..250.0,
+        ) {
+            use proptest::prelude::prop_assert;
+            let factors = [f0, f1, f2, f3];
+            let topo = two_path();
+            let cache = PathCache::new(topo.graph());
+            let mut mask = lowlat_netgraph::FailureMask::new();
+            for (c, &f) in topo.cables().iter().zip(&factors) {
+                mask.degrade_cable(topo.graph(), *c, f);
+            }
+            let stats = cache.apply_failure(&mask);
+            prop_assert!(stats.repaired_pairs == 0, "degradation-only repair is free");
+            let tm = tm_one(volume);
+            let cfg = GrowthConfig::default();
+            let masked = solve_latency_optimal(&cache, &tm, &[volume], &cfg).unwrap();
+
+            let rebuilt = two_path_scaled(factors);
+            let oracle_cache = PathCache::new(rebuilt.graph());
+            let oracle = solve_latency_optimal(&oracle_cache, &tm, &[volume], &cfg).unwrap();
+
+            prop_assert!(
+                (masked.omax - oracle.omax).abs() < 1e-6,
+                "omax: masked {} vs rebuilt {}", masked.omax, oracle.omax
+            );
+            let (md, od) = (
+                masked.placement.aggregate(0).mean_delay_ms(),
+                oracle.placement.aggregate(0).mean_delay_ms(),
+            );
+            prop_assert!((md - od).abs() < 1e-5, "mean delay: masked {md} vs rebuilt {od}");
+        }
     }
 
     #[test]

@@ -105,6 +105,18 @@ impl<'g> PathCache<'g> {
         self.mask.read().clone()
     }
 
+    /// Per-link effective capacities (Mbps) under the active failure mask,
+    /// indexed by `LinkId` — raw capacities when no mask is in force. This
+    /// is the capacity-provider view the LP schemes pose constraints
+    /// against, so brown-outs (degradation-only masks) are visible to every
+    /// capacity row even though they change no paths.
+    pub fn effective_capacities(&self) -> Vec<f64> {
+        match self.failure_mask() {
+            Some(mask) => mask.effective_capacities(self.graph),
+            None => self.graph.link_ids().map(|l| self.graph.link(l).capacity_mbps).collect(),
+        }
+    }
+
     /// The shard holding `(src, dst)`. Fibonacci-style mixing spreads the
     /// small consecutive node ids real topologies use across all shards.
     fn shard(&self, src: NodeId, dst: NodeId) -> &Shard<'g> {
@@ -400,6 +412,10 @@ mod tests {
         let stats = cache.clear_failure();
         assert_eq!(stats.repaired_pairs, 1, "the masked generator is rebuilt pure");
         assert!(cache.failure_mask().is_none());
+        assert!(
+            cache.effective_capacities().iter().all(|&c| (c - 10.0).abs() < 1e-9),
+            "intact view exposes raw capacities"
+        );
         let restored = cache.paths(NodeId(0), NodeId(2), 2);
         assert_eq!(restored.len(), 2);
         assert_eq!(restored[0].delay_ms(), 2.0, "shortest path is back");
@@ -416,6 +432,10 @@ mod tests {
         let stats = cache.apply_failure(&mask);
         assert_eq!(stats.kept_pairs, 1, "degradation does not invalidate paths");
         assert_eq!(stats.repaired_pairs, 0);
+        // The capacity-provider view sees the brown-out...
+        let caps = cache.effective_capacities();
+        assert!((caps[l01.idx()] - 5.0).abs() < 1e-9, "degraded cable at half capacity");
+        assert_eq!(caps.len(), g.link_count());
         assert_eq!(cache.paths(NodeId(0), NodeId(2), 2).len(), 2);
         // Growth under a degradation-only mask keeps the generator pure:
         // re-applying the same mask must not count the pair as repaired.

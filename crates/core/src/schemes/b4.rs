@@ -64,11 +64,12 @@ impl B4Routing {
         let graph = cache.graph();
         let n = tm.aggregates().len();
 
-        // Pass 1 fills capacities scaled down by the headroom reserve.
-        let mut residual: Vec<f64> = graph
-            .link_ids()
-            .map(|l| graph.link(l).capacity_mbps * (1.0 - self.config.headroom))
-            .collect();
+        // Pass 1 fills *effective* (mask-aware) capacities scaled down by
+        // the headroom reserve: a browned-out link offers only its degraded
+        // capacity to the greedy fill.
+        let caps = cache.effective_capacities();
+        let mut residual: Vec<f64> =
+            caps.iter().map(|&c| c * (1.0 - self.config.headroom)).collect();
         let mut allocations: Vec<Vec<(Path, f64)>> = vec![Vec::new(); n];
         let mut remaining: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
         let stuck = self.fill(cache, tm, &mut residual, &mut allocations, &mut remaining);
@@ -76,10 +77,8 @@ impl B4Routing {
         // Pass 2 (§6): stragglers may eat into the reserve.
         let stuck = if self.config.headroom > 0.0 && !stuck.is_empty() {
             let loads = current_loads(graph.link_count(), &allocations);
-            let mut full_residual: Vec<f64> = graph
-                .link_ids()
-                .map(|l| (graph.link(l).capacity_mbps - loads[l.idx()]).max(0.0))
-                .collect();
+            let mut full_residual: Vec<f64> =
+                graph.link_ids().map(|l| (caps[l.idx()] - loads[l.idx()]).max(0.0)).collect();
             self.fill(cache, tm, &mut full_residual, &mut allocations, &mut remaining)
         } else {
             stuck

@@ -147,6 +147,9 @@ impl Ldr {
         assert_eq!(traces.len(), tm.aggregates().len(), "one trace per aggregate");
         let graph = cache.graph();
         let check = MultiplexCheck::new(self.config.multiplex.clone());
+        // Appraise multiplexing against what the links can carry *now*: a
+        // browned-out link must pass the B/C tests at its degraded capacity.
+        let caps = cache.effective_capacities();
 
         // Step 1: Algorithm-1 prediction of each aggregate's mean rate.
         let mut ba: Vec<f64> = predict_volumes(traces);
@@ -178,7 +181,7 @@ impl Ldr {
                     scaled_samples.push(last_minute[a].iter().map(|s| s * x).collect());
                 }
                 let refs: Vec<&[f64]> = scaled_samples.iter().map(|v| v.as_slice()).collect();
-                let verdict = check.check_link(graph.link(l).capacity_mbps, &refs);
+                let verdict = check.check_link(caps[l.idx()], &refs);
                 if !verdict.passed() {
                     failing_links.push(l.idx());
                 }

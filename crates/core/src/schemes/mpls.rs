@@ -68,10 +68,12 @@ impl MplsAutoBandwidth {
         cache: &PathCache<'_>,
         tm: &TrafficMatrix,
     ) -> Result<Placement, SchemeError> {
-        let graph = cache.graph();
-        let mut residual: Vec<f64> = graph
-            .link_ids()
-            .map(|l| graph.link(l).capacity_mbps * (1.0 - self.config.headroom))
+        // Reservations admit against *effective* (mask-aware) capacities: a
+        // browned-out link only offers its degraded capacity to new LSPs.
+        let mut residual: Vec<f64> = cache
+            .effective_capacities()
+            .into_iter()
+            .map(|c| c * (1.0 - self.config.headroom))
             .collect();
 
         // Signalling order.

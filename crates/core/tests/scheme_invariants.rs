@@ -9,6 +9,7 @@ use lowlat_core::failure::{partition_routable, single_link_failures};
 use lowlat_core::pathset::PathCache;
 use lowlat_core::scale::min_cut_load_with_cache;
 use lowlat_core::schemes::{registry, SchemeError, SolveContext};
+use lowlat_netgraph::FailureMask;
 use lowlat_tmgen::{GravityTmGen, TmGenConfig, TrafficMatrix};
 use lowlat_topology::zoo::named;
 use lowlat_topology::Topology;
@@ -149,6 +150,82 @@ fn registry_schemes_survive_every_single_cable_failure() {
         // would mean repair degenerated to a full rebuild.
         assert!(total_kept > 0, "{}: repair never kept a pair", topo.name());
         assert!(total_repaired > 0, "{}: no failure touched a cached path", topo.name());
+        cache.clear_failure();
+    }
+}
+
+#[test]
+fn registry_schemes_respect_effective_capacities_under_brownouts() {
+    // The brown-out axis: degrade every cable to half capacity (a
+    // degradation-only mask — nothing down, no path changes) and scale the
+    // demand by the same factor. By linearity this is exactly the intact
+    // 0.7 min-cut instance with halved capacities, so every scheme that
+    // fits intact must fit against *effective* capacities here — which it
+    // can only do if its capacity constraints actually see the mask.
+    let factor = 0.5;
+    let lp_specs = ["MinMax", "MinMaxK10", "LatOpt", "LDR", "LinkBased"];
+    // The schemes whose feasibility the linearity argument guarantees (LDR
+    // fits too: 0.35 effective load under its 10% static headroom).
+    let must_fit = ["MinMax", "LatOpt", "LDR"];
+    for topo in named_corpus() {
+        let graph = topo.graph();
+        let cache = PathCache::new(graph);
+        let tm = standard_tm(&topo, &cache).scaled(factor);
+        let mut mask = FailureMask::new();
+        for c in topo.cables() {
+            mask.degrade_cable(graph, c, factor);
+        }
+        assert!(!mask.affects_routing(), "brown-outs change no paths");
+        let stats = cache.apply_failure(&mask);
+        assert_eq!(stats.repaired_pairs, 0, "{}: degradation-only repair is free", topo.name());
+        let eff: Vec<f64> = cache.effective_capacities();
+        for &spec in registry::ALL_SPECS {
+            if lp_specs.contains(&spec) && topo.pop_count() > FAILURE_LP_POP_CAP {
+                continue;
+            }
+            let scheme = registry::build(spec).expect("registry spec");
+            let placement = match scheme.place(&cache, &tm) {
+                Ok(p) => p,
+                Err(SchemeError::Infeasible) if spec == "LinkBased" => continue,
+                Err(e) => panic!("{spec} failed under brown-out on {}: {e}", topo.name()),
+            };
+            placement
+                .validate(graph, &tm)
+                .unwrap_or_else(|e| panic!("{spec} invalid on {}: {e}", topo.name()));
+            if must_fit.contains(&spec) || spec == "LinkBased" {
+                let loads = placement.link_loads(graph, &tm);
+                for l in graph.link_ids() {
+                    assert!(
+                        loads[l.idx()] <= eff[l.idx()] * (1.0 + 1e-6) + 1e-9,
+                        "{spec} on {}: link {} loaded {} over effective capacity {} \
+                         (raw {}) — the scheme routed over phantom capacity",
+                        topo.name(),
+                        l.0,
+                        loads[l.idx()],
+                        eff[l.idx()],
+                        graph.link(l).capacity_mbps,
+                    );
+                }
+            }
+        }
+        // The literal "LP reports feasible": the latency-optimal LP must
+        // find a zero-overload placement against the effective capacities.
+        if topo.pop_count() <= FAILURE_LP_POP_CAP {
+            let vols: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
+            let out = lowlat_core::pathgrow::solve_latency_optimal(
+                &cache,
+                &tm,
+                &vols,
+                &lowlat_core::pathgrow::GrowthConfig::default(),
+            )
+            .expect("LatOpt under brown-out");
+            assert!(
+                out.omax <= 1e-7,
+                "{}: LatOpt reports overload {} under a fitting brown-out",
+                topo.name(),
+                out.omax
+            );
+        }
         cache.clear_failure();
     }
 }

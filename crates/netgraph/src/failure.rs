@@ -146,6 +146,14 @@ impl FailureMask {
         graph.link(l).capacity_mbps * self.capacity_factor(graph, l)
     }
 
+    /// Per-link effective capacities (Mbps) under this mask, indexed by
+    /// `LinkId` — the capacity-provider view the LP stack poses constraints
+    /// against. Downed links read 0; degraded links `factor * capacity`;
+    /// everything else the raw capacity.
+    pub fn effective_capacities(&self, graph: &Graph) -> Vec<f64> {
+        graph.link_ids().map(|l| self.effective_capacity(graph, l)).collect()
+    }
+
     /// The downed-link set, for passing to the masked algorithms. `None`
     /// when no link is individually down (node failures still apply via
     /// [`FailureMask::node_mask`]).
@@ -313,6 +321,23 @@ mod tests {
         assert!((mask.capacity_factor(&g, l01) - 0.5).abs() < 1e-12);
         mask.restore_link(l01);
         assert_eq!(mask.capacity_factor(&g, l01), 1.0);
+    }
+
+    #[test]
+    fn effective_capacities_vector_matches_per_link_queries() {
+        let g = diamondish();
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let l02 = g.find_link(NodeId(0), NodeId(2)).unwrap();
+        let mut mask = FailureMask::new();
+        mask.degrade_cable(&g, l01, 0.25);
+        mask.fail_cable(&g, l02);
+        let caps = mask.effective_capacities(&g);
+        assert_eq!(caps.len(), g.link_count());
+        for l in g.link_ids() {
+            assert!((caps[l.idx()] - mask.effective_capacity(&g, l)).abs() < 1e-12);
+        }
+        assert!((caps[l01.idx()] - 2.5).abs() < 1e-9, "degraded to a quarter");
+        assert_eq!(caps[l02.idx()], 0.0, "downed link reads zero");
     }
 
     #[test]

@@ -12,13 +12,22 @@
 //!
 //! Usage:
 //! `cargo run --release --bin failure_sweep -- [--quick|--std|--full]
-//!     [--scenarios single,node,srlg,random] [--k 2] [--count 5]
-//!     [--seed 7] [--load 0.7] [--schemes LDR,LatOpt,SP]`
+//!     [--scenarios single,node,srlg,geo,random,brownout] [--k 2]
+//!     [--count 5] [--seed 7] [--loads 0.5,0.7] [--degrade 0.5]
+//!     [--corridor-km 100] [--schemes LDR,LatOpt,SP] [--frontier]`
 //!
 //! Scenario axes: `single` (exhaustive single-cable), `node` (each PoP
-//! down), `srlg` (per-PoP conduit groups), `random` (`--count` draws of
-//! `--k` simultaneous cable failures, deterministic in `--seed`). One TSV
-//! row per (network, scheme, scenario).
+//! down), `srlg` (per-PoP conduit groups), `geo` (great-circle corridor
+//! SRLGs within `--corridor-km`), `random` (`--count` draws of `--k`
+//! simultaneous cable failures, deterministic in `--seed`), `brownout`
+//! (each cable degraded to `--degrade` of capacity — nothing down, so the
+//! LP must fit against *effective* capacities). One TSV row per (network,
+//! scheme, load, scenario); `--load X` is shorthand for `--loads X`.
+//!
+//! `--frontier` switches to availability-frontier output: per (network,
+//! scheme, load) cell, nearest-rank quantiles across the scenario set of
+//! unroutable fraction, worst path stretch and worst overload — the CDF
+//! rows Figure-style availability curves are plotted from.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -28,6 +37,7 @@ use lowlat_core::pathset::PathCache;
 use lowlat_core::scale::ScaleToLoad;
 use lowlat_core::schemes::{registry, SolveContext};
 use lowlat_sim::runner::{flag_value, parse_flag, Scale};
+use lowlat_sim::stats::Cdf;
 use lowlat_tmgen::{GravityTmGen, TmGenConfig};
 use lowlat_topology::zoo::named;
 use lowlat_topology::Topology;
@@ -47,25 +57,32 @@ fn named_corpus(scale: Scale) -> Vec<Topology> {
     }
 }
 
-fn scenarios_for(
-    topo: &Topology,
-    axes: &[String],
+struct ScenarioParams {
     k: usize,
     count: usize,
     seed: u64,
-) -> Vec<FailureScenario> {
+    degrade: f64,
+    corridor_km: f64,
+}
+
+fn scenarios_for(topo: &Topology, axes: &[String], p: &ScenarioParams) -> Vec<FailureScenario> {
     let mut out = Vec::new();
     for axis in axes {
         match axis.as_str() {
             "single" => out.extend(failure::single_link_failures(topo)),
             "node" => out.extend(failure::node_failures(topo)),
             "srlg" => out.extend(failure::pop_conduit_srlgs(topo)),
+            "geo" => out.extend(failure::geo_corridor_srlgs(topo, p.corridor_km)),
             "random" => {
-                let k = k.min(topo.cables().len());
-                out.extend(failure::random_k_link_failures(topo, k, count, seed));
+                let k = p.k.min(topo.cables().len());
+                out.extend(failure::random_k_link_failures(topo, k, p.count, p.seed));
             }
+            "brownout" => out.extend(failure::brownout_failures(topo, p.degrade)),
             other => {
-                eprintln!("error: unknown scenario axis '{other}' (single, node, srlg, random)");
+                eprintln!(
+                    "error: unknown scenario axis '{other}' \
+                     (single, node, srlg, geo, random, brownout)"
+                );
                 std::process::exit(2);
             }
         }
@@ -90,7 +107,11 @@ struct Row {
     lp_solves: usize,
     lp_warm_hits: usize,
     repair_ms: f64,
+    load: f64,
 }
+
+/// Nearest-rank quantiles reported per frontier cell.
+const FRONTIER_QUANTILES: [f64; 5] = [0.5, 0.9, 0.95, 0.99, 1.0];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -98,7 +119,10 @@ fn main() {
     let mut k = 2usize;
     let mut count = 5usize;
     let mut seed = 7u64;
-    let mut load = 0.7f64;
+    let mut loads = vec![0.7f64];
+    let mut degrade = 0.5f64;
+    let mut corridor_km = 100.0f64;
+    let mut frontier = false;
     let mut specs = vec!["LDR".to_string(), "LatOpt".to_string(), "SP".to_string()];
     let mut i = 0;
     while i < args.len() {
@@ -123,10 +147,32 @@ fn main() {
                 seed = parse_flag("--seed", flag_value(&args, i, "--seed"));
                 i += 1;
             }
-            "--load" => {
-                load = parse_flag("--load", flag_value(&args, i, "--load"));
+            // `--load 0.7` is the single-point alias for `--loads`.
+            flag @ ("--load" | "--loads") => {
+                loads = flag_value(&args, i, flag)
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| parse_flag(flag, s.trim()))
+                    .collect();
+                if loads.is_empty() {
+                    eprintln!("error: {flag} expects at least one load");
+                    std::process::exit(2);
+                }
                 i += 1;
             }
+            "--degrade" => {
+                degrade = parse_flag("--degrade", flag_value(&args, i, "--degrade"));
+                if !(0.0..1.0).contains(&degrade) || degrade == 0.0 {
+                    eprintln!("error: --degrade expects a factor in (0, 1), got {degrade}");
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
+            "--corridor-km" => {
+                corridor_km = parse_flag("--corridor-km", flag_value(&args, i, "--corridor-km"));
+                i += 1;
+            }
+            "--frontier" => frontier = true,
             "--schemes" => {
                 specs = flag_value(&args, i, "--schemes")
                     .split(',')
@@ -139,14 +185,27 @@ fn main() {
         }
         i += 1;
     }
-    let scale = Scale::from_args_filtered(&[
-        "--scenarios",
-        "--k",
-        "--count",
-        "--seed",
-        "--load",
-        "--schemes",
-    ]);
+    // Scale::parse rejects unknown flags; strip the valueless --frontier
+    // and hand it the value flags so it skips their arguments.
+    let scale_args: Vec<String> = args.iter().filter(|a| *a != "--frontier").cloned().collect();
+    let scale = Scale::parse(
+        &scale_args,
+        &[
+            "--scenarios",
+            "--k",
+            "--count",
+            "--seed",
+            "--load",
+            "--loads",
+            "--degrade",
+            "--corridor-km",
+            "--schemes",
+        ],
+    )
+    .unwrap_or_else(|message| {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    });
     let schemes: Vec<_> = specs
         .iter()
         .map(|s| {
@@ -157,31 +216,45 @@ fn main() {
         })
         .collect();
     let nets = named_corpus(scale);
-    let tms: Vec<_> = nets
+    // One matrix per (network, load): the same gravity structure swept
+    // across operating points.
+    let tms: Vec<Vec<_>> = nets
         .iter()
-        .map(|t| GravityTmGen::new(TmGenConfig::default()).generate(t, 0).scaled_to_load(t, load))
+        .map(|t| {
+            let raw = GravityTmGen::new(TmGenConfig::default()).generate(t, 0);
+            loads.iter().map(|&load| raw.scaled_to_load(t, load)).collect()
+        })
         .collect();
+    let params = ScenarioParams { k, count, seed, degrade, corridor_km };
     let scenario_sets: Vec<Vec<FailureScenario>> =
-        nets.iter().map(|t| scenarios_for(t, &axes, k, count, seed)).collect();
+        nets.iter().map(|t| scenarios_for(t, &axes, &params)).collect();
     // Intact all-pairs delays, once per network — every scenario row of a
     // network judges stretch against the same baseline.
     let intact_delays: Vec<Vec<Vec<f64>>> =
         nets.iter().map(|t| lowlat_netgraph::all_pairs_delays(t.graph())).collect();
     eprintln!(
-        "failure space: {} networks x {} schemes ({}), {} scenarios total ({}), load {load}",
+        "failure space: {} networks x {} schemes ({}) x {} loads ({:?}), \
+         {} scenarios total ({}){}",
         nets.len(),
         schemes.len(),
         schemes.iter().map(|s| s.name()).collect::<Vec<_>>().join(","),
+        loads.len(),
+        loads,
         scenario_sets.iter().map(Vec::len).sum::<usize>(),
         axes.join(","),
+        if frontier { ", frontier quantiles" } else { "" },
     );
 
-    // (network, scheme) cells are independent and each iterates its
+    // (network, scheme, load) cells are independent and each iterates its
     // scenarios sequentially over ONE shared cache + LP context — the
     // repair-not-rebuild, warm-not-cold recovery story. Work-steal cells
     // off an atomic counter into pre-assigned slots (deterministic order).
-    let cells: Vec<(usize, usize)> =
-        (0..nets.len()).flat_map(|n| (0..schemes.len()).map(move |s| (n, s))).collect();
+    let load_count = loads.len();
+    let cells: Vec<(usize, usize, usize)> = (0..nets.len())
+        .flat_map(|n| {
+            (0..schemes.len()).flat_map(move |s| (0..load_count).map(move |li| (n, s, li)))
+        })
+        .collect();
     let slots: std::sync::Mutex<Vec<Option<Vec<Row>>>> =
         std::sync::Mutex::new((0..cells.len()).map(|_| None).collect());
     let next = AtomicUsize::new(0);
@@ -193,8 +266,8 @@ fn main() {
                 if ci >= cells.len() {
                     break;
                 }
-                let (n, s) = cells[ci];
-                let (net, tm, scheme) = (&nets[n], &tms[n], &schemes[s]);
+                let (n, s, li) = cells[ci];
+                let (net, tm, scheme) = (&nets[n], &tms[n][li], &schemes[s]);
                 let cache = PathCache::new(net.graph());
                 let mut ctx = SolveContext::new();
                 // Pre-failure baseline warms the cache and the LP bases.
@@ -241,21 +314,56 @@ fn main() {
                         lp_solves: out.lp_solves,
                         lp_warm_hits: out.lp_warm_hits,
                         repair_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        load: loads[li],
                     });
                 }
                 slots.lock().expect("slots")[ci] = Some(rows);
             });
         }
     });
+    let cell_rows: Vec<Vec<Row>> =
+        slots.into_inner().expect("slots").into_iter().flatten().collect();
+    if frontier {
+        // Availability frontier: per (network, scheme, load) cell, the
+        // scenario distribution collapsed to nearest-rank quantiles — one
+        // row per quantile, so plotting `quantile` against any metric
+        // column draws the availability CDF directly.
+        println!(
+            "network\tpops\tlinks\tscheme\tscenarios\tquantile\tunroutable_frac\t\
+             max_path_stretch\tmax_overload\tload"
+        );
+        for rows in cell_rows {
+            let Some(first) = rows.first() else { continue };
+            let unroutable = Cdf::new(rows.iter().map(|r| r.unroutable_fraction).collect());
+            let stretch = Cdf::new(rows.iter().map(|r| r.max_path_stretch).collect());
+            let overload = Cdf::new(rows.iter().map(|r| r.max_overload).collect());
+            for q in FRONTIER_QUANTILES {
+                println!(
+                    "{}\t{}\t{}\t{}\t{}\t{:.2}\t{:.4}\t{:.4}\t{:.4}\t{}",
+                    first.network,
+                    first.pops,
+                    first.links,
+                    first.scheme,
+                    rows.len(),
+                    q,
+                    unroutable.quantile(q),
+                    stretch.quantile(q),
+                    overload.quantile(q),
+                    first.load,
+                );
+            }
+        }
+        return;
+    }
     println!(
         "network\tpops\tlinks\tscheme\tscenario\tfailed_elements\tkept_pairs\trepaired_pairs\t\
          paths_regrown\tunroutable_frac\tlatency_stretch\tmax_path_stretch\tmax_overload\t\
-         lp_solves\tlp_warm_hits\trepair_ms"
+         lp_solves\tlp_warm_hits\trepair_ms\tload"
     );
-    for rows in slots.into_inner().expect("slots").into_iter().flatten() {
+    for rows in cell_rows {
         for r in rows {
             println!(
-                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{}\t{}\t{:.2}",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{}\t{}\t{:.2}\t{}",
                 r.network,
                 r.pops,
                 r.links,
@@ -272,6 +380,7 @@ fn main() {
                 r.lp_solves,
                 r.lp_warm_hits,
                 r.repair_ms,
+                r.load,
             );
         }
     }

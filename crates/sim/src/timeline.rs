@@ -29,6 +29,19 @@
 //! placement; whatever they had routed over failed elements is counted
 //! lost, which is exactly the availability argument for the adaptive
 //! cycle.
+//!
+//! ## Load-induced cascades
+//!
+//! [`simulate_with_cascades`] adds the failure mode the scripted events
+//! cannot express: overload *causing* the next failure. After each minute's
+//! replay, if the worst surviving link's minute-mean load exceeds its
+//! effective capacity by more than [`CascadeConfig::trip_overload`], that
+//! cable trips — a new [`TimelineEvent`] failing it (on top of the mask
+//! already in force) fires at the next decision minute, up to
+//! [`CascadeConfig::max_trips`] trips per run. Trips are counted in
+//! [`TimelineOutcome::cascade_trips`] and flow through the exact same
+//! repair/re-place machinery as scripted events, so a brown-out that
+//! concentrates traffic can be watched snowballing into an outage.
 
 use std::sync::Arc;
 
@@ -158,6 +171,28 @@ pub struct TimelineEvent {
     pub mask: FailureMask,
 }
 
+/// The load-induced cascade model for [`simulate_with_cascades`]: when a
+/// surviving link's minute-mean load exceeds `(1 + trip_overload)` times
+/// its effective capacity, its cable trips at the next decision minute.
+/// One trip per minute (the worst-overloaded cable), at most `max_trips`
+/// per run.
+#[derive(Clone, Debug)]
+pub struct CascadeConfig {
+    /// Overload fraction (load / effective capacity − 1) above which the
+    /// worst link's cable trips. 0.2 means sustained load 20% over
+    /// effective capacity blows the cable.
+    pub trip_overload: f64,
+    /// Upper bound on cascade trips per run — the breaker on the breaker,
+    /// so a hopeless overload cannot fail every cable in the network.
+    pub max_trips: usize,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig { trip_overload: 0.2, max_trips: 4 }
+    }
+}
+
 /// What one simulated minute looked like.
 #[derive(Clone, Debug)]
 pub struct MinuteReport {
@@ -196,6 +231,10 @@ pub struct TimelineOutcome {
     /// Cached pairs that survived repairs untouched (0 for static
     /// controllers).
     pub kept_pairs: usize,
+    /// Load-induced cable trips emitted by the cascade model (always 0
+    /// outside [`simulate_with_cascades`]). Each trip also counts as a
+    /// repair event once its failure takes effect.
+    pub cascade_trips: usize,
 }
 
 impl TimelineOutcome {
@@ -253,6 +292,35 @@ pub fn simulate_with_events(
     config: &TimelineConfig,
     events: &[TimelineEvent],
 ) -> TimelineOutcome {
+    run_timeline(topology, tm, controller, config, events, None)
+}
+
+/// As [`simulate_with_events`], with the load-induced cascade model armed:
+/// a minute whose worst surviving link sustains mean load above
+/// `(1 + cascade.trip_overload)` times effective capacity trips that cable
+/// at the next decision minute (see [`CascadeConfig`]).
+///
+/// # Panics
+/// As [`simulate_with_events`].
+pub fn simulate_with_cascades(
+    topology: &Topology,
+    tm: &TrafficMatrix,
+    controller: &Controller,
+    config: &TimelineConfig,
+    events: &[TimelineEvent],
+    cascade: &CascadeConfig,
+) -> TimelineOutcome {
+    run_timeline(topology, tm, controller, config, events, Some(cascade))
+}
+
+fn run_timeline(
+    topology: &Topology,
+    tm: &TrafficMatrix,
+    controller: &Controller,
+    config: &TimelineConfig,
+    events: &[TimelineEvent],
+    cascade: Option<&CascadeConfig>,
+) -> TimelineOutcome {
     assert!(!tm.is_empty());
     assert!(config.minutes >= 1 && config.warmup_minutes >= 2);
     assert!(
@@ -303,11 +371,21 @@ pub fn simulate_with_events(
     let mut repair_events = 0usize;
     let mut repaired_pairs = 0usize;
     let mut kept_pairs = 0usize;
+    let mut cascade_trips = 0usize;
+    // Scripted events plus any cascade trips appended along the way; trips
+    // always land at a later minute than the one that emitted them, so
+    // per-minute index iteration stays sound.
+    let mut queue: Vec<TimelineEvent> = events.to_vec();
 
     let mut minutes = Vec::with_capacity(config.minutes);
     for t in config.warmup_minutes..total_minutes {
+        let rel_t = t - config.warmup_minutes;
         // Topology events due this decision minute fire first.
-        for ev in events.iter().filter(|e| e.at_minute == t - config.warmup_minutes) {
+        for i in 0..queue.len() {
+            if queue[i].at_minute != rel_t {
+                continue;
+            }
+            let ev = queue[i].clone();
             repair_events += 1;
             // A static controller never consults the cache after its
             // initial placement, so there is nothing to repair — the mask
@@ -399,6 +477,11 @@ pub fn simulate_with_events(
         }
         let mut worst_queue_ms = 0.0f64;
         let mut overloaded_links = 0usize;
+        // The cascade candidate: the worst cable sustaining minute-mean
+        // load above the trip threshold (per-bin bursts queue, they don't
+        // blow cables).
+        let mut trip: Option<lowlat_netgraph::LinkId> = None;
+        let mut trip_over = cascade.map_or(f64::INFINITY, |c| c.trip_overload);
         for l in graph.link_ids() {
             let cap = if current_mask.is_empty() {
                 graph.link(l).capacity_mbps
@@ -410,13 +493,31 @@ pub fn simulate_with_events(
             }
             let mut backlog_mb = 0.0f64;
             let mut overloaded = false;
+            let mut sum = 0.0f64;
             for &load in &per_link_load[l.idx()] {
                 backlog_mb = (backlog_mb + (load - cap) * 0.1).max(0.0);
                 worst_queue_ms = worst_queue_ms.max(backlog_mb / cap * 1000.0);
                 overloaded |= load > cap;
+                sum += load;
             }
             if overloaded {
                 overloaded_links += 1;
+            }
+            let over = sum / bins as f64 / cap - 1.0;
+            if over > trip_over {
+                trip = Some(l);
+                trip_over = over;
+            }
+        }
+        if let Some(l) = trip {
+            let max_trips = cascade.map_or(0, |c| c.max_trips);
+            if cascade_trips < max_trips && rel_t + 1 < config.minutes {
+                // The overloaded cable blows: schedule its failure, on top
+                // of whatever mask is already in force, for next minute.
+                let mut mask = current_mask.clone();
+                mask.fail_cable(graph, l);
+                queue.push(TimelineEvent { at_minute: rel_t + 1, mask });
+                cascade_trips += 1;
             }
         }
         let latency_stretch = match &placement {
@@ -440,6 +541,7 @@ pub fn simulate_with_events(
         repair_events,
         repaired_pairs,
         kept_pairs,
+        cascade_trips,
     }
 }
 
@@ -448,8 +550,9 @@ mod tests {
     use super::*;
     use lowlat_core::failure::single_link_failures;
     use lowlat_core::scale::ScaleToLoad;
-    use lowlat_tmgen::{GravityTmGen, TmGenConfig};
+    use lowlat_tmgen::{Aggregate, GravityTmGen, TmGenConfig};
     use lowlat_topology::zoo::named;
+    use lowlat_topology::{GeoPoint, PopId, TopologyBuilder};
 
     fn setup() -> (Topology, TrafficMatrix) {
         let topo = named::abilene();
@@ -585,6 +688,78 @@ mod tests {
             }
         }
         assert!(leaked, "some single failure must hit SP's placed paths");
+    }
+
+    /// A two-path network: A—M—Z wide (1000 Mbps cables), A—N—Z narrow
+    /// (400 Mbps cables). Losing the wide path forces everything onto
+    /// cables that cannot carry it — the cascade trigger.
+    fn two_path_setup() -> (Topology, TrafficMatrix, PopId) {
+        let mut b = TopologyBuilder::new("cascade2p");
+        let a = b.add_pop("A", GeoPoint::new(40.0, -100.0));
+        let m = b.add_pop("M", GeoPoint::new(41.0, -97.0));
+        let n = b.add_pop("N", GeoPoint::new(39.0, -97.0));
+        let z = b.add_pop("Z", GeoPoint::new(40.0, -94.0));
+        b.connect(a, m, 1000.0);
+        b.connect(m, z, 1000.0);
+        b.connect(a, n, 400.0);
+        b.connect(n, z, 400.0);
+        let topo = b.build();
+        let tm = TrafficMatrix::new(vec![Aggregate {
+            src: a,
+            dst: z,
+            volume_mbps: 600.0,
+            flow_count: 600,
+        }]);
+        (topo, tm, a)
+    }
+
+    #[test]
+    fn overload_after_reroute_trips_a_cascade() {
+        let (topo, tm, _) = two_path_setup();
+        let graph = topo.graph();
+        // Fail the wide path's first cable (connect order: A-M first).
+        let mut mask = FailureMask::new();
+        mask.fail_cable(graph, topo.cables()[0]);
+        let events = vec![TimelineEvent { at_minute: 1, mask }];
+        let cfg = TimelineConfig { minutes: 5, warmup_minutes: 2, cv: 0.05, seed: 21 };
+        let cascade = CascadeConfig { trip_overload: 0.2, max_trips: 4 };
+        let out = simulate_with_cascades(&topo, &tm, &Controller::ldr(), &cfg, &events, &cascade);
+        // Minute 1: 600 Mbps rerouted onto 400 Mbps cables — 50% sustained
+        // overload, far past the 20% trip threshold.
+        assert!(out.minutes[1].overloaded_links > 0, "reroute must overload the narrow path");
+        assert_eq!(out.cascade_trips, 1, "exactly one cable blows");
+        assert_eq!(out.repair_events, 2, "the scripted failure plus the trip");
+        // The trip severs the only remaining path: demand goes unroutable.
+        assert_eq!(out.minutes[1].unroutable_fraction, 0.0);
+        assert!(
+            out.minutes[2].unroutable_fraction > 0.99,
+            "after the cascade A-Z is disconnected, got {}",
+            out.minutes[2].unroutable_fraction
+        );
+        // Nothing left to overload, so the cascade stops at one trip.
+        assert!(out.max_unroutable_fraction() > 0.99);
+    }
+
+    #[test]
+    fn no_overload_means_no_trips_and_event_equivalence() {
+        // Below the trip threshold the cascade runner must be bit-for-bit
+        // the plain event runner.
+        let (topo, tm) = setup();
+        let cfg = TimelineConfig { minutes: 4, warmup_minutes: 3, cv: 0.15, seed: 13 };
+        let events = outage(&topo, 3);
+        let plain = simulate_with_events(&topo, &tm, &Controller::ldr(), &cfg, &events);
+        let cascade = CascadeConfig { trip_overload: 10.0, max_trips: 8 };
+        let with_cascade =
+            simulate_with_cascades(&topo, &tm, &Controller::ldr(), &cfg, &events, &cascade);
+        assert_eq!(with_cascade.cascade_trips, 0, "nothing sustains 10x overload");
+        assert_eq!(plain.cascade_trips, 0, "plain runs never trip");
+        assert_eq!(plain.repair_events, with_cascade.repair_events);
+        assert_eq!(plain.minutes.len(), with_cascade.minutes.len());
+        for (a, b) in plain.minutes.iter().zip(&with_cascade.minutes) {
+            assert!((a.worst_queue_ms - b.worst_queue_ms).abs() < 1e-12);
+            assert!((a.latency_stretch - b.latency_stretch).abs() < 1e-12);
+            assert_eq!(a.overloaded_links, b.overloaded_links);
+        }
     }
 
     #[test]

@@ -41,6 +41,54 @@ impl GeoPoint {
     pub fn delay_ms_to(&self, other: &GeoPoint) -> f64 {
         self.distance_km(other) / FIBRE_KM_PER_MS
     }
+
+    /// Unit vector on the sphere (x toward lat 0/lon 0, z toward the pole).
+    fn to_unit(self) -> [f64; 3] {
+        let (lat, lon) = (self.lat_deg.to_radians(), self.lon_deg.to_radians());
+        [lat.cos() * lon.cos(), lat.cos() * lon.sin(), lat.sin()]
+    }
+
+    /// The point a fraction `f` (in `[0, 1]`) of the way along the great
+    /// circle from `self` to `other` — spherical linear interpolation, the
+    /// path a fibre run between the two endpoints is modelled to follow.
+    /// Degenerate inputs (coincident or antipodal endpoints) return `self`.
+    pub fn interpolate(&self, other: &GeoPoint, f: f64) -> GeoPoint {
+        let a = self.to_unit();
+        let b = other.to_unit();
+        let dot = (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]).clamp(-1.0, 1.0);
+        let omega = dot.acos();
+        if omega.sin() < 1e-9 {
+            return *self;
+        }
+        let (wa, wb) = (((1.0 - f) * omega).sin() / omega.sin(), (f * omega).sin() / omega.sin());
+        let p = [wa * a[0] + wb * b[0], wa * a[1] + wb * b[1], wa * a[2] + wb * b[2]];
+        let norm = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        GeoPoint {
+            lat_deg: (p[2] / norm).asin().to_degrees(),
+            lon_deg: p[1].atan2(p[0]).to_degrees(),
+        }
+    }
+}
+
+/// Sample points per segment when approximating corridor distance.
+const CORRIDOR_SAMPLES: usize = 17;
+
+/// Minimum distance (km) between the great-circle corridors `a0—a1` and
+/// `b0—b1`, approximated by sampling each segment at [`CORRIDOR_SAMPLES`]
+/// points. Good to a few km at continental scale — plenty for deciding
+/// whether two fibre runs plausibly share a conduit corridor.
+pub fn corridor_distance_km(a0: &GeoPoint, a1: &GeoPoint, b0: &GeoPoint, b1: &GeoPoint) -> f64 {
+    let sample = |p: &GeoPoint, q: &GeoPoint, i: usize| {
+        p.interpolate(q, i as f64 / (CORRIDOR_SAMPLES - 1) as f64)
+    };
+    let mut min = f64::INFINITY;
+    for i in 0..CORRIDOR_SAMPLES {
+        let pa = sample(a0, a1, i);
+        for j in 0..CORRIDOR_SAMPLES {
+            min = min.min(pa.distance_km(&sample(b0, b1, j)));
+        }
+    }
+    min
 }
 
 #[cfg(test)]
@@ -83,5 +131,56 @@ mod tests {
     #[should_panic]
     fn bad_latitude_rejected() {
         GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    fn interpolation_endpoints_and_midpoint() {
+        let lon = GeoPoint::new(51.5074, -0.1278);
+        let nyc = GeoPoint::new(40.7128, -74.0060);
+        assert!(lon.interpolate(&nyc, 0.0).distance_km(&lon) < 1e-6);
+        assert!(lon.interpolate(&nyc, 1.0).distance_km(&nyc) < 1e-6);
+        let mid = lon.interpolate(&nyc, 0.5);
+        let (d0, d1) = (mid.distance_km(&lon), mid.distance_km(&nyc));
+        assert!((d0 - d1).abs() < 1.0, "midpoint equidistant: {d0} vs {d1}");
+        assert!((d0 + d1 - lon.distance_km(&nyc)).abs() < 1.0, "midpoint on the great circle");
+        // Great-circle LON-NYC arcs north of the rhumb line.
+        assert!(mid.lat_deg > 51.5, "arc peaks above both endpoints, got {}", mid.lat_deg);
+    }
+
+    #[test]
+    fn interpolation_degenerate_pairs_return_start() {
+        let p = GeoPoint::new(10.0, 20.0);
+        assert_eq!(p.interpolate(&p, 0.5), p);
+        let anti = GeoPoint::new(-10.0, 200.0);
+        assert_eq!(p.interpolate(&anti, 0.5), p);
+    }
+
+    #[test]
+    fn corridor_distance_of_crossing_and_parallel_segments() {
+        // Two segments crossing near (45, 10): distance ~0.
+        let x = corridor_distance_km(
+            &GeoPoint::new(44.0, 10.0),
+            &GeoPoint::new(46.0, 10.0),
+            &GeoPoint::new(45.0, 9.0),
+            &GeoPoint::new(45.0, 11.0),
+        );
+        assert!(x < 20.0, "crossing segments nearly touch, got {x}");
+        // Parallel east-west segments one degree of latitude apart:
+        // ~111 km everywhere.
+        let p = corridor_distance_km(
+            &GeoPoint::new(45.0, 5.0),
+            &GeoPoint::new(45.0, 8.0),
+            &GeoPoint::new(46.0, 5.0),
+            &GeoPoint::new(46.0, 8.0),
+        );
+        assert!((p - 111.0).abs() < 10.0, "parallel corridors ~111 km apart, got {p}");
+        // Distance is symmetric in the segments.
+        let q = corridor_distance_km(
+            &GeoPoint::new(46.0, 5.0),
+            &GeoPoint::new(46.0, 8.0),
+            &GeoPoint::new(45.0, 5.0),
+            &GeoPoint::new(45.0, 8.0),
+        );
+        assert!((p - q).abs() < 1e-9);
     }
 }

@@ -28,5 +28,5 @@ pub mod model;
 pub mod zoo;
 
 pub use format::{from_text, to_text, ParseError};
-pub use geo::GeoPoint;
+pub use geo::{corridor_distance_km, GeoPoint};
 pub use model::{PopId, Topology, TopologyBuilder};

@@ -42,6 +42,16 @@ failures scenarios="single" schemes="LDR,LatOpt,SP" load="0.7" scale="--std":
         > sweeps/failure_sweep.tsv
     @echo "wrote sweeps/failure_sweep.tsv"
 
+# Availability frontier: the failure sweep collapsed to CDF quantiles per
+# (network, scheme, load) cell — scenarios (incl. brownout = dimmed cables,
+# geo = great-circle corridor SRLGs) crossed with operating loads.
+frontier scenarios="single,brownout,geo" schemes="LDR,LatOpt,SP" loads="0.5,0.7,0.9" scale="--std":
+    mkdir -p sweeps
+    cargo run --release -p lowlat_sim --bin failure_sweep -- {{scale}} \
+        --scenarios {{scenarios}} --schemes {{schemes}} --loads {{loads}} \
+        --frontier > sweeps/availability_frontier.tsv
+    @echo "wrote sweeps/availability_frontier.tsv"
+
 # Open scenario sweep over the corpus: any loads x localities x schemes
 # (registry specs). Results land in sweeps/ as TSV.
 sweep loads="0.6,0.7,0.9" localities="1.0" schemes="SP,ECMP,B4,MinMax,MinMaxK10,LatOpt,LDR" scale="--std":
