@@ -16,7 +16,8 @@ fn bench_timeline(c: &mut Criterion) {
     let topo = abilene();
     let tm =
         GravityTmGen::new(TmGenConfig::default()).generate(&topo, 0).scaled_to_load(&topo, 0.7);
-    let cfg = TimelineConfig { minutes: 3, warmup_minutes: 2, cv: 0.3, seed: 7 };
+    let cfg =
+        TimelineConfig { minutes: 3, warmup_minutes: 2, cv: 0.3, seed: 7, ..Default::default() };
     let mut group = c.benchmark_group("timeline/abilene-3min");
     group.sample_size(10);
     for controller in [Controller::ldr(), Controller::static_sp()] {

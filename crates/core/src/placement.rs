@@ -22,6 +22,112 @@ impl AggregatePlacement {
     }
 }
 
+/// Split weights below this are treated as "path not installed" throughout
+/// the churn accounting (matching the `> 1e-9` convention the evaluators
+/// use for "path actually carries traffic").
+const INSTALL_EPS: f64 = 1e-9;
+/// Weight shifts below this do not count as a re-program: LP round-off
+/// between equivalent vertices is noise, not churn (the placement
+/// validator itself only holds split sums to 1e-6).
+const REWEIGHT_EPS: f64 = 1e-6;
+
+/// What changed between two placements of the same aggregate set — the
+/// churn a controller would push to the switches when replacing one with
+/// the other: paths newly installed, paths uninstalled, surviving paths
+/// whose split weight was re-programmed, and how much traffic volume moved
+/// onto different paths. Accumulated per minute by the timeline controller
+/// and reported as the `paths_changed` / `moved_volume_fraction` columns.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlacementDelta {
+    /// Paths carrying traffic in the new placement but not the old.
+    pub paths_added: usize,
+    /// Paths carrying traffic in the old placement but not the new.
+    pub paths_removed: usize,
+    /// Paths present in both whose split weight shifted by more than the
+    /// re-weight tolerance.
+    pub paths_reweighted: usize,
+    /// Offered volume (Mbps) that moved onto different paths or shares:
+    /// per aggregate, `volume * Σ_p max(0, x_new(p) − x_old(p))`.
+    pub moved_volume_mbps: f64,
+    /// Total offered volume (Mbps) of the aggregates compared — the
+    /// denominator of [`PlacementDelta::moved_volume_fraction`].
+    pub total_volume_mbps: f64,
+}
+
+impl PlacementDelta {
+    /// Total switch operations: installs + uninstalls + re-programs.
+    pub fn paths_changed(&self) -> usize {
+        self.paths_added + self.paths_removed + self.paths_reweighted
+    }
+
+    /// Fraction of the compared volume that moved (0 when nothing was
+    /// compared).
+    pub fn moved_volume_fraction(&self) -> f64 {
+        if self.total_volume_mbps > 0.0 {
+            self.moved_volume_mbps / self.total_volume_mbps
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another delta into this one (summing counters and volumes).
+    pub fn accumulate(&mut self, other: &PlacementDelta) {
+        self.paths_added += other.paths_added;
+        self.paths_removed += other.paths_removed;
+        self.paths_reweighted += other.paths_reweighted;
+        self.moved_volume_mbps += other.moved_volume_mbps;
+        self.total_volume_mbps += other.total_volume_mbps;
+    }
+
+    /// The churn of replacing `prev` with `new` for one aggregate carrying
+    /// `volume_mbps`. `prev = None` models a fresh install: every used path
+    /// counts as added and the whole volume as moved. Paths are identified
+    /// by their link sequence.
+    pub fn of_aggregate(
+        prev: Option<&AggregatePlacement>,
+        new: &AggregatePlacement,
+        volume_mbps: f64,
+    ) -> PlacementDelta {
+        let mut delta = PlacementDelta { total_volume_mbps: volume_mbps, ..Default::default() };
+        let empty: &[(Path, f64)] = &[];
+        let prev_splits = prev.map_or(empty, |p| p.splits.as_slice());
+        let mut moved_fraction = 0.0f64;
+        for (path, x_new) in &new.splits {
+            if *x_new <= INSTALL_EPS {
+                continue;
+            }
+            let x_old = prev_splits
+                .iter()
+                .find(|(p, x)| *x > INSTALL_EPS && p.links() == path.links())
+                .map(|(_, x)| *x);
+            match x_old {
+                None => {
+                    delta.paths_added += 1;
+                    moved_fraction += x_new;
+                }
+                Some(x_old) => {
+                    if (x_new - x_old).abs() > REWEIGHT_EPS {
+                        delta.paths_reweighted += 1;
+                    }
+                    moved_fraction += (x_new - x_old).max(0.0);
+                }
+            }
+        }
+        for (path, x_old) in prev_splits {
+            if *x_old <= INSTALL_EPS {
+                continue;
+            }
+            let survives =
+                new.splits.iter().any(|(p, x)| *x > INSTALL_EPS && p.links() == path.links());
+            if !survives {
+                delta.paths_removed += 1;
+            }
+        }
+        delta.moved_volume_mbps = volume_mbps * moved_fraction;
+        delta
+    }
+}
+
 /// A complete traffic placement: one [`AggregatePlacement`] per aggregate of
 /// the traffic matrix, in the same order as
 /// [`TrafficMatrix::aggregates`].
@@ -75,6 +181,26 @@ impl Placement {
             }
         }
         out
+    }
+
+    /// The churn of replacing `prev` with `self`, both placed for `tm`
+    /// (same aggregates, same order): the install/uninstall/re-program
+    /// operations a controller would push plus the volume that moved. See
+    /// [`PlacementDelta`].
+    ///
+    /// # Panics
+    /// Panics if the two placements or the matrix disagree on aggregate
+    /// count.
+    pub fn delta(&self, prev: &Placement, tm: &TrafficMatrix) -> PlacementDelta {
+        assert_eq!(self.per_aggregate.len(), prev.per_aggregate.len(), "placement shapes differ");
+        assert_eq!(self.per_aggregate.len(), tm.aggregates().len(), "matrix shape differs");
+        let mut total = PlacementDelta::default();
+        for ((agg, new), old) in
+            tm.aggregates().iter().zip(&self.per_aggregate).zip(&prev.per_aggregate)
+        {
+            total.accumulate(&PlacementDelta::of_aggregate(Some(old), new, agg.volume_mbps));
+        }
+        total
     }
 
     /// Checks structural invariants against the matrix it was computed for:
@@ -158,6 +284,58 @@ mod tests {
         // Delay accounting.
         assert!(pl.aggregate(0).mean_delay_ms() > 0.0);
         assert!(pl.aggregate(0).max_delay_ms() >= pl.aggregate(0).mean_delay_ms());
+    }
+
+    #[test]
+    fn delta_counts_installs_uninstalls_and_moves() {
+        let (topo, tm) = setup();
+        let g = topo.graph();
+        let direct = g.find_link(NodeId(0), NodeId(2)).unwrap();
+        let l01 = g.find_link(NodeId(0), NodeId(1)).unwrap();
+        let l12 = g.find_link(NodeId(1), NodeId(2)).unwrap();
+        let p_direct = Path::new(g, vec![direct]);
+        let p_via = Path::new(g, vec![l01, l12]);
+        let all_direct =
+            Placement::new(vec![AggregatePlacement { splits: vec![(p_direct.clone(), 1.0)] }]);
+        let split = Placement::new(vec![AggregatePlacement {
+            splits: vec![(p_direct.clone(), 0.75), (p_via.clone(), 0.25)],
+        }]);
+        // Same placement: zero churn.
+        let zero = all_direct.delta(&all_direct, &tm);
+        assert_eq!(zero.paths_changed(), 0);
+        assert_eq!(zero.moved_volume_mbps, 0.0);
+        assert_eq!(zero.total_volume_mbps, 60.0);
+        // 1.0 direct -> 0.75/0.25: the detour is installed, the direct path
+        // re-programmed, a quarter of the 60 Mbps moved.
+        let d = split.delta(&all_direct, &tm);
+        assert_eq!((d.paths_added, d.paths_removed, d.paths_reweighted), (1, 0, 1));
+        assert!((d.moved_volume_mbps - 15.0).abs() < 1e-9);
+        assert!((d.moved_volume_fraction() - 0.25).abs() < 1e-9);
+        // The reverse direction uninstalls the detour instead.
+        let back = all_direct.delta(&split, &tm);
+        assert_eq!((back.paths_added, back.paths_removed, back.paths_reweighted), (0, 1, 1));
+        assert!((back.moved_volume_fraction() - 0.25).abs() < 1e-9);
+        // A full path swap moves everything.
+        let all_via =
+            Placement::new(vec![AggregatePlacement { splits: vec![(p_via.clone(), 1.0)] }]);
+        let swap = all_via.delta(&all_direct, &tm);
+        assert_eq!((swap.paths_added, swap.paths_removed), (1, 1));
+        assert!((swap.moved_volume_fraction() - 1.0).abs() < 1e-9);
+        // Fresh install (no previous placement): all paths added, all
+        // volume moved; and sub-tolerance jitter is not churn.
+        let fresh = PlacementDelta::of_aggregate(None, &split.per_aggregate()[0], 60.0);
+        assert_eq!(fresh.paths_added, 2);
+        assert!((fresh.moved_volume_fraction() - 1.0).abs() < 1e-9);
+        let jitter = Placement::new(vec![AggregatePlacement {
+            splits: vec![(p_direct, 0.75 + 1e-9), (p_via, 0.25 - 1e-9)],
+        }]);
+        assert_eq!(jitter.delta(&split, &tm).paths_changed(), 0);
+        // Accumulation sums both counters and volumes.
+        let mut acc = PlacementDelta::default();
+        acc.accumulate(&d);
+        acc.accumulate(&back);
+        assert_eq!(acc.paths_changed(), d.paths_changed() + back.paths_changed());
+        assert!((acc.total_volume_mbps - 120.0).abs() < 1e-9);
     }
 
     #[test]

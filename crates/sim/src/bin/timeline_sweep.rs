@@ -4,16 +4,24 @@
 //! Where `scenario_sweep` crosses static operating points, this crosses
 //! *dynamics*: every (network × controller) cell simulates the
 //! minute-by-minute measure→optimize→install loop against evolving traffic
-//! and reports the queueing that actually materialized, plus the LP
-//! warm-start telemetry that makes the per-minute cycle affordable.
+//! and reports the queueing that actually materialized, the LP warm-start
+//! telemetry that makes the per-minute cycle affordable, and the service
+//! axes of the loop itself: decision latency and path churn.
 //!
 //! Usage:
 //! `cargo run --release --bin timeline_sweep -- [--quick|--std|--full]
 //!     [--minutes N] [--warmup N] [--cv 0.3] [--seed 99]
+//!     [--diurnal 0.0] [--period 1440] [--networks Abilene,...]
 //!     [--schemes LDR,SP,static:SP]`
 //!
 //! Controllers are registry specs, `static:`-prefixed for the placed-once
-//! baseline. One TSV row per (network, controller).
+//! baseline or `bounded:`-prefixed for the churn-bounded variant.
+//! `--diurnal`/`--period` modulate the minute means with a sine cycle for
+//! long-horizon runs; `--networks` restricts the corpus to the named
+//! networks (the named corpus — Abilene, GtsCe-like, … — plus the
+//! synthetic zoo). One TSV row per (network, controller). New columns are
+//! appended after the original twelve so existing column indices stay
+//! valid.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -21,6 +29,40 @@ use lowlat_core::scale::ScaleToLoad;
 use lowlat_sim::runner::{flag_value, parse_flag, Scale};
 use lowlat_sim::timeline::{self, simulate, Controller, TimelineConfig};
 use lowlat_tmgen::{GravityTmGen, TmGenConfig};
+use lowlat_topology::zoo::{self, named};
+use lowlat_topology::Topology;
+
+/// Resolves `--networks` names against the named corpus plus the synthetic
+/// zoo (case-insensitive); exits with the available names on a miss.
+fn select_named(names: &str) -> Vec<Topology> {
+    let pool: Vec<Topology> = [
+        named::abilene(),
+        named::gts_like(),
+        named::cogent_like(),
+        named::google_like(),
+        named::geant_like(),
+        named::nsfnet(),
+    ]
+    .into_iter()
+    .chain(zoo::synthetic_zoo())
+    .collect();
+    names
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|want| {
+            let want = want.trim();
+            pool.iter().find(|t| t.name().eq_ignore_ascii_case(want)).cloned().unwrap_or_else(
+                || {
+                    eprintln!(
+                        "error: unknown network `{want}`; known: {}",
+                        pool.iter().map(|t| t.name().to_string()).collect::<Vec<_>>().join(", ")
+                    );
+                    std::process::exit(2);
+                },
+            )
+        })
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +70,9 @@ fn main() {
     let mut warmup: Option<usize> = None;
     let mut cv = timeline::DEFAULT_CV;
     let mut seed = timeline::DEFAULT_SEED;
+    let mut diurnal = 0.0f64;
+    let mut period = 1440usize;
+    let mut networks: Option<String> = None;
     let mut specs = vec!["LDR".to_string(), "SP".to_string(), "static:SP".to_string()];
     let mut i = 0;
     while i < args.len() {
@@ -48,6 +93,18 @@ fn main() {
                 seed = parse_flag("--seed", flag_value(&args, i, "--seed"));
                 i += 1;
             }
+            "--diurnal" => {
+                diurnal = parse_flag("--diurnal", flag_value(&args, i, "--diurnal"));
+                i += 1;
+            }
+            "--period" => {
+                period = parse_flag("--period", flag_value(&args, i, "--period"));
+                i += 1;
+            }
+            "--networks" => {
+                networks = Some(flag_value(&args, i, "--networks").to_string());
+                i += 1;
+            }
             "--schemes" => {
                 specs = flag_value(&args, i, "--schemes")
                     .split(',')
@@ -60,8 +117,16 @@ fn main() {
         }
         i += 1;
     }
-    let scale =
-        Scale::from_args_filtered(&["--minutes", "--warmup", "--cv", "--seed", "--schemes"]);
+    let scale = Scale::from_args_filtered(&[
+        "--minutes",
+        "--warmup",
+        "--cv",
+        "--seed",
+        "--diurnal",
+        "--period",
+        "--networks",
+        "--schemes",
+    ]);
     let controllers: Vec<Controller> = specs
         .iter()
         .map(|s| {
@@ -85,12 +150,17 @@ fn main() {
         }),
         cv,
         seed,
+        diurnal_amplitude: diurnal,
+        diurnal_period: period,
     };
 
-    let nets = scale.select_networks(lowlat_topology::zoo::synthetic_zoo());
+    let nets = match &networks {
+        Some(names) => select_named(names),
+        None => scale.select_networks(lowlat_topology::zoo::synthetic_zoo()),
+    };
     eprintln!(
         "timeline space: {} networks x {} controllers ({}), {} minutes (+{} warm-up), cv {cv}, \
-         seed {seed}",
+         seed {seed}, diurnal {diurnal}",
         nets.len(),
         controllers.len(),
         controllers.iter().map(|c| c.name()).collect::<Vec<_>>().join(","),
@@ -110,6 +180,9 @@ fn main() {
         mean_stretch: f64,
         lp_solves: usize,
         lp_warm_hits: usize,
+        decision_ms_med: f64,
+        paths_changed: usize,
+        moved_volume_frac: f64,
     }
     let tms: Vec<_> = nets
         .iter()
@@ -142,6 +215,9 @@ fn main() {
                     mean_stretch: out.mean_stretch(),
                     lp_solves: out.lp_solves,
                     lp_warm_hits: out.lp_warm_hits,
+                    decision_ms_med: out.median_decision_ms(),
+                    paths_changed: out.total_paths_changed(),
+                    moved_volume_frac: out.mean_moved_volume_fraction(),
                 };
                 slots.lock().expect("slots")[i] = Some(row);
             });
@@ -149,11 +225,12 @@ fn main() {
     });
     println!(
         "network\tpops\tlinks\tcontroller\tminutes\tcv\tseed\tworst_queue_ms\tqueue_minutes\t\
-         mean_stretch\tlp_solves\tlp_warm_hits"
+         mean_stretch\tlp_solves\tlp_warm_hits\tdecision_ms_med\tpaths_changed\t\
+         moved_volume_frac"
     );
     for row in slots.into_inner().expect("slots").into_iter().flatten() {
         println!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.4}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{}\t{:.4}\t{}\t{}\t{:.3}\t{}\t{:.4}",
             row.network,
             row.pops,
             row.links,
@@ -166,6 +243,9 @@ fn main() {
             row.mean_stretch,
             row.lp_solves,
             row.lp_warm_hits,
+            row.decision_ms_med,
+            row.paths_changed,
+            row.moved_volume_frac,
         );
     }
 }

@@ -36,22 +36,56 @@
 //! cannot express: overload *causing* the next failure. After each minute's
 //! replay, if the worst surviving link's minute-mean load exceeds its
 //! effective capacity by more than [`CascadeConfig::trip_overload`], that
-//! cable trips — a new [`TimelineEvent`] failing it (on top of the mask
-//! already in force) fires at the next decision minute, up to
-//! [`CascadeConfig::max_trips`] trips per run. Trips are counted in
-//! [`TimelineOutcome::cascade_trips`] and flow through the exact same
+//! cable trips at the next decision minute, up to
+//! [`CascadeConfig::max_trips`] trips per run. A trip is stored as a
+//! *delta* — the tripped cable — and applied to whatever mask is in force
+//! when it fires, so a scripted event landing at the same minute (a
+//! link-up, say) is never clobbered by a stale snapshot. Trips are counted
+//! in [`TimelineOutcome::cascade_trips`] and flow through the exact same
 //! repair/re-place machinery as scripted events, so a brown-out that
 //! concentrates traffic can be watched snowballing into an outage.
+//!
+//! ## Event ordering
+//!
+//! All events due at one decision minute apply *in slice order* before
+//! that minute's placement decision: scripted events first, each replacing
+//! the mask in force (the last one wins), then any cascade trip emitted
+//! the previous minute, applied as a delta on top. The ordering is part of
+//! the contract and asserted by the test suite.
+//!
+//! ## Bounded churn
+//!
+//! [`Controller::adaptive_bounded`] (sweep spec `bounded:LDR`) runs the
+//! same per-minute cycle but treats path churn — installs, uninstalls and
+//! split re-programs pushed to switches — as a cost. Each minute the
+//! scheme's fresh solution is a *candidate*: an aggregate is re-installed
+//! only when its candidate improves predicted mean delay by more than
+//! [`ChurnBudget::epsilon`], its installed paths are broken by the mask,
+//! keeping it would push a link's predicted load past
+//! [`ChurnBudget::util_guard`], or a link it rides *actually queued* past
+//! [`ChurnBudget::queue_trigger_ms`] last minute (the reactive half of the
+//! loop: mean-load prediction cannot see bursts, realized queueing can);
+//! everything else keeps the previous minute's paths. Re-installs of live paths happen make-before-break:
+//! the aggregate drains linearly across the transition minute — each
+//! 100 ms bin carries a shrinking share on the retiring splits and a
+//! growing share on the new ones — so the old paths' capacity stays
+//! claimed until the drain completes and the old path is only retired
+//! once its replacement carries the traffic. (Paths already broken by a
+//! failure switch immediately: there is nothing left to break.) This is
+//! the §5 install story made honest. Per-minute churn ([`PlacementDelta`])
+//! and decision latency are reported in every [`MinuteReport`].
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use lowlat_core::eval::PlacementEval;
 use lowlat_core::failure::{partition_routable, RoutablePartition};
 use lowlat_core::pathset::PathCache;
+use lowlat_core::placement::{AggregatePlacement, PlacementDelta};
 use lowlat_core::schemes::registry::{self, UnknownScheme};
-use lowlat_core::schemes::{RoutingScheme, SolveContext};
+use lowlat_core::schemes::{predict_volumes, RoutingScheme, SolveContext};
 use lowlat_core::Placement;
-use lowlat_netgraph::FailureMask;
+use lowlat_netgraph::{FailureMask, Graph, LinkId, Path};
 use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::Topology;
 use lowlat_traffic::{spread_seed, synthesize, AggregateTrace, TraceGenConfig};
@@ -65,13 +99,83 @@ pub const DEFAULT_CV: f64 = 0.3;
 /// Default RNG seed for trace synthesis.
 pub const DEFAULT_SEED: u64 = 99;
 
+/// How much per-minute path churn [`Controller::adaptive_bounded`] may
+/// spend, and when keeping a stale placement stops being acceptable.
+#[derive(Clone, Debug)]
+pub struct ChurnBudget {
+    /// Minimum *relative* predicted mean-delay improvement before an
+    /// aggregate's candidate placement is worth re-installing. Below this
+    /// the previous minute's paths are kept as-is.
+    pub epsilon: f64,
+    /// Hard cap on switch operations (installs + uninstalls + re-programs)
+    /// per decision minute. Forced re-installs (broken paths, fresh
+    /// aggregates) are spent first; optional improvements fill the rest,
+    /// best predicted delay-volume gain first.
+    pub max_paths_per_minute: usize,
+    /// Utilization multiple of effective capacity above which a kept
+    /// placement is force-re-installed: keeping stale paths must not
+    /// (predictably) overload a link. 1.0 = re-install at predicted
+    /// saturation.
+    pub util_guard: f64,
+    /// Realized-queueing trigger (ms): a link whose replay queued above
+    /// this last minute forces re-install of the kept aggregates riding
+    /// it (when the fresh candidate actually relieves the link). This is
+    /// the reactive half of the loop — mean-load prediction cannot see
+    /// bursts, realized queueing can.
+    pub queue_trigger_ms: f64,
+}
+
+impl Default for ChurnBudget {
+    fn default() -> Self {
+        ChurnBudget {
+            epsilon: 0.2,
+            max_paths_per_minute: usize::MAX,
+            util_guard: 1.0,
+            queue_trigger_ms: 50.0,
+        }
+    }
+}
+
+/// Why a controller spec failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControllerParseError {
+    /// A mode prefix (`static:`, `bounded:`) with nothing after it.
+    EmptySpec {
+        /// The offending prefix.
+        prefix: &'static str,
+    },
+    /// The scheme name is not in the registry.
+    Unknown(UnknownScheme),
+}
+
+impl std::fmt::Display for ControllerParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControllerParseError::EmptySpec { prefix } => {
+                write!(f, "controller spec `{prefix}` needs a scheme name after the prefix")
+            }
+            ControllerParseError::Unknown(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ControllerParseError {}
+
+impl From<UnknownScheme> for ControllerParseError {
+    fn from(e: UnknownScheme) -> Self {
+        ControllerParseError::Unknown(e)
+    }
+}
+
 /// Which controller drives path computation each minute: any registry
-/// scheme, run adaptively (re-placed every minute on the history so far)
-/// or statically (placed once — the paper's OSPF baseline, generalized).
+/// scheme, run adaptively (re-placed every minute on the history so far),
+/// adaptively under a [`ChurnBudget`], or statically (placed once — the
+/// paper's OSPF baseline, generalized).
 #[derive(Clone)]
 pub struct Controller {
     scheme: Arc<dyn RoutingScheme>,
     adaptive: bool,
+    churn: Option<ChurnBudget>,
 }
 
 impl Controller {
@@ -79,22 +183,48 @@ impl Controller {
     /// minute on the measured history. LDR uses its full trace-driven
     /// Figure-14 loop; other schemes re-place Algorithm-1 predictions.
     pub fn adaptive(spec: &str) -> Result<Controller, UnknownScheme> {
-        Ok(Controller { scheme: registry::build(spec)?, adaptive: true })
+        Ok(Controller { scheme: registry::build(spec)?, adaptive: true, churn: None })
+    }
+
+    /// An adaptive controller that only re-installs aggregates whose fresh
+    /// solution pays for its churn (see [`ChurnBudget`] and the
+    /// module-level *Bounded churn* notes). Re-installs are
+    /// make-before-break: retiring paths hold capacity for one overlap
+    /// minute.
+    pub fn adaptive_bounded(spec: &str, budget: ChurnBudget) -> Result<Controller, UnknownScheme> {
+        Ok(Controller { scheme: registry::build(spec)?, adaptive: true, churn: Some(budget) })
     }
 
     /// A static controller: the named scheme placed once on the base
     /// matrix, then left alone for the whole run.
     pub fn static_baseline(spec: &str) -> Result<Controller, UnknownScheme> {
-        Ok(Controller { scheme: registry::build(spec)?, adaptive: false })
+        Ok(Controller { scheme: registry::build(spec)?, adaptive: false, churn: None })
     }
 
     /// Parses a sweep spec: a registry name, optionally prefixed with
-    /// `static:` for the placed-once variant (`"LDR"`, `"static:SP"`).
-    pub fn parse(spec: &str) -> Result<Controller, UnknownScheme> {
-        match spec.trim().strip_prefix("static:") {
-            Some(rest) => Controller::static_baseline(rest),
-            None => Controller::adaptive(spec),
+    /// `static:` for the placed-once variant or `bounded:` for the
+    /// default-budget churn-bounded variant (`"LDR"`, `"static: SP"`,
+    /// `"bounded:LDR"`). Whitespace around the name and after the prefix is
+    /// ignored; a prefix with nothing after it is rejected with
+    /// [`ControllerParseError::EmptySpec`] rather than a confusing
+    /// unknown-scheme error for `""`.
+    pub fn parse(spec: &str) -> Result<Controller, ControllerParseError> {
+        let spec = spec.trim();
+        if let Some(rest) = spec.strip_prefix("static:") {
+            let rest = rest.trim();
+            if rest.is_empty() {
+                return Err(ControllerParseError::EmptySpec { prefix: "static:" });
+            }
+            return Ok(Controller::static_baseline(rest)?);
         }
+        if let Some(rest) = spec.strip_prefix("bounded:") {
+            let rest = rest.trim();
+            if rest.is_empty() {
+                return Err(ControllerParseError::EmptySpec { prefix: "bounded:" });
+            }
+            return Ok(Controller::adaptive_bounded(rest, ChurnBudget::default())?);
+        }
+        Ok(Controller::adaptive(spec)?)
     }
 
     /// The paper's full LDR deployment cycle.
@@ -114,18 +244,26 @@ impl Controller {
     }
 
     /// Display name: the scheme's registry name, `static:`-prefixed for
-    /// placed-once controllers. Round-trips through [`Controller::parse`].
+    /// placed-once controllers and `bounded:`-prefixed for churn-bounded
+    /// ones. Round-trips through [`Controller::parse`].
     pub fn name(&self) -> String {
-        if self.adaptive {
-            self.scheme.name()
-        } else {
+        if !self.adaptive {
             format!("static:{}", self.scheme.name())
+        } else if self.churn.is_some() {
+            format!("bounded:{}", self.scheme.name())
+        } else {
+            self.scheme.name()
         }
     }
 
     /// True when the controller re-places every minute.
     pub fn is_adaptive(&self) -> bool {
         self.adaptive
+    }
+
+    /// The churn budget, for churn-bounded controllers.
+    pub fn churn_budget(&self) -> Option<&ChurnBudget> {
+        self.churn.as_ref()
     }
 }
 
@@ -146,6 +284,13 @@ pub struct TimelineConfig {
     pub cv: f64,
     /// RNG seed for trace synthesis.
     pub seed: u64,
+    /// Diurnal amplitude of the minute means, `0.0..1.0`. 0 (the default)
+    /// keeps traffic stationary; 0.3 swings each aggregate's mean ±30%
+    /// over a cycle — the long-horizon driver for bounded-churn runs.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period in minutes (warm-up included), ignored while the
+    /// amplitude is 0.
+    pub diurnal_period: usize,
 }
 
 impl Default for TimelineConfig {
@@ -155,6 +300,8 @@ impl Default for TimelineConfig {
             warmup_minutes: DEFAULT_WARMUP_MINUTES,
             cv: DEFAULT_CV,
             seed: DEFAULT_SEED,
+            diurnal_amplitude: 0.0,
+            diurnal_period: 1440,
         }
     }
 }
@@ -211,6 +358,17 @@ pub struct MinuteReport {
     /// pairs for adaptive controllers, plus traffic a static placement
     /// kept sending into failed elements.
     pub unroutable_fraction: f64,
+    /// Wall-clock of this minute's decision: event repair + partition +
+    /// placement (+ bounded merge). Replay is excluded — it models the
+    /// network, not the controller.
+    pub decision_ms: f64,
+    /// Switch operations this minute's decision pushed: path installs +
+    /// uninstalls + split re-programs vs the state already installed.
+    /// Minute 0's initial install is free; static controllers never churn.
+    pub paths_changed: usize,
+    /// Fraction of the re-decided volume that moved between paths this
+    /// minute (0 when nothing changed or nothing was compared).
+    pub moved_volume_fraction: f64,
 }
 
 /// Result of a timeline run.
@@ -257,6 +415,33 @@ impl TimelineOutcome {
     /// Worst per-minute undelivered-demand fraction.
     pub fn max_unroutable_fraction(&self) -> f64 {
         self.minutes.iter().map(|m| m.unroutable_fraction).fold(0.0, f64::max)
+    }
+
+    /// Total switch operations over the run — the churn the network
+    /// actually paid.
+    pub fn total_paths_changed(&self) -> usize {
+        self.minutes.iter().map(|m| m.paths_changed).sum()
+    }
+
+    /// Median per-minute decision latency (ms).
+    pub fn median_decision_ms(&self) -> f64 {
+        let mut v: Vec<f64> = self.minutes.iter().map(|m| m.decision_ms).collect();
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        v[v.len() / 2]
+    }
+
+    /// Worst per-minute decision latency (ms).
+    pub fn max_decision_ms(&self) -> f64 {
+        self.minutes.iter().map(|m| m.decision_ms).fold(0.0, f64::max)
+    }
+
+    /// Mean per-minute moved-volume fraction.
+    pub fn mean_moved_volume_fraction(&self) -> f64 {
+        self.minutes.iter().map(|m| m.moved_volume_fraction).sum::<f64>()
+            / self.minutes.len().max(1) as f64
     }
 }
 
@@ -313,6 +498,36 @@ pub fn simulate_with_cascades(
     run_timeline(topology, tm, controller, config, events, Some(cascade))
 }
 
+/// `numer / denom`, 0 when the denominator is not positive — keeps a
+/// zero-volume denominator from poisoning fractions (and the TSV) with NaN.
+fn safe_fraction(numer: f64, denom: f64) -> f64 {
+    if denom > 0.0 {
+        numer / denom
+    } else {
+        0.0
+    }
+}
+
+/// An entry in the per-run event queue. Scripted events carry the complete
+/// mask the caller asked for; cascade trips carry only the tripped cable —
+/// a *delta* resolved against the mask in force when the trip fires, so a
+/// scripted change landing at the same minute is never clobbered by a
+/// snapshot taken at emit time.
+#[derive(Clone, Debug)]
+enum QueuedEvent {
+    Scripted(TimelineEvent),
+    Trip { at_minute: usize, cable: LinkId },
+}
+
+impl QueuedEvent {
+    fn at_minute(&self) -> usize {
+        match self {
+            QueuedEvent::Scripted(ev) => ev.at_minute,
+            QueuedEvent::Trip { at_minute, .. } => *at_minute,
+        }
+    }
+}
+
 fn run_timeline(
     topology: &Topology,
     tm: &TrafficMatrix,
@@ -330,7 +545,7 @@ fn run_timeline(
     );
     let total_minutes = config.warmup_minutes + config.minutes;
     // Ground-truth traffic: one evolving trace per aggregate, mean anchored
-    // at its matrix volume.
+    // at its matrix volume (modulated by the configured diurnal cycle).
     let traces: Vec<AggregateTrace> = tm
         .aggregates()
         .iter()
@@ -341,6 +556,8 @@ fn run_timeline(
                 cv: config.cv,
                 minutes: total_minutes,
                 seed: spread_seed(config.seed, i as u64),
+                diurnal_amplitude: config.diurnal_amplitude,
+                diurnal_period_minutes: config.diurnal_period,
                 ..Default::default()
             })
         })
@@ -374,28 +591,49 @@ fn run_timeline(
     let mut cascade_trips = 0usize;
     // Scripted events plus any cascade trips appended along the way; trips
     // always land at a later minute than the one that emitted them, so
-    // per-minute index iteration stays sound.
-    let mut queue: Vec<TimelineEvent> = events.to_vec();
+    // per-minute index iteration stays sound. Within one minute the queue
+    // drains in slice order: scripted events in their given order (the
+    // last mask wins), then trips — which were appended after them.
+    let mut queue: Vec<QueuedEvent> = events.iter().cloned().map(QueuedEvent::Scripted).collect();
+
+    // The per-aggregate placement actually installed on switches, keyed by
+    // ORIGINAL matrix index so entries survive re-partitions. Per-minute
+    // churn is the delta against it; the bounded controller additionally
+    // keeps entries live instead of re-installing.
+    let mut installed: Vec<Option<AggregatePlacement>> = vec![None; tm.aggregates().len()];
+    // Links whose replay queued above the bounded controller's reactive
+    // trigger last minute — next minute's merge re-installs their riders.
+    let mut queued_links = vec![false; graph.link_count()];
 
     let mut minutes = Vec::with_capacity(config.minutes);
     for t in config.warmup_minutes..total_minutes {
         let rel_t = t - config.warmup_minutes;
+        let decide_start = Instant::now();
         // Topology events due this decision minute fire first.
         for i in 0..queue.len() {
-            if queue[i].at_minute != rel_t {
+            if queue[i].at_minute() != rel_t {
                 continue;
             }
-            let ev = queue[i].clone();
+            let new_mask = match &queue[i] {
+                QueuedEvent::Scripted(ev) => ev.mask.clone(),
+                QueuedEvent::Trip { cable, .. } => {
+                    // Applied as a delta to whatever is in force *now* —
+                    // same-minute scripted events already fired above.
+                    let mut m = current_mask.clone();
+                    m.fail_cable(graph, *cable);
+                    m
+                }
+            };
             repair_events += 1;
             // A static controller never consults the cache after its
             // initial placement, so there is nothing to repair — the mask
             // alone drives its loss accounting and replay.
             if controller.adaptive {
-                let stats = cache.apply_failure(&ev.mask);
+                let stats = cache.apply_failure(&new_mask);
                 repaired_pairs += stats.repaired_pairs;
                 kept_pairs += stats.kept_pairs;
             }
-            current_mask = ev.mask.clone();
+            current_mask = new_mask;
             partition =
                 (!current_mask.is_empty()).then(|| partition_routable(graph, tm, &current_mask));
             static_lost_fraction = match &static_placement {
@@ -408,7 +646,7 @@ fn run_timeline(
                             }
                         }
                     }
-                    lost / total_volume
+                    safe_fraction(lost, total_volume)
                 }
                 _ => 0.0,
             };
@@ -419,6 +657,11 @@ fn run_timeline(
         let minute_tm: &TrafficMatrix = partition.as_ref().map_or(tm, |p| &p.tm);
         let trace_of = |j: usize| partition.as_ref().map_or(j, |p| p.kept[j]);
 
+        // Make-before-break transitions this minute: (minute_tm index, the
+        // full placement being drained). The aggregate's traffic ramps
+        // from these splits onto the new ones across the minute's bins.
+        let mut overlap: Vec<(usize, AggregatePlacement)> = Vec::new();
+
         // Decide on history [0, t).
         let placement = match &static_placement {
             Some(p) => Some(p.clone()),
@@ -427,14 +670,60 @@ fn run_timeline(
                 let history: Vec<AggregateTrace> = (0..minute_tm.aggregates().len())
                     .map(|j| traces[trace_of(j)].truncated(t))
                     .collect();
-                Some(
-                    controller
-                        .scheme
-                        .place_with_history(&cache, minute_tm, &history, &mut ctx)
-                        .expect("adaptive placement"),
-                )
+                let candidate = controller
+                    .scheme
+                    .place_with_history(&cache, minute_tm, &history, &mut ctx)
+                    .expect("adaptive placement");
+                match &controller.churn {
+                    Some(budget) => {
+                        let orig_of: Vec<usize> =
+                            (0..minute_tm.aggregates().len()).map(trace_of).collect();
+                        let predicted = predict_volumes(&history);
+                        let (merged, retired) = merge_bounded(
+                            graph,
+                            &current_mask,
+                            &predicted,
+                            &candidate,
+                            &installed,
+                            &orig_of,
+                            &queued_links,
+                            budget,
+                        );
+                        overlap = retired;
+                        Some(merged)
+                    }
+                    None => Some(candidate),
+                }
             }
         };
+
+        // Churn: what this minute's decision pushed to switches, measured
+        // against the installed state. The initial install (minute 0) is
+        // the cost of turning the network on, not churn — skipped.
+        let mut churn = PlacementDelta::default();
+        if controller.adaptive {
+            if let Some(pl) = &placement {
+                for (j, agg_pl) in pl.per_aggregate().iter().enumerate() {
+                    let orig = trace_of(j);
+                    let volume = minute_tm.aggregates()[j].volume_mbps;
+                    match (&installed[orig], rel_t) {
+                        (Some(prev), _) => {
+                            churn.accumulate(&PlacementDelta::of_aggregate(
+                                Some(prev),
+                                agg_pl,
+                                volume,
+                            ));
+                        }
+                        (None, 0) => {}
+                        (None, _) => {
+                            churn.accumulate(&PlacementDelta::of_aggregate(None, agg_pl, volume));
+                        }
+                    }
+                    installed[orig] = Some(agg_pl.clone());
+                }
+            }
+        }
+        let decision_ms = decide_start.elapsed().as_secs_f64() * 1e3;
 
         // Replay minute t's actual samples over the placement. A static
         // placement aligns with the *full* matrix (its traffic into failed
@@ -447,6 +736,17 @@ fn run_timeline(
         };
         let bins = traces[0].bins_per_minute();
         let mut per_link_load = vec![vec![0.0f64; bins]; graph.link_count()];
+        // Make-before-break drain: for aggregates in transition, bin b
+        // carries ramp[b] of the traffic on the new splits and the rest on
+        // the retiring ones — the old paths' capacity stays claimed until
+        // the drain completes, no bin is double-charged. Empty outside
+        // bounded mode, so other controllers replay bit-for-bit as before.
+        let mut transition: Vec<Option<&AggregatePlacement>> =
+            vec![None; placement.as_ref().map_or(0, |p| p.per_aggregate().len())];
+        for (j, old) in &overlap {
+            transition[*j] = Some(old);
+        }
+        let ramp = |bin: usize| (bin + 1) as f64 / bins as f64;
         if let Some(pl) = &placement {
             for (j, agg_pl) in pl.per_aggregate().iter().enumerate() {
                 let trace =
@@ -468,8 +768,31 @@ fn run_timeline(
                     }
                     for &l in path.links() {
                         let row = &mut per_link_load[l.idx()];
+                        match transition[j] {
+                            None => {
+                                for (bin, &s) in samples.iter().enumerate() {
+                                    row[bin] += s * x;
+                                }
+                            }
+                            Some(_) => {
+                                for (bin, &s) in samples.iter().enumerate() {
+                                    row[bin] += s * x * ramp(bin);
+                                }
+                            }
+                        }
+                    }
+                }
+                let Some(old) = transition[j] else { continue };
+                for (path, x) in &old.splits {
+                    if *x <= 1e-9
+                        || (!current_mask.is_empty() && current_mask.hits_path(graph, path))
+                    {
+                        continue;
+                    }
+                    for &l in path.links() {
+                        let row = &mut per_link_load[l.idx()];
                         for (bin, &s) in samples.iter().enumerate() {
-                            row[bin] += s * x;
+                            row[bin] += s * x * (1.0 - ramp(bin));
                         }
                     }
                 }
@@ -482,7 +805,10 @@ fn run_timeline(
         // blow cables).
         let mut trip: Option<lowlat_netgraph::LinkId> = None;
         let mut trip_over = cascade.map_or(f64::INFINITY, |c| c.trip_overload);
+        let queue_trigger_ms =
+            controller.churn.as_ref().map_or(f64::INFINITY, |b| b.queue_trigger_ms);
         for l in graph.link_ids() {
+            queued_links[l.idx()] = false;
             let cap = if current_mask.is_empty() {
                 graph.link(l).capacity_mbps
             } else {
@@ -492,14 +818,17 @@ fn run_timeline(
                 continue; // downed link: carries nothing (filtered above)
             }
             let mut backlog_mb = 0.0f64;
+            let mut link_queue_ms = 0.0f64;
             let mut overloaded = false;
             let mut sum = 0.0f64;
             for &load in &per_link_load[l.idx()] {
                 backlog_mb = (backlog_mb + (load - cap) * 0.1).max(0.0);
-                worst_queue_ms = worst_queue_ms.max(backlog_mb / cap * 1000.0);
+                link_queue_ms = link_queue_ms.max(backlog_mb / cap * 1000.0);
                 overloaded |= load > cap;
                 sum += load;
             }
+            worst_queue_ms = worst_queue_ms.max(link_queue_ms);
+            queued_links[l.idx()] = link_queue_ms > queue_trigger_ms;
             if overloaded {
                 overloaded_links += 1;
             }
@@ -512,11 +841,10 @@ fn run_timeline(
         if let Some(l) = trip {
             let max_trips = cascade.map_or(0, |c| c.max_trips);
             if cascade_trips < max_trips && rel_t + 1 < config.minutes {
-                // The overloaded cable blows: schedule its failure, on top
-                // of whatever mask is already in force, for next minute.
-                let mut mask = current_mask.clone();
-                mask.fail_cable(graph, l);
-                queue.push(TimelineEvent { at_minute: rel_t + 1, mask });
+                // The overloaded cable blows next minute. Stored as a
+                // delta — the mask it lands on is resolved at fire time,
+                // after any scripted event due the same minute.
+                queue.push(QueuedEvent::Trip { at_minute: rel_t + 1, cable: l });
                 cascade_trips += 1;
             }
         }
@@ -532,6 +860,9 @@ fn run_timeline(
             overloaded_links,
             latency_stretch,
             unroutable_fraction,
+            decision_ms,
+            paths_changed: churn.paths_changed(),
+            moved_volume_fraction: churn.moved_volume_fraction(),
         });
     }
     TimelineOutcome {
@@ -543,6 +874,179 @@ fn run_timeline(
         kept_pairs,
         cascade_trips,
     }
+}
+
+/// Merges the minute's fresh `candidate` placement with the `installed`
+/// switch state under a [`ChurnBudget`].
+///
+/// Per aggregate `j` of the minute's matrix (whose original index is
+/// `orig_of[j]`), the candidate is taken when (a) nothing is installed yet,
+/// (b) the installed paths are broken by the mask, or (c) the candidate
+/// improves predicted mean delay by more than `budget.epsilon` relative —
+/// optional re-installs are ranked by predicted delay·volume gain and cut
+/// off at `budget.max_paths_per_minute` switch operations (forced ones
+/// spend first). A final pass force-takes kept aggregates while keeping
+/// them would push some link's *predicted* load past `budget.util_guard`
+/// times effective capacity.
+///
+/// Returns the merged placement (aligned with the minute's matrix) plus
+/// the make-before-break transitions: the full old placement of every
+/// aggregate re-installed while its installed paths were still alive,
+/// which the replay drains across the transition minute. Aggregates whose
+/// paths a failure already broke switch instantly — there is nothing left
+/// to break gently — and fresh installs have nothing to drain.
+#[allow(clippy::too_many_arguments)]
+fn merge_bounded(
+    graph: &Graph,
+    mask: &FailureMask,
+    predicted: &[f64],
+    candidate: &Placement,
+    installed: &[Option<AggregatePlacement>],
+    orig_of: &[usize],
+    queued_links: &[bool],
+    budget: &ChurnBudget,
+) -> (Placement, Vec<(usize, AggregatePlacement)>) {
+    let n = candidate.per_aggregate().len();
+    let change_cost = |j: usize| {
+        PlacementDelta::of_aggregate(installed[orig_of[j]].as_ref(), candidate.aggregate(j), 1.0)
+            .paths_changed()
+    };
+    let mut take = vec![false; n];
+    let mut broken_paths = vec![false; n];
+    let mut spent = 0usize;
+    let mut optional: Vec<(usize, f64)> = Vec::new();
+    for j in 0..n {
+        match &installed[orig_of[j]] {
+            // Nothing installed (fresh aggregate, or one coming back from
+            // an unroutable spell): must install.
+            None => {
+                take[j] = true;
+                spent += change_cost(j);
+            }
+            Some(prev) => {
+                let broken = !mask.is_empty()
+                    && prev.splits.iter().any(|(p, x)| *x > 1e-9 && mask.hits_path(graph, p));
+                if broken {
+                    take[j] = true;
+                    broken_paths[j] = true;
+                    spent += change_cost(j);
+                } else {
+                    let prev_d = prev.mean_delay_ms();
+                    let cand_d = candidate.aggregate(j).mean_delay_ms();
+                    if prev_d - cand_d > budget.epsilon * prev_d.max(1e-9) {
+                        optional.push((j, predicted[j] * (prev_d - cand_d)));
+                    }
+                }
+            }
+        }
+    }
+    // Spend whatever budget remains on the re-installs that buy the most
+    // predicted delay·volume, best first (ties broken by index for
+    // determinism).
+    optional.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    for &(j, _) in &optional {
+        let cost = change_cost(j);
+        if spent + cost <= budget.max_paths_per_minute {
+            take[j] = true;
+            spent += cost;
+        }
+    }
+    // Capacity pressure: keeping stale splits must not (predictably)
+    // overload a link — and a link that *actually queued* past the
+    // reactive trigger last minute is repaired now, prediction or not.
+    // While a link is hot, flip the kept aggregate whose re-install
+    // relieves it most. Links the *fresh candidate* itself would run as
+    // hot are hopeless — no amount of re-installing cures them, so they
+    // never charge churn.
+    let mut cand_load = vec![0.0f64; graph.link_count()];
+    let fraction_on = |splits: &[(Path, f64)], link: LinkId| -> f64 {
+        splits.iter().filter(|(p, x)| *x > 1e-9 && p.links().contains(&link)).map(|(_, x)| *x).sum()
+    };
+    for j in 0..n {
+        for (path, x) in &candidate.aggregate(j).splits {
+            if *x > 1e-9 {
+                for &l in path.links() {
+                    cand_load[l.idx()] += predicted[j] * x;
+                }
+            }
+        }
+    }
+    loop {
+        let mut load = vec![0.0f64; graph.link_count()];
+        for j in 0..n {
+            let splits = if take[j] {
+                &candidate.aggregate(j).splits
+            } else {
+                &installed[orig_of[j]].as_ref().expect("kept implies installed").splits
+            };
+            for (path, x) in splits {
+                if *x > 1e-9 {
+                    for &l in path.links() {
+                        load[l.idx()] += predicted[j] * x;
+                    }
+                }
+            }
+        }
+        let worst = graph
+            .link_ids()
+            .filter_map(|l| {
+                let cap = if mask.is_empty() {
+                    graph.link(l).capacity_mbps
+                } else {
+                    mask.effective_capacity(graph, l)
+                };
+                if cap <= 0.0 {
+                    return None;
+                }
+                let guard = budget.util_guard * cap;
+                let predicted_hot = load[l.idx()] > guard && cand_load[l.idx()] <= guard;
+                let reactive_hot =
+                    queued_links[l.idx()] && load[l.idx()] > cand_load[l.idx()] + 1e-9;
+                (predicted_hot || reactive_hot).then(|| (l, load[l.idx()] / cap))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let Some((hot, _)) = worst else { break };
+        let flip = (0..n)
+            .filter(|&j| !take[j])
+            .filter_map(|j| {
+                let prev = installed[orig_of[j]].as_ref().expect("kept implies installed");
+                let relief = predicted[j]
+                    * (fraction_on(&prev.splits, hot)
+                        - fraction_on(&candidate.aggregate(j).splits, hot));
+                (relief > 0.0).then_some((j, relief))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        // No kept aggregate can relieve the hot link (or the budget is
+        // exhausted): stop rather than churn without effect.
+        let Some((j, _)) = flip else { break };
+        if spent + change_cost(j) > budget.max_paths_per_minute {
+            break;
+        }
+        take[j] = true;
+        spent += change_cost(j);
+    }
+    let mut merged = Vec::with_capacity(n);
+    let mut transitions = Vec::new();
+    for j in 0..n {
+        if take[j] {
+            let new = candidate.aggregate(j);
+            if let Some(prev) = &installed[orig_of[j]] {
+                // A live re-install drains make-before-break; one that
+                // actually changes nothing has nothing to drain.
+                if !broken_paths[j]
+                    && PlacementDelta::of_aggregate(Some(prev), new, 1.0).paths_changed() > 0
+                {
+                    transitions.push((j, prev.clone()));
+                }
+            }
+            merged.push(new.clone());
+        } else {
+            merged.push(installed[orig_of[j]].as_ref().expect("kept implies installed").clone());
+        }
+    }
+    (Placement::new(merged), transitions)
 }
 
 #[cfg(test)]
@@ -564,7 +1068,13 @@ mod tests {
     #[test]
     fn ldr_controller_bounds_queueing_on_smooth_traffic() {
         let (topo, tm) = setup();
-        let cfg = TimelineConfig { minutes: 4, warmup_minutes: 3, cv: 0.1, seed: 1 };
+        let cfg = TimelineConfig {
+            minutes: 4,
+            warmup_minutes: 3,
+            cv: 0.1,
+            seed: 1,
+            ..Default::default()
+        };
         let out = simulate(&topo, &tm, &Controller::ldr(), &cfg);
         assert_eq!(out.minutes.len(), 4);
         // Smooth traffic + LDR headroom: queueing stays near the allowance.
@@ -582,7 +1092,13 @@ mod tests {
     #[test]
     fn ldr_beats_static_sp_on_realized_queueing() {
         let (topo, tm) = setup();
-        let cfg = TimelineConfig { minutes: 4, warmup_minutes: 3, cv: 0.3, seed: 7 };
+        let cfg = TimelineConfig {
+            minutes: 4,
+            warmup_minutes: 3,
+            cv: 0.3,
+            seed: 7,
+            ..Default::default()
+        };
         let ldr = simulate(&topo, &tm, &Controller::ldr(), &cfg);
         let sp = simulate(&topo, &tm, &Controller::static_sp(), &cfg);
         assert!(
@@ -601,7 +1117,13 @@ mod tests {
         // higher cv lowers the median load — so the load level is the
         // robust axis to test.)
         let (topo, tm) = setup();
-        let cfg = TimelineConfig { minutes: 3, warmup_minutes: 2, cv: 0.2, seed: 3 };
+        let cfg = TimelineConfig {
+            minutes: 3,
+            warmup_minutes: 2,
+            cv: 0.2,
+            seed: 3,
+            ..Default::default()
+        };
         let light = simulate(&topo, &tm.scaled(0.5), &Controller::static_sp(), &cfg);
         let heavy = simulate(&topo, &tm.scaled(1.9), &Controller::static_sp(), &cfg);
         assert!(
@@ -616,7 +1138,13 @@ mod tests {
     #[test]
     fn any_registry_scheme_drives_the_timeline() {
         let (topo, tm) = setup();
-        let cfg = TimelineConfig { minutes: 2, warmup_minutes: 2, cv: 0.2, seed: 5 };
+        let cfg = TimelineConfig {
+            minutes: 2,
+            warmup_minutes: 2,
+            cv: 0.2,
+            seed: 5,
+            ..Default::default()
+        };
         for spec in ["SP", "ECMP", "B4", "MinMaxK4", "LatOpt", "static:B4"] {
             let controller = Controller::parse(spec).unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(controller.name(), spec, "controller names round-trip");
@@ -631,7 +1159,13 @@ mod tests {
     #[test]
     fn adaptive_lp_controllers_warm_start_across_minutes() {
         let (topo, tm) = setup();
-        let cfg = TimelineConfig { minutes: 4, warmup_minutes: 3, cv: 0.2, seed: 11 };
+        let cfg = TimelineConfig {
+            minutes: 4,
+            warmup_minutes: 3,
+            cv: 0.2,
+            seed: 11,
+            ..Default::default()
+        };
         let out = simulate(&topo, &tm, &Controller::ldr(), &cfg);
         assert!(out.lp_solves > 0, "LDR solves LPs every minute");
         assert!(
@@ -658,7 +1192,13 @@ mod tests {
     #[test]
     fn adaptive_controller_reroutes_around_an_outage() {
         let (topo, tm) = setup();
-        let cfg = TimelineConfig { minutes: 5, warmup_minutes: 3, cv: 0.15, seed: 13 };
+        let cfg = TimelineConfig {
+            minutes: 5,
+            warmup_minutes: 3,
+            cv: 0.15,
+            seed: 13,
+            ..Default::default()
+        };
         let events = outage(&topo, 4);
         let out = simulate_with_events(&topo, &tm, &Controller::ldr(), &cfg, &events);
         assert_eq!(out.minutes.len(), 5);
@@ -675,7 +1215,13 @@ mod tests {
     #[test]
     fn static_baseline_loses_traffic_during_the_outage() {
         let (topo, tm) = setup();
-        let cfg = TimelineConfig { minutes: 4, warmup_minutes: 3, cv: 0.15, seed: 13 };
+        let cfg = TimelineConfig {
+            minutes: 4,
+            warmup_minutes: 3,
+            cv: 0.15,
+            seed: 13,
+            ..Default::default()
+        };
         // Fail a cable SP actually uses: try scenarios until one leaks.
         let mut leaked = false;
         for scenario in single_link_failures(&topo) {
@@ -721,7 +1267,13 @@ mod tests {
         let mut mask = FailureMask::new();
         mask.fail_cable(graph, topo.cables()[0]);
         let events = vec![TimelineEvent { at_minute: 1, mask }];
-        let cfg = TimelineConfig { minutes: 5, warmup_minutes: 2, cv: 0.05, seed: 21 };
+        let cfg = TimelineConfig {
+            minutes: 5,
+            warmup_minutes: 2,
+            cv: 0.05,
+            seed: 21,
+            ..Default::default()
+        };
         let cascade = CascadeConfig { trip_overload: 0.2, max_trips: 4 };
         let out = simulate_with_cascades(&topo, &tm, &Controller::ldr(), &cfg, &events, &cascade);
         // Minute 1: 600 Mbps rerouted onto 400 Mbps cables — 50% sustained
@@ -745,7 +1297,13 @@ mod tests {
         // Below the trip threshold the cascade runner must be bit-for-bit
         // the plain event runner.
         let (topo, tm) = setup();
-        let cfg = TimelineConfig { minutes: 4, warmup_minutes: 3, cv: 0.15, seed: 13 };
+        let cfg = TimelineConfig {
+            minutes: 4,
+            warmup_minutes: 3,
+            cv: 0.15,
+            seed: 13,
+            ..Default::default()
+        };
         let events = outage(&topo, 3);
         let plain = simulate_with_events(&topo, &tm, &Controller::ldr(), &cfg, &events);
         let cascade = CascadeConfig { trip_overload: 10.0, max_trips: 8 };
@@ -763,9 +1321,197 @@ mod tests {
     }
 
     #[test]
+    fn safe_fraction_guards_zero_denominator() {
+        assert_eq!(safe_fraction(1.0, 2.0), 0.5);
+        assert_eq!(safe_fraction(5.0, 0.0), 0.0, "zero volume must not yield NaN");
+        assert_eq!(safe_fraction(5.0, -1.0), 0.0);
+        assert!(safe_fraction(f64::NAN, 0.0) == 0.0, "NaN numerator is masked when nothing flows");
+    }
+
+    #[test]
+    fn parse_trims_prefixed_specs_and_rejects_empty_ones() {
+        assert_eq!(Controller::parse("static: SP").expect("trimmed").name(), "static:SP");
+        assert_eq!(Controller::parse("  static:B4 ").expect("trimmed").name(), "static:B4");
+        assert_eq!(Controller::parse("bounded: LDR").expect("trimmed").name(), "bounded:LDR");
+        let bounded = Controller::parse("bounded:LDR").expect("bounded");
+        assert!(bounded.is_adaptive());
+        assert!(bounded.churn_budget().is_some());
+        assert_eq!(
+            Controller::parse("static:").unwrap_err(),
+            ControllerParseError::EmptySpec { prefix: "static:" }
+        );
+        assert_eq!(
+            Controller::parse("bounded:   ").unwrap_err(),
+            ControllerParseError::EmptySpec { prefix: "bounded:" }
+        );
+        let err = Controller::parse("static:").unwrap_err().to_string();
+        assert!(err.contains("static:"), "error names the prefix: {err}");
+        assert!(matches!(Controller::parse("bounded:nope"), Err(ControllerParseError::Unknown(_))));
+    }
+
+    #[test]
+    fn same_minute_scripted_events_apply_in_slice_order() {
+        // Two events at the same decision minute: the last mask in the
+        // slice wins — that ordering is the documented contract.
+        let (topo, tm, _) = two_path_setup();
+        let graph = topo.graph();
+        // Failing both of A's cables disconnects A-Z entirely.
+        let mut sever = FailureMask::new();
+        sever.fail_cable(graph, topo.cables()[0]);
+        sever.fail_cable(graph, topo.cables()[2]);
+        let cfg = TimelineConfig {
+            minutes: 3,
+            warmup_minutes: 2,
+            cv: 0.1,
+            seed: 9,
+            ..Default::default()
+        };
+
+        let sever_then_up = vec![
+            TimelineEvent { at_minute: 1, mask: sever.clone() },
+            TimelineEvent { at_minute: 1, mask: FailureMask::new() },
+        ];
+        let out = simulate_with_events(&topo, &tm, &Controller::ldr(), &cfg, &sever_then_up);
+        assert_eq!(out.repair_events, 2, "both events fire");
+        assert_eq!(out.max_unroutable_fraction(), 0.0, "the later link-up wins");
+
+        let up_then_sever = vec![
+            TimelineEvent { at_minute: 1, mask: FailureMask::new() },
+            TimelineEvent { at_minute: 1, mask: sever },
+        ];
+        let out = simulate_with_events(&topo, &tm, &Controller::ldr(), &cfg, &up_then_sever);
+        assert_eq!(out.repair_events, 2);
+        assert!(
+            out.minutes[1].unroutable_fraction > 0.99,
+            "the later severance wins, got {}",
+            out.minutes[1].unroutable_fraction
+        );
+    }
+
+    #[test]
+    fn same_minute_link_up_and_cascade_trip_interleave_as_deltas() {
+        // Regression: a cascade trip used to snapshot `current_mask` at
+        // *emit* time, so a scripted link-up firing the same minute as the
+        // trip was clobbered — the snapshot resurrected the already-
+        // repaired failure and the network looked fully severed. Stored as
+        // a delta, the trip lands on the mask the link-up left in force:
+        // only the tripped narrow cable stays down, and the restored wide
+        // path carries everything.
+        let (topo, tm, _) = two_path_setup();
+        let graph = topo.graph();
+        let mut wide_down = FailureMask::new();
+        wide_down.fail_cable(graph, topo.cables()[0]);
+        let events = vec![
+            // Minute 1: the wide path fails; 600 Mbps lands on the 400 Mbps
+            // narrow cables and trips one of them for minute 2.
+            TimelineEvent { at_minute: 1, mask: wide_down },
+            // Minute 2: the wide path is repaired — scripted before the
+            // trip fires.
+            TimelineEvent { at_minute: 2, mask: FailureMask::new() },
+        ];
+        let cfg = TimelineConfig {
+            minutes: 4,
+            warmup_minutes: 2,
+            cv: 0.05,
+            seed: 21,
+            ..Default::default()
+        };
+        let cascade = CascadeConfig { trip_overload: 0.2, max_trips: 4 };
+        let out = simulate_with_cascades(&topo, &tm, &Controller::ldr(), &cfg, &events, &cascade);
+        assert!(out.minutes[1].overloaded_links > 0, "reroute overloads the narrow path");
+        assert_eq!(out.cascade_trips, 1, "the narrow path trips exactly once");
+        assert_eq!(out.repair_events, 3, "failure, link-up, then the trip");
+        // The decisive assertion: with the trip applied as a delta to the
+        // repaired topology, A-Z flows over the wide path every minute.
+        assert_eq!(
+            out.max_unroutable_fraction(),
+            0.0,
+            "the link-up must survive the same-minute trip"
+        );
+    }
+
+    #[test]
+    fn bounded_churn_cuts_reinstalls_while_bounding_queueing() {
+        let (topo, tm) = setup();
+        let cfg = TimelineConfig {
+            minutes: 12,
+            warmup_minutes: 3,
+            cv: 0.2,
+            seed: 17,
+            diurnal_amplitude: 0.3,
+            diurnal_period: 12,
+        };
+        let full = simulate(&topo, &tm, &Controller::ldr(), &cfg);
+        let bounded =
+            simulate(&topo, &tm, &Controller::parse("bounded:LDR").expect("bounded:LDR"), &cfg);
+        // Minute 0's initial install is the cost of turning on, not churn.
+        assert_eq!(full.minutes[0].paths_changed, 0);
+        assert_eq!(bounded.minutes[0].paths_changed, 0);
+        assert!(
+            full.total_paths_changed() > 0,
+            "diurnal traffic must churn the per-minute re-placer"
+        );
+        assert!(
+            (bounded.total_paths_changed() as f64) <= 0.25 * full.total_paths_changed() as f64,
+            "bounded churn {} must be <= 25% of full re-placement churn {}",
+            bounded.total_paths_changed(),
+            full.total_paths_changed()
+        );
+        assert!(
+            bounded.worst_queue_ms() <= 2.0 * full.worst_queue_ms() + 5.0,
+            "kept placements must not blow up queueing: bounded {} ms vs full {} ms",
+            bounded.worst_queue_ms(),
+            full.worst_queue_ms()
+        );
+        assert_eq!(bounded.max_unroutable_fraction(), 0.0);
+        // Decision latency is measured and sane for every controller kind.
+        for out in [&full, &bounded] {
+            assert!(out.minutes.iter().all(|m| m.decision_ms.is_finite() && m.decision_ms >= 0.0));
+            assert!(out.median_decision_ms() > 0.0, "placement work takes nonzero wall-clock");
+        }
+        // Moved volume only when paths actually changed.
+        for m in &bounded.minutes {
+            assert!(m.moved_volume_fraction.is_finite());
+            if m.paths_changed == 0 {
+                assert!(m.moved_volume_fraction < 1e-9);
+            }
+        }
+        // Static controllers never churn; their decision cost is ~copying.
+        let sp = simulate(&topo, &tm, &Controller::static_sp(), &cfg);
+        assert_eq!(sp.total_paths_changed(), 0);
+        assert_eq!(sp.mean_moved_volume_fraction(), 0.0);
+    }
+
+    #[test]
+    fn bounded_controller_reroutes_around_an_outage() {
+        // Broken installed paths are a forced re-install: the bounded
+        // controller must recover exactly like the full one.
+        let (topo, tm) = setup();
+        let cfg = TimelineConfig {
+            minutes: 5,
+            warmup_minutes: 3,
+            cv: 0.15,
+            seed: 13,
+            ..Default::default()
+        };
+        let events = outage(&topo, 4);
+        let bounded = Controller::parse("bounded:LDR").expect("bounded:LDR");
+        let out = simulate_with_events(&topo, &tm, &bounded, &cfg, &events);
+        assert_eq!(out.repair_events, 2, "down then up");
+        assert_eq!(out.max_unroutable_fraction(), 0.0, "Abilene survives any single failure");
+        assert!(out.minutes[1].paths_changed > 0, "re-placing around the failure is paid churn");
+    }
+
+    #[test]
     fn events_out_of_range_panic() {
         let (topo, tm) = setup();
-        let cfg = TimelineConfig { minutes: 2, warmup_minutes: 2, cv: 0.2, seed: 5 };
+        let cfg = TimelineConfig {
+            minutes: 2,
+            warmup_minutes: 2,
+            cv: 0.2,
+            seed: 5,
+            ..Default::default()
+        };
         let events = vec![TimelineEvent { at_minute: 2, mask: FailureMask::new() }];
         let result = std::panic::catch_unwind(|| {
             simulate_with_events(&topo, &tm, &Controller::static_sp(), &cfg, &events)

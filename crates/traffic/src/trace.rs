@@ -41,6 +41,18 @@ pub struct TraceGenConfig {
     pub bins_per_minute: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Relative amplitude of the diurnal swing multiplying every minute's
+    /// samples: minute `m` is scaled by
+    /// `1 + amplitude * sin(2π m / period + phase)`. 0 (the default)
+    /// disables the cycle and reproduces the stationary generator
+    /// bit-for-bit. Must stay in `[0, 1)` so rates remain positive.
+    pub diurnal_amplitude: f64,
+    /// Diurnal period in minutes (1440 = one day). Ignored when the
+    /// amplitude is 0.
+    pub diurnal_period_minutes: usize,
+    /// Phase offset of the diurnal cycle in radians (shifts where in the
+    /// day the trace starts). Ignored when the amplitude is 0.
+    pub diurnal_phase: f64,
 }
 
 impl Default for TraceGenConfig {
@@ -54,6 +66,9 @@ impl Default for TraceGenConfig {
             minutes: 60,
             bins_per_minute: 600,
             seed: 1,
+            diurnal_amplitude: 0.0,
+            diurnal_period_minutes: 1440,
+            diurnal_phase: 0.0,
         }
     }
 }
@@ -145,6 +160,15 @@ fn std_normal(rng: &mut StdRng) -> f64 {
 pub fn synthesize(config: &TraceGenConfig) -> AggregateTrace {
     assert!(config.mean_mbps > 0.0 && config.cv >= 0.0);
     assert!((0.0..1.0).contains(&config.ar1.abs()) || config.ar1.abs() < 1.0);
+    assert!(
+        (0.0..1.0).contains(&config.diurnal_amplitude),
+        "diurnal amplitude {} out of [0,1)",
+        config.diurnal_amplitude
+    );
+    assert!(
+        config.diurnal_amplitude == 0.0 || config.diurnal_period_minutes >= 2,
+        "diurnal period must span at least 2 minutes"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7472_6163);
     let mut samples = Vec::with_capacity(config.minutes * config.bins_per_minute);
 
@@ -154,7 +178,20 @@ pub fn synthesize(config: &TraceGenConfig) -> AggregateTrace {
     // the minute, only our bookkeeping does.
     let mut z = 0.0f64;
     let innov = (1.0 - config.ar1 * config.ar1).sqrt();
-    for _minute in 0..config.minutes {
+    for minute in 0..config.minutes {
+        // The long-horizon load shape: a deterministic multiplicative swing
+        // on top of the stationary walk, so hundreds-of-minutes runs see
+        // the peak/trough asymmetry real WANs replan around. Amplitude 0
+        // skips the factor entirely (bit-identical to the old generator).
+        let diurnal = if config.diurnal_amplitude > 0.0 {
+            1.0 + config.diurnal_amplitude
+                * (2.0 * std::f64::consts::PI * minute as f64
+                    / config.diurnal_period_minutes as f64
+                    + config.diurnal_phase)
+                    .sin()
+        } else {
+            1.0
+        };
         // Mean-reverting random walk for the minute mean.
         let drift = rng.gen_range(-config.minute_drift..=config.minute_drift);
         let reversion = 0.05 * (config.mean_mbps - minute_mean) / config.mean_mbps;
@@ -169,7 +206,7 @@ pub fn synthesize(config: &TraceGenConfig) -> AggregateTrace {
             // Lognormal-style positive noise with unit mean.
             let s = sigma_rel;
             let factor = (s * z - s * s / 2.0).exp();
-            samples.push(minute_mean * factor);
+            samples.push(minute_mean * diurnal * factor);
         }
     }
     AggregateTrace::from_samples(samples, config.bins_per_minute)
@@ -253,6 +290,33 @@ mod tests {
             let (a, b) = (tr.sigma(m), tr.sigma(m + 1));
             assert!(b / a < 2.5 && a / b < 2.5, "σ jumped {a} -> {b}");
         }
+    }
+
+    #[test]
+    fn diurnal_cycle_shapes_minute_means() {
+        // One full 40-minute cycle at 40% amplitude: the peak quarter of
+        // the cycle must run well above the trough quarter, and amplitude
+        // 0 must reproduce the stationary generator bit-for-bit.
+        let base = TraceGenConfig { minutes: 40, cv: 0.05, ..Default::default() };
+        let flat = synthesize(&base);
+        let cycled = synthesize(&TraceGenConfig {
+            diurnal_amplitude: 0.4,
+            diurnal_period_minutes: 40,
+            ..base.clone()
+        });
+        let means = cycled.minute_means();
+        // sin peaks at minute 10 (2π·10/40 = π/2), troughs at minute 30.
+        let peak: f64 = means[8..13].iter().sum::<f64>() / 5.0;
+        let trough: f64 = means[28..33].iter().sum::<f64>() / 5.0;
+        assert!(peak > 1.5 * trough, "diurnal swing too weak: {peak} vs {trough}");
+        let again = synthesize(&TraceGenConfig { diurnal_amplitude: 0.0, ..base });
+        assert_eq!(flat.samples_mbps, again.samples_mbps, "amplitude 0 is the old generator");
+    }
+
+    #[test]
+    #[should_panic]
+    fn diurnal_amplitude_must_stay_below_one() {
+        synthesize(&TraceGenConfig { diurnal_amplitude: 1.0, ..Default::default() });
     }
 
     #[test]

@@ -18,7 +18,7 @@ bench:
 # baseline after an intentional performance change.
 bench-report out="auto":
     cargo bench -p lowlat_bench --bench substrates --bench fig_schemes \
-        --bench warmstart --bench timeline --bench failure \
+        --bench warmstart --bench timeline --bench failure --bench controller \
         | cargo run --release -p lowlat_bench --bin bench_report -- \
             --baseline auto --out {{out}} --max-regress 0.25 --skip engine/
 
