@@ -1,0 +1,92 @@
+//! Flat vs partitioned path queries at Internet scale — the claim behind
+//! the hierarchical engine: above ~1k nodes, whole-graph Yen per pair
+//! stops being viable, while landmark stitching stays flat per query.
+//!
+//! * `build` — one-time engine construction (hierarchy + per-leaf caches +
+//!   landmark trees) at 1k and 10k nodes.
+//! * `query/*` — a fixed seeded batch of pairs, k=3 each: `flat_yen` runs a
+//!   fresh whole-graph Yen generator per pair (the stateless cost a flat
+//!   [`PathCache`](lowlat_core::pathset::PathCache) pays on first touch);
+//!   `partitioned` asks a pre-built engine, where almost every random pair
+//!   at these sizes is cross-leaf and therefore materializes no per-pair
+//!   state at all.
+//!
+//! BENCH_6.json records the measured medians per host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lowlat_core::{EngineConfig, PartitionedPathEngine};
+use lowlat_netgraph::{Graph, KspGenerator, NodeId};
+use lowlat_topology::synth::{generate, SynthConfig, SynthModel};
+
+const K: usize = 3;
+const PAIRS: usize = 8;
+
+fn ba(nodes: usize) -> lowlat_topology::ingest::IngestedGraph {
+    generate(SynthModel::BarabasiAlbert, &SynthConfig { nodes, seed: 42, ..Default::default() })
+}
+
+/// A deterministic pair batch spread over the node space (no two equal).
+fn pair_batch(g: &Graph) -> Vec<(NodeId, NodeId)> {
+    let n = g.node_count() as u32;
+    (0..PAIRS as u32)
+        .map(|i| {
+            let s = (i * 997) % n;
+            let mut d = (i * 313 + n / 2) % n;
+            if d == s {
+                d = (d + 1) % n;
+            }
+            (NodeId(s), NodeId(d))
+        })
+        .collect()
+}
+
+fn flat_yen_batch(g: &Graph, pairs: &[(NodeId, NodeId)]) -> usize {
+    let mut total = 0;
+    for &(s, d) in pairs {
+        let mut gen = KspGenerator::new(g, s, d);
+        for _ in 0..K {
+            if gen.next_path().is_none() {
+                break;
+            }
+            total += 1;
+        }
+    }
+    total
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    for nodes in [1_000usize, 10_000] {
+        let ingested = ba(nodes);
+        let g = ingested.graph();
+        let cfg = EngineConfig::default();
+        let tag = format!("ba{}k", nodes / 1_000);
+
+        let mut build = c.benchmark_group("hierarchy/build");
+        build.sample_size(10);
+        build.bench_function(&tag, |b| {
+            b.iter(|| PartitionedPathEngine::build(black_box(g), &cfg).landmark_count())
+        });
+        build.finish();
+
+        let engine = PartitionedPathEngine::build(g, &cfg);
+        let pairs = pair_batch(g);
+        let mut query = c.benchmark_group(format!("hierarchy/query/{tag}"));
+        query.sample_size(10);
+        query.bench_function("flat_yen", |b| b.iter(|| flat_yen_batch(g, black_box(&pairs))));
+        query.bench_function("partitioned", |b| {
+            b.iter(|| {
+                let mut total = 0;
+                for &(s, d) in black_box(&pairs) {
+                    total += engine.paths(s, d, K).len();
+                }
+                total
+            })
+        });
+        query.finish();
+    }
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

@@ -34,6 +34,7 @@ pub mod classes;
 pub mod eval;
 pub mod failure;
 pub mod growth;
+pub mod hier;
 pub mod llpd;
 pub mod pathgrow;
 pub mod pathset;
@@ -43,6 +44,7 @@ pub mod schemes;
 
 pub use eval::PlacementEval;
 pub use failure::{FailureImpact, FailureScenario, RecoveryOutcome};
+pub use hier::{EngineConfig, PartitionedPathEngine, QueryStats};
 pub use llpd::{LlpdAnalysis, LlpdConfig};
 pub use placement::Placement;
 pub use scale::ScaleToLoad;

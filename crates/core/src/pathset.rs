@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use lowlat_netgraph::{FailureMask, Graph, KspGenerator, NodeId, Path};
+use lowlat_netgraph::{BitSet, FailureMask, Graph, KspGenerator, NodeId, Path};
 
 /// Number of independent lock shards. A power of two well above the worker
 /// counts we run with; per-shard memory is one empty `HashMap`, so
@@ -83,6 +83,12 @@ pub struct PathCache<'g> {
     /// at failure transitions, which are documented quiescent (see
     /// [`PathCache::apply_failure`]).
     mask: RwLock<Option<Arc<FailureMask>>>,
+    /// Node-scope restriction: the *complement* of the member set, merged
+    /// into every generator's avoided nodes so Dijkstra/Yen frontiers never
+    /// leave the scope. `None` for whole-graph caches. This is what lets
+    /// the hierarchical path engine run one small cache per partition of an
+    /// Internet-scale graph.
+    scope_avoid: Option<BitSet>,
 }
 
 impl<'g> PathCache<'g> {
@@ -92,6 +98,28 @@ impl<'g> PathCache<'g> {
             graph,
             shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
             mask: RwLock::new(None),
+            scope_avoid: None,
+        }
+    }
+
+    /// Creates a cache restricted to the `members` node set: every query is
+    /// answered as if nodes outside the scope did not exist, so enumeration
+    /// cost scales with the partition, not the graph. Queries with an
+    /// endpoint outside the scope return no paths. Failure masks compose
+    /// with the scope (both restrictions apply).
+    pub fn scoped(graph: &'g Graph, members: &[NodeId]) -> Self {
+        let mut avoid = BitSet::new(graph.node_count());
+        for v in 0..graph.node_count() {
+            avoid.insert(v);
+        }
+        for &m in members {
+            avoid.remove(m.idx());
+        }
+        PathCache {
+            graph,
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: RwLock::new(None),
+            scope_avoid: (!avoid.is_empty()).then_some(avoid),
         }
     }
 
@@ -130,13 +158,44 @@ impl<'g> PathCache<'g> {
     /// A fresh generator for `(src, dst)` under the given mask. A mask that
     /// does not affect routing (degradation only) yields a pure generator —
     /// enumeration is identical, and the pure flag spares it from rebuilds
-    /// on later mask transitions.
+    /// on later mask transitions. The node scope (if any) is merged into
+    /// the avoided nodes either way; `masked` tracks only the *failure*
+    /// mask, so scoped-but-intact generators still survive repair.
     fn make_gen(&self, src: NodeId, dst: NodeId, mask: Option<&FailureMask>) -> CachedGen<'g> {
         match mask.filter(|m| m.affects_routing()) {
             Some(m) => {
-                CachedGen { gen: KspGenerator::under_mask(self.graph, src, dst, m), masked: true }
+                let avoid_nodes = match (&self.scope_avoid, m.node_mask()) {
+                    (Some(scope), Some(down)) => {
+                        let mut merged = scope.clone();
+                        for v in down.iter() {
+                            merged.insert(v);
+                        }
+                        Some(merged)
+                    }
+                    (Some(scope), None) => Some(scope.clone()),
+                    (None, down) => down.cloned(),
+                };
+                CachedGen {
+                    gen: KspGenerator::with_avoided(
+                        self.graph,
+                        src,
+                        dst,
+                        m.link_mask().cloned(),
+                        avoid_nodes,
+                    ),
+                    masked: true,
+                }
             }
-            None => CachedGen { gen: KspGenerator::new(self.graph, src, dst), masked: false },
+            None => CachedGen {
+                gen: KspGenerator::with_avoided(
+                    self.graph,
+                    src,
+                    dst,
+                    None,
+                    self.scope_avoid.clone(),
+                ),
+                masked: false,
+            },
         }
     }
 
@@ -443,6 +502,48 @@ mod tests {
         let again = cache.apply_failure(&mask);
         assert_eq!(again.kept_pairs, 1, "degradation-only growth must stay pure");
         assert_eq!(again.repaired_pairs, 0);
+    }
+
+    #[test]
+    fn scoped_cache_never_leaves_the_member_set() {
+        // Line 0-1-2 plus a shortcut 0-4-2 through an out-of-scope node.
+        let mut b = GraphBuilder::new(5);
+        b.add_duplex(NodeId(0), NodeId(1), 2.0, 10.0);
+        b.add_duplex(NodeId(1), NodeId(2), 2.0, 10.0);
+        b.add_duplex(NodeId(0), NodeId(4), 0.5, 10.0);
+        b.add_duplex(NodeId(4), NodeId(2), 0.5, 10.0);
+        let g = b.build();
+        let scoped = PathCache::scoped(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+        let ps = scoped.paths(NodeId(0), NodeId(2), 5);
+        assert_eq!(ps.len(), 1, "the shortcut through node 4 is out of scope");
+        assert_eq!(ps[0].delay_ms(), 4.0);
+        // An endpoint outside the scope yields nothing.
+        assert!(scoped.paths(NodeId(0), NodeId(4), 3).is_empty());
+        // Full-scope behaves like an unscoped cache.
+        let full = PathCache::scoped(&g, &g.nodes().collect::<Vec<_>>());
+        assert_eq!(full.paths(NodeId(0), NodeId(2), 1)[0].delay_ms(), 1.0);
+    }
+
+    #[test]
+    fn scoped_cache_composes_with_failure_masks() {
+        let g = square();
+        let scoped = PathCache::scoped(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(scoped.paths(NodeId(0), NodeId(2), 3).len(), 2);
+        let stats = scoped.apply_failure(&mask_01(&g));
+        assert_eq!(stats.repaired_pairs, 1);
+        let got = scoped.paths(NodeId(0), NodeId(2), 3);
+        assert_eq!(got.len(), 1, "failure applies inside the scope");
+        assert_eq!(got[0].delay_ms(), 3.0);
+        scoped.clear_failure();
+        assert_eq!(scoped.paths(NodeId(0), NodeId(2), 3).len(), 2, "scope survives clearing");
+        // Narrow scope + failure: only the 0-3-2 route is in scope, and
+        // failing node 3 disconnects it entirely.
+        let narrow = PathCache::scoped(&g, &[NodeId(0), NodeId(3), NodeId(2)]);
+        assert_eq!(narrow.paths(NodeId(0), NodeId(2), 3).len(), 1);
+        let mut mask = FailureMask::new();
+        mask.fail_node(NodeId(3));
+        narrow.apply_failure(&mask);
+        assert!(narrow.paths(NodeId(0), NodeId(2), 3).is_empty());
     }
 
     #[test]

@@ -152,6 +152,104 @@ pub fn all_pairs_delays(graph: &Graph) -> Vec<Vec<f64>> {
     graph.nodes().map(|s| shortest_path_tree(graph, s, None, None).dist_ms).collect()
 }
 
+/// Result of a single-**sink** Dijkstra run: for every node, the shortest
+/// delay *to* the sink and the first link of that path.
+///
+/// The landmark machinery of the hierarchical path engine needs shortest
+/// paths **into** a landmark from everywhere; running the forward algorithm
+/// per source would be quadratic, so this walks `in_links` once instead.
+#[derive(Clone, Debug)]
+pub struct ReverseShortestPathTree {
+    sink: NodeId,
+    /// `dist_ms[v]` = shortest delay from v to sink; `INFINITY` if the sink
+    /// is unreachable from v under the mask.
+    dist_ms: Vec<f64>,
+    /// First link on the shortest v→sink path (None for sink/unreachable).
+    next: Vec<Option<LinkId>>,
+}
+
+impl ReverseShortestPathTree {
+    /// The sink node of the tree.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// Shortest delay from `v` to the sink in ms (`INFINITY` if unreachable).
+    #[inline]
+    pub fn dist_ms(&self, v: NodeId) -> f64 {
+        self.dist_ms[v.idx()]
+    }
+
+    /// True if the sink is reachable from `v`.
+    pub fn reachable(&self, v: NodeId) -> bool {
+        self.dist_ms[v.idx()].is_finite()
+    }
+
+    /// Reconstructs the shortest path from `s` to the sink, or `None` if the
+    /// sink is unreachable or `s` *is* the sink.
+    pub fn path_from(&self, graph: &Graph, s: NodeId) -> Option<Path> {
+        if s == self.sink || !self.reachable(s) {
+            return None;
+        }
+        let mut links = Vec::new();
+        let mut at = s;
+        while at != self.sink {
+            let l = self.next[at.idx()]?;
+            links.push(l);
+            at = graph.link(l).dst;
+        }
+        Some(Path::new(graph, links))
+    }
+}
+
+/// Runs Dijkstra *toward* `sink` by relaxing `in_links`, honouring the same
+/// optional masks as [`shortest_path_tree`]. `dist_ms(v)` is the delay of
+/// the shortest v→sink path (directionality matters on asymmetric graphs).
+pub fn reverse_shortest_path_tree(
+    graph: &Graph,
+    sink: NodeId,
+    link_mask: Option<&BitSet>,
+    node_mask: Option<&BitSet>,
+) -> ReverseShortestPathTree {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut next: Vec<Option<LinkId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let masked_node = |v: NodeId| node_mask.is_some_and(|m| m.contains(v.idx()));
+    let masked_link = |l: LinkId| link_mask.is_some_and(|m| m.contains(l.idx()));
+
+    if !masked_node(sink) {
+        dist[sink.idx()] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { dist: 0.0, node: sink });
+        while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+            if done[u.idx()] {
+                continue;
+            }
+            done[u.idx()] = true;
+            for &l in graph.in_links(u) {
+                if masked_link(l) {
+                    continue;
+                }
+                let link = graph.link(l);
+                if masked_node(link.src) {
+                    continue;
+                }
+                let nd = d + link.delay_ms;
+                let v = link.src.idx();
+                if nd < dist[v] - 1e-15
+                    || (nd <= dist[v] + 1e-15 && next[v].is_some_and(|pl| l < pl) && !done[v])
+                {
+                    dist[v] = nd;
+                    next[v] = Some(l);
+                    heap.push(HeapEntry { dist: nd, node: link.src });
+                }
+            }
+        }
+    }
+    ReverseShortestPathTree { sink, dist_ms: dist, next }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +309,36 @@ mod tests {
         let tree = shortest_path_tree(&g, NodeId(0), None, None);
         assert_eq!(tree.dist_ms(NodeId(0)), 0.0);
         assert!(tree.path_to(&g, NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn reverse_tree_matches_forward_on_duplex() {
+        let g = diamondish();
+        let rev = reverse_shortest_path_tree(&g, NodeId(2), None, None);
+        assert_eq!(rev.sink(), NodeId(2));
+        assert_eq!(rev.dist_ms(NodeId(0)), 2.0);
+        assert_eq!(rev.dist_ms(NodeId(2)), 0.0);
+        let p = rev.path_from(&g, NodeId(0)).unwrap();
+        assert_eq!(p.delay_ms(), 2.0);
+        assert_eq!(p.hop_count(), 2);
+        // Path runs forward: 0 -> 1 -> 2.
+        assert_eq!(g.link(p.links()[0]).src, NodeId(0));
+        assert_eq!(g.link(*p.links().last().unwrap()).dst, NodeId(2));
+        assert!(rev.path_from(&g, NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn reverse_tree_respects_masks() {
+        let g = diamondish();
+        let l12 = g.find_link(NodeId(1), NodeId(2)).unwrap();
+        let mut mask = BitSet::new(g.link_count());
+        mask.insert(l12.idx());
+        let rev = reverse_shortest_path_tree(&g, NodeId(2), Some(&mask), None);
+        assert_eq!(rev.dist_ms(NodeId(0)), 5.0);
+        let mut nmask = BitSet::new(g.node_count());
+        nmask.insert(2);
+        let dead = reverse_shortest_path_tree(&g, NodeId(2), None, Some(&nmask));
+        assert!(!dead.reachable(NodeId(0)));
     }
 
     #[test]

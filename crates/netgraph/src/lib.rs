@@ -29,15 +29,20 @@ pub mod bridges;
 pub mod dijkstra;
 pub mod failure;
 pub mod graph;
+pub mod hierarchy;
 pub mod maxflow;
 pub mod path;
 pub mod yen;
 
 pub use bitset::BitSet;
 pub use bridges::bridges;
-pub use dijkstra::{all_pairs_delays, shortest_path, shortest_path_tree, ShortestPathTree};
+pub use dijkstra::{
+    all_pairs_delays, reverse_shortest_path_tree, shortest_path, shortest_path_tree,
+    ReverseShortestPathTree, ShortestPathTree,
+};
 pub use failure::{max_flow_masked, FailureMask};
 pub use graph::{Graph, GraphBuilder, Link, LinkId, NodeId};
+pub use hierarchy::{Cluster, DepthMetrics, Hierarchy, HierarchyConfig};
 pub use maxflow::{max_flow, min_cut_of_links};
 pub use path::Path;
 pub use yen::KspGenerator;

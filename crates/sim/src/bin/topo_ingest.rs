@@ -1,0 +1,450 @@
+//! Internet-scale ingestion + hierarchical routing experiment.
+//!
+//! Reproduces the Snippet-1 experiment shape: load (or generate) a large
+//! topology, build the hierarchical partitioned path engine over it, answer
+//! a seeded batch of KSP queries, and report per-(topology, seed)
+//! success-rate / avg-hops / stretch with a cross-seed summary.
+//!
+//! Usage:
+//! `cargo run --release --bin topo_ingest --
+//!     [--edge-list FILE | --graphml FILE] [--synthetic ba,ws,grid,random]
+//!     [--nodes 1000] [--tests 100] [--seeds 42,43] [--k 3]
+//!     [--depth 3] [--leaf 128] [--branching 8] [--landmarks 32]
+//!     [--emit-edge-list FILE] [--output FILE] [--summary-output FILE]`
+//!
+//! With no source flags all four synthetic models run. A real file is
+//! labeled `RealWorld`; synthetic graphs are regenerated **per seed** (the
+//! Snippet-1 convention), so each (model, seed) cell is an independent
+//! draw. Malformed input files exit with status 2 and a `line N` message.
+//!
+//! Metrics per cell: `success_rate` = fraction of queried pairs that got at
+//! least one path (on connected graphs this is 1.0 by the engine's
+//! fallback guarantee); `avg_hops` = mean hop count of the best path;
+//! `stretch` = mean (best returned delay / true shortest delay). The JSON
+//! also carries the query mix (cross-leaf and exact-fallback fractions),
+//! hierarchy depth metrics, and build/query wall times.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use lowlat_core::hier::{EngineConfig, PartitionedPathEngine};
+use lowlat_netgraph::hierarchy::HierarchyConfig;
+use lowlat_netgraph::{shortest_path_tree, NodeId};
+use lowlat_sim::runner::{flag_value, parse_flag};
+use lowlat_topology::ingest::{self, EdgeListConfig, IngestedGraph};
+use lowlat_topology::synth::{generate, SynthConfig, SynthModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One (topology, seed) cell's outcome.
+struct CellResult {
+    label: String,
+    seed: u64,
+    nodes: usize,
+    cables: usize,
+    tests: usize,
+    success_rate: f64,
+    avg_hops: f64,
+    stretch: f64,
+    cross_fraction: f64,
+    fallback_fraction: f64,
+    leaves: usize,
+    landmarks: usize,
+    build_ms: f64,
+    query_us_mean: f64,
+}
+
+/// Where a cell's graph comes from.
+enum Source {
+    /// Shared pre-ingested graph (real file), index into `ingested`.
+    File(usize),
+    /// Regenerated per seed.
+    Model(SynthModel),
+}
+
+fn mean_and_ci(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, 1.96 * (var / n).sqrt())
+}
+
+/// Minimal JSON string escape (labels and paths only).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn read_or_die(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut edge_list: Option<String> = None;
+    let mut graphml: Option<String> = None;
+    let mut models: Vec<SynthModel> = Vec::new();
+    let mut nodes = 1000usize;
+    let mut tests = 100usize;
+    let mut seeds = vec![42u64];
+    let mut k = 3usize;
+    let mut hier = HierarchyConfig::default();
+    let mut landmarks = 32usize;
+    let mut emit: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut summary_output: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--edge-list" => {
+                edge_list = Some(flag_value(&args, i, "--edge-list").to_string());
+                i += 1;
+            }
+            "--graphml" => {
+                graphml = Some(flag_value(&args, i, "--graphml").to_string());
+                i += 1;
+            }
+            "--synthetic" => {
+                for spec in flag_value(&args, i, "--synthetic").split(',') {
+                    let spec = spec.trim();
+                    if spec.is_empty() {
+                        continue;
+                    }
+                    match SynthModel::parse(spec) {
+                        Some(m) => models.push(m),
+                        None => {
+                            eprintln!(
+                                "error: unknown synthetic model '{spec}' (ba, ws, grid, random)"
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            "--nodes" => {
+                nodes = parse_flag("--nodes", flag_value(&args, i, "--nodes"));
+                i += 1;
+            }
+            "--tests" => {
+                tests = parse_flag("--tests", flag_value(&args, i, "--tests"));
+                i += 1;
+            }
+            "--seeds" => {
+                seeds = flag_value(&args, i, "--seeds")
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| parse_flag("--seeds", s.trim()))
+                    .collect();
+                if seeds.is_empty() {
+                    eprintln!("error: --seeds expects at least one seed");
+                    std::process::exit(2);
+                }
+                i += 1;
+            }
+            "--k" => {
+                k = parse_flag::<usize>("--k", flag_value(&args, i, "--k")).max(1);
+                i += 1;
+            }
+            "--depth" => {
+                hier.max_depth = parse_flag("--depth", flag_value(&args, i, "--depth"));
+                i += 1;
+            }
+            "--leaf" => {
+                hier.max_leaf = parse_flag("--leaf", flag_value(&args, i, "--leaf"));
+                i += 1;
+            }
+            "--branching" => {
+                hier.branching = parse_flag("--branching", flag_value(&args, i, "--branching"));
+                i += 1;
+            }
+            "--landmarks" => {
+                landmarks = parse_flag("--landmarks", flag_value(&args, i, "--landmarks"));
+                i += 1;
+            }
+            "--emit-edge-list" => {
+                emit = Some(flag_value(&args, i, "--emit-edge-list").to_string());
+                i += 1;
+            }
+            "--output" => {
+                output = Some(flag_value(&args, i, "--output").to_string());
+                i += 1;
+            }
+            "--summary-output" => {
+                summary_output = Some(flag_value(&args, i, "--summary-output").to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}' (see the module docs for usage)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Ingest real files up front (shared across seeds); malformed input is
+    // an exit-2 with the offending line number.
+    let mut ingested: Vec<IngestedGraph> = Vec::new();
+    let mut sources: Vec<(String, Source)> = Vec::new();
+    if let Some(path) = &edge_list {
+        let text = read_or_die(path);
+        match ingest::from_edge_list("RealWorld", &text, &EdgeListConfig::default()) {
+            Ok(g) => {
+                sources.push(("RealWorld".to_string(), Source::File(ingested.len())));
+                ingested.push(g);
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(path) = &graphml {
+        let text = read_or_die(path);
+        match ingest::from_graphml("RealWorld", &text, &EdgeListConfig::default()) {
+            Ok(g) => {
+                let label =
+                    if edge_list.is_some() { "RealWorldGraphml" } else { "RealWorld" }.to_string();
+                sources.push((label, Source::File(ingested.len())));
+                ingested.push(g);
+            }
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if sources.is_empty() && models.is_empty() {
+        models = SynthModel::ALL.to_vec();
+    }
+    for m in &models {
+        sources.push((m.label().to_string(), Source::Model(*m)));
+    }
+
+    // --emit-edge-list writes the first source's graph (synthetic: first
+    // seed) so CI can round-trip generator output through the parser.
+    if let Some(path) = &emit {
+        let g = match &sources[0].1 {
+            Source::File(gi) => ingest::to_edge_list(&ingested[*gi]),
+            Source::Model(m) => ingest::to_edge_list(&generate(
+                *m,
+                &SynthConfig { nodes, seed: seeds[0], ..Default::default() },
+            )),
+        };
+        std::fs::write(path, g).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote edge list for {} to {path}", sources[0].0);
+    }
+
+    let engine_cfg = EngineConfig { hierarchy: hier, landmarks };
+    eprintln!(
+        "ingest space: {} topologies ({}) x {} seeds, {} tests each, k={}, \
+         hierarchy depth<={} leaf<={} branching={} landmarks={}",
+        sources.len(),
+        sources.iter().map(|(l, _)| l.as_str()).collect::<Vec<_>>().join(","),
+        seeds.len(),
+        tests,
+        k,
+        hier.max_depth,
+        hier.max_leaf,
+        hier.branching,
+        landmarks,
+    );
+
+    // (source, seed) cells are independent; work-steal them into
+    // pre-assigned slots so output order never depends on worker count.
+    let cells: Vec<(usize, u64)> = sources
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| seeds.iter().map(move |&s| (si, s)))
+        .collect();
+    let slots: Mutex<Vec<Option<CellResult>>> =
+        Mutex::new((0..cells.len()).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(cells.len()) {
+            scope.spawn(|| loop {
+                let ci = next.fetch_add(1, Ordering::Relaxed);
+                if ci >= cells.len() {
+                    break;
+                }
+                let (si, seed) = cells[ci];
+                let (label, source) = &sources[si];
+                // Synthetic graphs are per-seed draws; files are shared.
+                let own;
+                let graph_ref = match source {
+                    Source::File(gi) => &ingested[*gi],
+                    Source::Model(m) => {
+                        own = generate(*m, &SynthConfig { nodes, seed, ..Default::default() });
+                        &own
+                    }
+                };
+                let g = graph_ref.graph();
+                let t0 = Instant::now();
+                let engine = PartitionedPathEngine::build(g, &engine_cfg);
+                let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let n = g.node_count() as u32;
+                let mut ok = 0usize;
+                let mut hops = 0usize;
+                let mut stretch_sum = 0.0f64;
+                let t1 = Instant::now();
+                for _ in 0..tests {
+                    let src = NodeId(rng.gen_range(0..n));
+                    let dst = loop {
+                        let d = NodeId(rng.gen_range(0..n));
+                        if d != src {
+                            break d;
+                        }
+                    };
+                    let paths = engine.paths(src, dst, k);
+                    if let Some(best) = paths.first() {
+                        ok += 1;
+                        hops += best.hop_count();
+                        let flat = shortest_path_tree(g, src, None, None).dist_ms(dst);
+                        stretch_sum += best.delay_ms() / flat;
+                    }
+                }
+                let query_us_mean =
+                    if tests > 0 { t1.elapsed().as_secs_f64() * 1e6 / tests as f64 } else { 0.0 };
+                let (cross, fallback) = {
+                    let (_, c, f) = engine.stats().snapshot();
+                    (c, f)
+                };
+                slots.lock().expect("slots")[ci] = Some(CellResult {
+                    label: label.clone(),
+                    seed,
+                    nodes: g.node_count(),
+                    cables: graph_ref.cable_count(),
+                    tests,
+                    success_rate: if tests > 0 { ok as f64 / tests as f64 } else { 0.0 },
+                    avg_hops: if ok > 0 { hops as f64 / ok as f64 } else { 0.0 },
+                    stretch: if ok > 0 { stretch_sum / ok as f64 } else { 0.0 },
+                    cross_fraction: if tests > 0 { cross as f64 / tests as f64 } else { 0.0 },
+                    fallback_fraction: if tests > 0 { fallback as f64 / tests as f64 } else { 0.0 },
+                    leaves: engine.leaf_ids().len(),
+                    landmarks: engine.landmark_count(),
+                    build_ms,
+                    query_us_mean,
+                });
+            });
+        }
+    });
+    let results: Vec<CellResult> =
+        slots.into_inner().expect("slots").into_iter().flatten().collect();
+
+    // Cross-seed summary in the Snippet-1 line format.
+    let mut summary_lines: Vec<String> = Vec::new();
+    let mut summary_json: Vec<String> = Vec::new();
+    for (label, _) in &sources {
+        let rows: Vec<&CellResult> =
+            results.iter().filter(|r| &r.label == label && r.tests > 0).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let (sr, sr_ci) = mean_and_ci(&rows.iter().map(|r| r.success_rate).collect::<Vec<_>>());
+        let (ah, ah_ci) = mean_and_ci(&rows.iter().map(|r| r.avg_hops).collect::<Vec<_>>());
+        let (st, st_ci) = mean_and_ci(&rows.iter().map(|r| r.stretch).collect::<Vec<_>>());
+        summary_lines.push(format!(
+            "{label}: success_rate={sr:.4} +/- {sr_ci:.4}, avg_hops={ah:.4} +/- {ah_ci:.4}, \
+             stretch={st:.4} +/- {st_ci:.4}"
+        ));
+        summary_json.push(format!(
+            "{{\"label\": {}, \"seeds\": {}, \"tests\": {}, \
+             \"success_rate\": {sr:.6}, \"success_rate_ci\": {sr_ci:.6}, \
+             \"avg_hops\": {ah:.6}, \"avg_hops_ci\": {ah_ci:.6}, \
+             \"stretch\": {st:.6}, \"stretch_ci\": {st_ci:.6}}}",
+            jstr(label),
+            rows.len(),
+            rows[0].tests,
+        ));
+    }
+    for line in &summary_lines {
+        eprintln!("{line}");
+    }
+    if let Some(path) = &summary_output {
+        let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        for line in &summary_lines {
+            writeln!(f, "{line}").expect("write summary");
+        }
+    }
+
+    let result_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"label\": {}, \"seed\": {}, \"nodes\": {}, \"cables\": {}, \
+                 \"tests\": {}, \"success_rate\": {:.6}, \"avg_hops\": {:.6}, \
+                 \"stretch\": {:.6}, \"cross_fraction\": {:.6}, \
+                 \"fallback_fraction\": {:.6}, \"leaves\": {}, \"landmarks\": {}, \
+                 \"build_ms\": {:.3}, \"query_us_mean\": {:.3}}}",
+                jstr(&r.label),
+                r.seed,
+                r.nodes,
+                r.cables,
+                r.tests,
+                r.success_rate,
+                r.avg_hops,
+                r.stretch,
+                r.cross_fraction,
+                r.fallback_fraction,
+                r.leaves,
+                r.landmarks,
+                r.build_ms,
+                r.query_us_mean,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"tests\": {}, \"k\": {}, \"seeds\": [{}], \"nodes\": {}, \
+         \"max_depth\": {}, \"max_leaf\": {}, \"branching\": {}, \"landmarks\": {}}},\n  \
+         \"results\": [\n    {}\n  ],\n  \"summary\": [\n    {}\n  ]\n}}",
+        tests,
+        k,
+        seeds.iter().map(u64::to_string).collect::<Vec<_>>().join(", "),
+        nodes,
+        hier.max_depth,
+        hier.max_leaf,
+        hier.branching,
+        landmarks,
+        result_json.join(",\n    "),
+        summary_json.join(",\n    "),
+    );
+    match &output {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -19,8 +19,22 @@ bench:
 bench-report out="auto":
     cargo bench -p lowlat_bench --bench substrates --bench fig_schemes \
         --bench warmstart --bench timeline --bench failure --bench controller \
+        --bench hierarchy \
         | cargo run --release -p lowlat_bench --bin bench_report -- \
             --baseline auto --out {{out}} --max-regress 0.25 --skip engine/
+
+# Internet-scale ingestion experiment: load an edge list (or generate the
+# four synthetic models when file="") and run the hierarchical engine's
+# seeded KSP batch. JSON lands in sweeps/topo_ingest.json, the per-model
+# summary in sweeps/topo_ingest_summary.txt.
+ingest file="" nodes="10000" tests="200" seeds="42,43":
+    mkdir -p sweeps
+    cargo run --release -p lowlat_sim --bin topo_ingest -- \
+        {{ if file != "" { "--edge-list " + file } else { "" } }} \
+        --nodes {{nodes}} --tests {{tests}} --seeds {{seeds}} \
+        --output sweeps/topo_ingest.json \
+        --summary-output sweeps/topo_ingest_summary.txt
+    @echo "wrote sweeps/topo_ingest.json"
 
 # The §5 deployment cycle across the corpus: any controllers (registry
 # specs, `static:`-prefixed for the placed-once baseline) against bursty
