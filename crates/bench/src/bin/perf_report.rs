@@ -1,0 +1,262 @@
+//! Perf-regression gate over telemetry metrics snapshots: diffs two
+//! `--metrics-out` JSON files (see `lowlat_telemetry::write_metrics`) and
+//! fails when a tracked histogram's p50 regresses past the budget.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p lowlat_bench --bin perf_report -- \
+//!     baseline.json current.json [--max-regress 0.25] [--min-ms 0.05] \
+//!     [--skip PREFIX]
+//! ```
+//!
+//! * Histograms present in both snapshots are gated on their p50 (nearest
+//!   rank): more than `--max-regress` (default +25%) slower fails the run.
+//! * `--min-ms 0.05` ignores sub-threshold baselines — micro-spans jitter
+//!   far beyond 25% on shared runners (the `bench_report --min-us` rule).
+//!   Histograms with fewer than 5 baseline samples are likewise skipped:
+//!   nearest-rank p50 over a handful of observations is noise.
+//! * `--skip PREFIX` exempts histogram families from the gate (repeatable).
+//! * Counters are compared informationally: a large count drift usually
+//!   means the two snapshots came from different workloads, which makes
+//!   the latency comparison meaningless — so it is printed, not gated.
+//!
+//! Exit codes: 0 ok, 1 regression(s), 2 usage/parse error. The scanner is
+//! hand-rolled against the writer's line-oriented layout, matching the
+//! workspace's no-serde idiom (`bench_report`).
+
+use std::collections::BTreeMap;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("perf_report: error: {msg}");
+    std::process::exit(2);
+}
+
+/// One parsed histogram row: (count, sum, p50, p90, p99).
+#[derive(Clone, Copy)]
+struct Hist {
+    count: u64,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+}
+
+/// A parsed metrics snapshot: counters plus histogram summaries.
+struct Snapshot {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Hist>,
+}
+
+/// Pulls the quoted key off a snapshot line (`    "name": rest`) and
+/// returns `(name, rest)`; `None` for structural lines.
+fn split_entry(line: &str) -> Option<(&str, &str)> {
+    let t = line.trim();
+    let t = t.strip_prefix('"')?;
+    let close = t.find('"')?;
+    let (name, rest) = t.split_at(close);
+    let rest = rest.strip_prefix('"')?.trim_start().strip_prefix(':')?;
+    Some((name, rest.trim()))
+}
+
+/// Extracts a numeric field (`"p50": 1.25`) out of a one-line histogram
+/// object.
+fn field(obj: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let at = obj.find(&key)? + key.len();
+    let rest = obj[at..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parses a `write_metrics` JSON snapshot. The writer emits one entry per
+/// line inside each section, which is all the structure the scanner needs.
+fn parse_snapshot(text: &str, path: &str) -> Snapshot {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Counters,
+        Gauges,
+        Histograms,
+    }
+    let mut section = Section::None;
+    let mut snap = Snapshot { counters: BTreeMap::new(), histograms: BTreeMap::new() };
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("\"counters\"") {
+            section = Section::Counters;
+            continue;
+        }
+        if t.starts_with("\"gauges\"") {
+            section = Section::Gauges;
+            continue;
+        }
+        if t.starts_with("\"histograms\"") {
+            section = Section::Histograms;
+            continue;
+        }
+        let Some((name, rest)) = split_entry(line) else { continue };
+        match section {
+            Section::Counters => {
+                let v = rest.trim_end_matches(',').trim();
+                let v = v.parse().unwrap_or_else(|_| {
+                    fail(&format!("{path}: bad counter value for {name}: {v}"))
+                });
+                snap.counters.insert(name.to_string(), v);
+            }
+            Section::Histograms => {
+                let hist = Hist {
+                    count: field(rest, "count")
+                        .unwrap_or_else(|| fail(&format!("{path}: histogram {name} missing count")))
+                        as u64,
+                    p50: field(rest, "p50")
+                        .unwrap_or_else(|| fail(&format!("{path}: histogram {name} missing p50"))),
+                    p90: field(rest, "p90").unwrap_or(0.0),
+                    p99: field(rest, "p99").unwrap_or(0.0),
+                };
+                snap.histograms.insert(name.to_string(), hist);
+            }
+            Section::Gauges | Section::None => {}
+        }
+    }
+    if snap.counters.is_empty() && snap.histograms.is_empty() {
+        fail(&format!("{path}: no counters or histograms found — is this a --metrics-out JSON?"));
+    }
+    snap
+}
+
+fn read_snapshot(path: &str) -> Snapshot {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    parse_snapshot(&text, path)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regress = 0.25f64;
+    let mut min_ms = 0.05f64;
+    let mut skips: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> String {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{} expects a value", args[i])))
+        };
+        match args[i].as_str() {
+            "--max-regress" => {
+                max_regress = value(i).parse().unwrap_or_else(|_| fail("bad --max-regress"));
+                i += 1;
+            }
+            "--min-ms" => {
+                min_ms = value(i).parse().unwrap_or_else(|_| fail("bad --min-ms"));
+                i += 1;
+            }
+            "--skip" => {
+                skips.push(value(i));
+                i += 1;
+            }
+            flag if flag.starts_with("--") => fail(&format!("unknown flag {flag}")),
+            path => paths.push(path.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        fail("expected exactly two snapshot paths: perf_report BASELINE.json CURRENT.json");
+    }
+    let base = read_snapshot(&paths[0]);
+    let cur = read_snapshot(&paths[1]);
+    eprintln!(
+        "perf_report: {} ({} histograms) -> {} ({} histograms), +{:.0}% budget",
+        paths[0],
+        base.histograms.len(),
+        paths[1],
+        cur.histograms.len(),
+        max_regress * 100.0
+    );
+
+    // Latency gate: histogram p50s present in both snapshots.
+    let mut regressions: Vec<String> = Vec::new();
+    for (name, c) in &cur.histograms {
+        let Some(b) = base.histograms.get(name) else {
+            eprintln!("  new      {name}: p50 {:.3}ms (no baseline)", c.p50);
+            continue;
+        };
+        let delta = if b.p50 > 0.0 { c.p50 / b.p50 - 1.0 } else { 0.0 };
+        if skips.iter().any(|s| name.starts_with(s.as_str())) {
+            eprintln!(
+                "  skipped  {name}: p50 {:.3} -> {:.3}ms ({:+.1}%)",
+                b.p50,
+                c.p50,
+                delta * 100.0
+            );
+            continue;
+        }
+        if b.p50 < min_ms {
+            eprintln!(
+                "  tiny     {name}: p50 {:.3} -> {:.3}ms (below {min_ms}ms floor)",
+                b.p50, c.p50
+            );
+            continue;
+        }
+        if b.count < 5 {
+            eprintln!(
+                "  sparse   {name}: only {} baseline sample(s) — nearest-rank p50 too noisy",
+                b.count
+            );
+            continue;
+        }
+        if delta > max_regress {
+            eprintln!(
+                "  REGRESS  {name}: p50 {:.3} -> {:.3}ms ({:+.1}%), p90 {:.3} -> {:.3}, \
+                 p99 {:.3} -> {:.3}",
+                b.p50,
+                c.p50,
+                delta * 100.0,
+                b.p90,
+                c.p90,
+                b.p99,
+                c.p99
+            );
+            regressions.push(format!("{name} ({:+.1}%)", delta * 100.0));
+        } else {
+            eprintln!(
+                "  ok       {name}: p50 {:.3} -> {:.3}ms ({:+.1}%)",
+                b.p50,
+                c.p50,
+                delta * 100.0
+            );
+        }
+    }
+    for name in base.histograms.keys() {
+        if !cur.histograms.contains_key(name) {
+            eprintln!("  dropped  {name}: present in baseline only");
+        }
+    }
+
+    // Workload sanity: counter drift is printed, not gated — it tells the
+    // reader whether the latency comparison above was apples-to-apples.
+    let mut drifted = 0usize;
+    for (name, c) in &cur.counters {
+        let b = base.counters.get(name).copied().unwrap_or(0);
+        if b == *c {
+            continue;
+        }
+        let rel = if b > 0 { *c as f64 / b as f64 - 1.0 } else { f64::INFINITY };
+        if rel.abs() > max_regress {
+            eprintln!("  drift    {name}: {b} -> {c} ({rel:+.1}%)", rel = rel * 100.0);
+            drifted += 1;
+        }
+    }
+    if drifted > 0 {
+        eprintln!(
+            "perf_report: {drifted} counter(s) drifted >{:.0}% — check the workloads match",
+            max_regress * 100.0
+        );
+    }
+
+    if !regressions.is_empty() {
+        eprintln!("perf_report: {} regression(s): {}", regressions.len(), regressions.join(", "));
+        std::process::exit(1);
+    }
+    eprintln!("perf_report: ok");
+}

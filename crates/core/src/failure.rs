@@ -22,6 +22,7 @@
 //!   [`SolveContext`], and report both the repair and the LP telemetry.
 
 use lowlat_netgraph::{all_pairs_delays, FailureMask, Graph, LinkId, NodeId};
+use lowlat_telemetry as telemetry;
 use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::{PopId, Topology};
 use rand::rngs::StdRng;
@@ -455,11 +456,15 @@ pub fn replace_under_failure(
     ctx: &mut SolveContext,
     intact_delays: Option<&[Vec<f64>]>,
 ) -> Result<RecoveryOutcome, SchemeError> {
+    let _span = telemetry::span("failure.replace", "failure");
     let repair = cache.apply_failure(mask);
     let partition = partition_routable(topology.graph(), tm, mask);
     let solves0 = ctx.solves();
     let hits0 = ctx.warm_hits();
-    let placement = scheme.place_with_context(cache, &partition.tm, ctx)?;
+    let placement = {
+        let _replace = telemetry::span("failure.replace.solve", "failure");
+        scheme.place_with_context(cache, &partition.tm, ctx)?
+    };
     let impact = match intact_delays {
         Some(sp) => FailureImpact::evaluate_with_delays(topology, &partition, mask, &placement, sp),
         None => FailureImpact::evaluate(topology, &partition, mask, &placement),

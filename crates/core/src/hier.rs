@@ -32,6 +32,7 @@ use lowlat_netgraph::{
     reverse_shortest_path_tree, shortest_path, Graph, Hierarchy, HierarchyConfig, NodeId, Path,
     ReverseShortestPathTree, ShortestPathTree,
 };
+use lowlat_telemetry as telemetry;
 
 use crate::pathset::PathCache;
 
@@ -53,6 +54,11 @@ impl Default for EngineConfig {
 }
 
 /// Query-mix counters (cumulative, thread-safe).
+///
+/// Every increment is mirrored into the telemetry registry (`hier.intra`,
+/// `hier.cross`, `hier.fallback`) at the same call site, so a metrics
+/// snapshot and this struct's [`QueryStats::snapshot`] report the query mix
+/// from one code path and cannot disagree.
 #[derive(Debug, Default)]
 pub struct QueryStats {
     /// Queries answered by a per-leaf scoped cache.
@@ -252,12 +258,15 @@ impl<'g> PartitionedPathEngine<'g> {
     /// Panics when `src == dst` (mirrors the flat cache/Yen contract).
     pub fn paths(&self, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
         assert!(src != dst, "paths between a node and itself");
-        let mut candidates: Vec<Path> = if self.hierarchy.same_leaf(src, dst) {
+        let cross_leaf = !self.hierarchy.same_leaf(src, dst);
+        let mut candidates: Vec<Path> = if !cross_leaf {
             self.stats.intra.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("hier.intra", 1);
             let leaf = self.hierarchy.leaf_of(src);
             self.caches[self.cache_of_leaf[leaf]].paths(src, dst, k)
         } else {
             self.stats.cross.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("hier.cross", 1);
             Vec::new()
         };
         for l in &self.landmarks {
@@ -290,6 +299,7 @@ impl<'g> PartitionedPathEngine<'g> {
             // identical to the flat engine even when every landmark sits on
             // the wrong side of a cut.
             self.stats.fallback.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter_add("hier.fallback", 1);
             if let Some(p) = shortest_path(self.graph, src, dst, None, None) {
                 candidates.push(p);
             }
@@ -305,6 +315,18 @@ impl<'g> PartitionedPathEngine<'g> {
         });
         candidates.dedup_by(|a, b| a.links() == b.links());
         candidates.truncate(k);
+        // Bound tightness: how close the best stitched delay comes to the
+        // landmark upper bound (1.0 = on the bound, lower = de-looping or a
+        // better candidate beat it). Cross-leaf only — intra answers are
+        // exact Yen and say nothing about stitching quality.
+        if cross_leaf && telemetry::enabled() {
+            if let Some(best) = candidates.first() {
+                let bound = self.landmark_bound_ms(src, dst);
+                if bound.is_finite() && bound > 0.0 {
+                    telemetry::observe("hier.bound_tightness", best.delay_ms() / bound);
+                }
+            }
+        }
         candidates
     }
 
@@ -394,6 +416,31 @@ mod tests {
         assert_eq!(eng.cached_pairs(), 0, "cross queries must not touch leaf caches");
         let (_, cross, _) = eng.stats().snapshot();
         assert_eq!(cross, 64);
+    }
+
+    #[test]
+    fn query_mix_counters_mirror_into_the_registry() {
+        // The registry's hier.* counters are incremented at the same call
+        // sites as the QueryStats atomics — the metrics snapshot and the
+        // engine's own stats cannot disagree. Registry counters are
+        // process-global (other tests may add concurrently while enabled),
+        // so the deltas are asserted as lower bounds.
+        let g = two_rings();
+        let eng = small_engine(&g);
+        let before = telemetry::snapshot();
+        telemetry::set_enabled(true);
+        let _ = eng.paths(NodeId(1), NodeId(3), 2); // intra-leaf
+        let _ = eng.paths(NodeId(3), NodeId(12), 2); // cross-leaf
+        telemetry::set_enabled(false);
+        let after = telemetry::snapshot();
+        let (intra, cross, _) = eng.stats().snapshot();
+        assert_eq!((intra, cross), (1, 1));
+        assert!(after.counter("hier.intra") - before.counter("hier.intra") >= 1);
+        assert!(after.counter("hier.cross") - before.counter("hier.cross") >= 1);
+        // The cross query also grades stitching against the landmark bound.
+        let tightness = after.histograms.get("hier.bound_tightness").expect("tightness recorded");
+        assert!(tightness.count >= 1);
+        assert!(tightness.max <= 1.0 + 1e-9, "best delay never exceeds the bound");
     }
 
     #[test]

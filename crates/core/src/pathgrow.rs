@@ -48,6 +48,7 @@ use std::collections::HashMap;
 
 use lowlat_linprog::{Basis, LpError, Problem, Relation, Solution};
 use lowlat_netgraph::{Graph, LinkId, Path};
+use lowlat_telemetry as telemetry;
 use lowlat_tmgen::TrafficMatrix;
 
 use crate::pathset::PathCache;
@@ -417,6 +418,14 @@ fn solve_lp(
     if sol.warm_started() {
         ctx.warm_hits += 1;
     }
+    if telemetry::enabled() {
+        telemetry::counter_add("pathgrow.lp_solves", 1);
+        telemetry::counter_add(
+            if sol.warm_started() { "pathgrow.lp_warm_hits" } else { "pathgrow.lp_cold" },
+            1,
+        );
+        telemetry::observe("pathgrow.lp_pivots", sol.iterations() as f64);
+    }
     static LP_DEBUG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     if *LP_DEBUG.get_or_init(|| std::env::var_os("LOWLAT_LP_DEBUG").is_some()) {
         eprintln!(
@@ -563,6 +572,7 @@ fn grow_crossing(
         target_mask[l.idx()] = true;
     }
     let mut grew = false;
+    let mut columns_grown = 0usize;
     for (a, agg) in tm.aggregates().iter().enumerate() {
         let crosses = path_sets[a].iter().enumerate().any(|(pi, p)| {
             fractions[a].get(pi).copied().unwrap_or(0.0) > 1e-9
@@ -572,10 +582,14 @@ fn grow_crossing(
             let want = path_sets[a].len() + step;
             let got = cache.paths(agg.src, agg.dst, want);
             if got.len() > path_sets[a].len() {
+                columns_grown += got.len() - path_sets[a].len();
                 path_sets[a] = got;
                 grew = true;
             }
         }
+    }
+    if columns_grown > 0 {
+        telemetry::counter_add("pathgrow.columns_grown", columns_grown as u64);
     }
     grew
 }
@@ -718,6 +732,7 @@ pub fn solve_latency_optimal_weighted_ctx(
     let mut rounds = 0usize;
     let mut omax;
     // Phase 1: drive overload to zero, growing across overloaded links.
+    let phase1 = telemetry::span("pathgrow.phase1", "pathgrow");
     loop {
         rounds += 1;
         let out = solve_lp(
@@ -747,13 +762,16 @@ pub fn solve_latency_optimal_weighted_ctx(
             break; // all alternatives exhausted: congestion unavoidable
         }
     }
+    drop(phase1);
 
     // Phase 2: minimize delay subject to the achieved overload level (with
     // slack covering LP tolerance so phase 1's solution stays feasible).
+    let phase2 = telemetry::span("pathgrow.phase2", "pathgrow");
     let mode = LpMode::MinLatency { omax_cap: omax * (1.0 + 1e-6) + 1e-7, util_cap: f64::INFINITY };
     let mut out =
         solve_lp(graph, &aggs, &path_sets, volumes, &caps, cap_scale, config.m1, &mode, ctx)?;
     pivots += out.pivots;
+    drop(phase2);
 
     // Refinement: give the delay objective alternatives across *saturated*
     // links (Figure-6 rebalancing), as long as it keeps helping. Saturation
@@ -761,6 +779,7 @@ pub fn solve_latency_optimal_weighted_ctx(
     // degraded limit is a growth target even when its raw-capacity slack
     // looks comfortable.
     for _ in 0..config.refine_rounds {
+        let _refine = telemetry::span("pathgrow.refine_round", "pathgrow");
         let loads = loads_of(graph, &path_sets, &out.fractions, volumes);
         let saturated: Vec<LinkId> = graph
             .link_ids()
@@ -835,6 +854,7 @@ pub fn solve_minmax_ctx(
     // Stage 1: minimize U; for pure MinMax, grow across the links pinning
     // U until U stops improving.
     let mut best_u = f64::INFINITY;
+    let stage1 = telemetry::span("pathgrow.minmax_stage1", "pathgrow");
     loop {
         rounds += 1;
         let out = solve_lp(
@@ -866,10 +886,12 @@ pub fn solve_minmax_ctx(
             break;
         }
     }
+    drop(stage1);
 
     // Stage 2: minimize delay subject to utilization <= U*. When the
     // traffic genuinely exceeds capacity (U* > 1) the overload variables
     // must be allowed to absorb the excess.
+    let _stage2 = telemetry::span("pathgrow.minmax_stage2", "pathgrow");
     let mode = LpMode::MinLatency {
         omax_cap: (best_u - 1.0).max(0.0) * (1.0 + 1e-6) + 1e-7,
         util_cap: best_u * (1.0 + 1e-5) + 1e-7,

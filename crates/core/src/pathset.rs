@@ -31,6 +31,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use lowlat_netgraph::{BitSet, FailureMask, Graph, KspGenerator, NodeId, Path};
+use lowlat_telemetry as telemetry;
 
 /// Number of independent lock shards. A power of two well above the worker
 /// counts we run with; per-shard memory is one empty `HashMap`, so
@@ -69,6 +70,19 @@ impl RepairStats {
     /// Total cached pairs examined.
     pub fn pairs(&self) -> usize {
         self.kept_pairs + self.repaired_pairs
+    }
+
+    /// Mirrors the stats into the telemetry registry (`cache.repair.*`) —
+    /// the single code path both the failure sweep's TSV and a metrics
+    /// snapshot report repair work from.
+    pub fn record(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        telemetry::counter_add("cache.repair.kept_pairs", self.kept_pairs as u64);
+        telemetry::counter_add("cache.repair.repaired_pairs", self.repaired_pairs as u64);
+        telemetry::counter_add("cache.repair.paths_regrown", self.paths_regrown as u64);
+        telemetry::counter_add("cache.repair.paths_lost", self.paths_lost as u64);
     }
 }
 
@@ -210,7 +224,22 @@ impl<'g> PathCache<'g> {
     /// worker-count-independent output rests on this.
     pub fn paths(&self, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
         let mask = self.mask.read().clone();
-        let mut map = self.shard(src, dst).lock();
+        let shard = self.shard(src, dst);
+        // With telemetry on, probe the shard lock first so contended
+        // acquisitions are visible (`cache.shard_contention`); otherwise take
+        // the lock directly — the uncontended fast path is unchanged.
+        let mut map = if telemetry::enabled() {
+            telemetry::counter_add("cache.lookups", 1);
+            match shard.try_lock() {
+                Some(guard) => guard,
+                None => {
+                    telemetry::counter_add("cache.shard_contention", 1);
+                    shard.lock()
+                }
+            }
+        } else {
+            shard.lock()
+        };
         let entry =
             map.entry((src, dst)).or_insert_with(|| self.make_gen(src, dst, mask.as_deref()));
         // A pure (unmasked) generator that survived `apply_failure` holds a
@@ -224,7 +253,12 @@ impl<'g> PathCache<'g> {
         {
             *entry = self.make_gen(src, dst, mask.as_deref());
         }
+        let before = entry.gen.produced().len();
         let produced = entry.gen.take_up_to(k);
+        let expanded = produced.len().saturating_sub(before);
+        if expanded > 0 {
+            telemetry::counter_add("cache.yen_expansions", expanded as u64);
+        }
         produced[..produced.len().min(k)].to_vec()
     }
 
@@ -243,6 +277,7 @@ impl<'g> PathCache<'g> {
     /// quiescent while the mask changes — the experiment drivers apply
     /// failures between placement phases, never during one.
     pub fn apply_failure(&self, mask: &FailureMask) -> RepairStats {
+        let _span = telemetry::span("cache.repair", "cache");
         let active: Option<Arc<FailureMask>> = (!mask.is_empty()).then(|| Arc::new(mask.clone()));
         *self.mask.write() = active.clone();
         let mut stats = RepairStats::default();
@@ -266,6 +301,7 @@ impl<'g> PathCache<'g> {
                 stats.paths_lost += want - got;
             }
         }
+        stats.record();
         stats
     }
 
@@ -415,6 +451,32 @@ mod tests {
         let got = cache.paths(NodeId(0), NodeId(2), 2);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].delay_ms(), 3.0);
+    }
+
+    #[test]
+    fn repair_stats_mirror_into_the_registry() {
+        // RepairStats::record runs inside apply_failure: the registry's
+        // cache.repair.* counters and the returned stats come from one code
+        // path. Counters are process-global and other tests may add to them
+        // concurrently while telemetry is enabled — never subtract — so the
+        // deltas are asserted as lower bounds.
+        let g = square();
+        let cache = PathCache::new(&g);
+        cache.paths(NodeId(0), NodeId(2), 2);
+        cache.paths(NodeId(3), NodeId(2), 1);
+        let before = telemetry::snapshot();
+        telemetry::set_enabled(true);
+        let stats = cache.apply_failure(&mask_01(&g));
+        telemetry::set_enabled(false);
+        let after = telemetry::snapshot();
+        let delta = |name: &str| after.counter(name) - before.counter(name);
+        assert_eq!(stats.kept_pairs, 1);
+        assert_eq!(stats.repaired_pairs, 1);
+        assert!(delta("cache.repair.kept_pairs") >= stats.kept_pairs as u64);
+        assert!(delta("cache.repair.repaired_pairs") >= stats.repaired_pairs as u64);
+        assert!(delta("cache.repair.paths_regrown") >= stats.paths_regrown as u64);
+        assert!(delta("cache.repair.paths_lost") >= stats.paths_lost as u64);
+        cache.clear_failure();
     }
 
     #[test]

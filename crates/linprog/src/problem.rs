@@ -115,6 +115,7 @@ impl Problem {
 
     /// Solves with explicit options.
     pub fn solve_with(&self, opts: &SolverOptions) -> Result<Solution, LpError> {
+        let _span = lowlat_telemetry::span("lp.solve", "lp");
         let sf = self.to_standard_form();
         solve_standard_form(&sf, opts)
     }
@@ -140,6 +141,7 @@ impl Problem {
         opts: &SolverOptions,
         basis: &mut Basis,
     ) -> Result<Solution, LpError> {
+        let _span = lowlat_telemetry::span("lp.solve", "lp");
         let sf = self.to_standard_form();
         solve_standard_form_warm(&sf, opts, basis)
     }

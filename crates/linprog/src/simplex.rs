@@ -15,6 +15,8 @@
 //! redistribution LP, where every aggregate has a cap but only the per-node
 //! marginals are genuine rows.
 
+use lowlat_telemetry as telemetry;
+
 /// Equality standard form `min c·x  s.t.  A x = b (b >= 0), 0 <= x <= u`
 /// with sparse columns. Produced by [`crate::Problem::to_standard_form`].
 pub(crate) struct StandardForm {
@@ -568,6 +570,7 @@ impl<'a> Engine<'a> {
     /// Rebuilds `binv` from scratch by Gauss-Jordan elimination of the basis
     /// matrix, then recomputes `xb = B^-1 (b - N x_N)`. Guards drift.
     fn refactorize(&mut self) -> Result<(), LpError> {
+        telemetry::counter_add("lp.refactorizations", 1);
         let m = self.m;
         let mut bmat = vec![0.0; m * m];
         for (k, &j) in self.basis.iter().enumerate() {
@@ -935,7 +938,8 @@ pub(crate) fn solve_standard_form_warm(
     opts: &SolverOptions,
     basis: &mut Basis,
 ) -> Result<Solution, LpError> {
-    if basis.is_warm() {
+    let attempted_warm = basis.is_warm();
+    if attempted_warm {
         if let Some(mut eng) = Engine::with_basis(sf, opts.clone(), basis) {
             let m = sf.b.len();
             let n = sf.cols.len();
@@ -953,6 +957,11 @@ pub(crate) fn solve_standard_form_warm(
                         eng.export_basis(basis);
                         let mut sol = eng.extract();
                         sol.warm_started = true;
+                        if telemetry::enabled() {
+                            telemetry::counter_add("lp.solves", 1);
+                            telemetry::counter_add("lp.warm_hits", 1);
+                            telemetry::observe("lp.pivots", sol.iterations() as f64);
+                        }
                         return Ok(sol);
                     }
                     Err(LpError::Unbounded) => {
@@ -968,6 +977,11 @@ pub(crate) fn solve_standard_form_warm(
             }
         }
     }
+    // A stored basis that did not carry the solve to optimality costs a
+    // cold restart — the "degrade" the telemetry layer makes visible.
+    if attempted_warm {
+        telemetry::counter_add("lp.degrade_to_cold", 1);
+    }
     solve_standard_form_cold(sf, opts, Some(basis))
 }
 
@@ -977,6 +991,10 @@ fn solve_standard_form_cold(
     opts: &SolverOptions,
     export: Option<&mut Basis>,
 ) -> Result<Solution, LpError> {
+    if telemetry::enabled() {
+        telemetry::counter_add("lp.solves", 1);
+        telemetry::counter_add("lp.cold_solves", 1);
+    }
     let m = sf.b.len();
     let n = sf.cols.len();
 
@@ -1031,7 +1049,9 @@ fn solve_standard_form_cold(
     if let Some(basis) = export {
         eng.export_basis(basis);
     }
-    Ok(eng.extract())
+    let sol = eng.extract();
+    telemetry::observe("lp.pivots", sol.iterations() as f64);
+    Ok(sol)
 }
 
 #[cfg(test)]

@@ -14,7 +14,8 @@
 //! `cargo run --release --bin failure_sweep -- [--quick|--std|--full]
 //!     [--scenarios single,node,srlg,geo,random,brownout] [--k 2]
 //!     [--count 5] [--seed 7] [--loads 0.5,0.7] [--degrade 0.5]
-//!     [--corridor-km 100] [--schemes LDR,LatOpt,SP] [--frontier]`
+//!     [--corridor-km 100] [--schemes LDR,LatOpt,SP] [--frontier]
+//!     [--metrics-out FILE] [--trace-out FILE]`
 //!
 //! Scenario axes: `single` (exhaustive single-cable), `node` (each PoP
 //! down), `srlg` (per-PoP conduit groups), `geo` (great-circle corridor
@@ -28,16 +29,21 @@
 //! scheme, load) cell, nearest-rank quantiles across the scenario set of
 //! unroutable fraction, worst path stretch and worst overload — the CDF
 //! rows Figure-style availability curves are plotted from.
+//!
+//! `--metrics-out` / `--trace-out` enable the telemetry layer and write a
+//! metrics snapshot and a chrome-trace when the sweep finishes; the
+//! `repair_ms` column and the trace's per-scenario span read the same
+//! measurement.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 use lowlat_core::failure::{self, replace_under_failure, FailureScenario};
 use lowlat_core::pathset::PathCache;
 use lowlat_core::scale::ScaleToLoad;
 use lowlat_core::schemes::{registry, SolveContext};
-use lowlat_sim::runner::{flag_value, parse_flag, Scale};
+use lowlat_sim::runner::{flag_value, parse_flag, write_telemetry_sinks, Scale};
 use lowlat_sim::stats::Cdf;
+use lowlat_telemetry as telemetry;
 use lowlat_tmgen::{GravityTmGen, TmGenConfig};
 use lowlat_topology::zoo::named;
 use lowlat_topology::Topology;
@@ -124,6 +130,8 @@ fn main() {
     let mut corridor_km = 100.0f64;
     let mut frontier = false;
     let mut specs = vec!["LDR".to_string(), "LatOpt".to_string(), "SP".to_string()];
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -181,6 +189,14 @@ fn main() {
                     .collect();
                 i += 1;
             }
+            "--metrics-out" => {
+                metrics_out = Some(flag_value(&args, i, "--metrics-out").to_string());
+                i += 1;
+            }
+            "--trace-out" => {
+                trace_out = Some(flag_value(&args, i, "--trace-out").to_string());
+                i += 1;
+            }
             _ => {} // --quick/--std/--full (or junk) handled by Scale::parse
         }
         i += 1;
@@ -200,12 +216,17 @@ fn main() {
             "--degrade",
             "--corridor-km",
             "--schemes",
+            "--metrics-out",
+            "--trace-out",
         ],
     )
     .unwrap_or_else(|message| {
         eprintln!("error: {message}");
         std::process::exit(2);
     });
+    if metrics_out.is_some() || trace_out.is_some() {
+        telemetry::set_enabled(true);
+    }
     let schemes: Vec<_> = specs
         .iter()
         .map(|s| {
@@ -284,7 +305,7 @@ fn main() {
                     // monotonically growing pair set). Timed separately —
                     // repair_ms covers the failure reaction itself.
                     cache.clear_failure();
-                    let t0 = Instant::now();
+                    let scenario_span = telemetry::timed_span("failure_sweep.scenario", "failure");
                     let out = replace_under_failure(
                         scheme.as_ref(),
                         net,
@@ -297,6 +318,9 @@ fn main() {
                     .unwrap_or_else(|e| {
                         panic!("{} under {} on {}: {e}", scheme.name(), scenario.name, net.name())
                     });
+                    // One measurement feeds both the repair_ms column and
+                    // the trace's per-scenario span.
+                    let repair_ms = scenario_span.finish_ms();
                     rows.push(Row {
                         network: net.name().to_string(),
                         pops: net.pop_count(),
@@ -313,7 +337,7 @@ fn main() {
                         max_overload: out.impact.max_overload,
                         lp_solves: out.lp_solves,
                         lp_warm_hits: out.lp_warm_hits,
-                        repair_ms: t0.elapsed().as_secs_f64() * 1e3,
+                        repair_ms,
                         load: loads[li],
                     });
                 }
@@ -353,6 +377,7 @@ fn main() {
                 );
             }
         }
+        write_telemetry_sinks(metrics_out.as_deref(), trace_out.as_deref());
         return;
     }
     println!(
@@ -384,4 +409,5 @@ fn main() {
             );
         }
     }
+    write_telemetry_sinks(metrics_out.as_deref(), trace_out.as_deref());
 }

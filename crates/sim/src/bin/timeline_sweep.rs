@@ -12,7 +12,8 @@
 //! `cargo run --release --bin timeline_sweep -- [--quick|--std|--full]
 //!     [--minutes N] [--warmup N] [--cv 0.3] [--seed 99]
 //!     [--diurnal 0.0] [--period 1440] [--networks Abilene,...]
-//!     [--schemes LDR,SP,static:SP]`
+//!     [--schemes LDR,SP,static:SP]
+//!     [--metrics-out FILE] [--trace-out FILE]`
 //!
 //! Controllers are registry specs, `static:`-prefixed for the placed-once
 //! baseline or `bounded:`-prefixed for the churn-bounded variant.
@@ -22,12 +23,18 @@
 //! synthetic zoo). One TSV row per (network, controller). New columns are
 //! appended after the original twelve so existing column indices stay
 //! valid.
+//!
+//! `--metrics-out` / `--trace-out` enable the telemetry layer and write a
+//! metrics snapshot (JSON, or TSV with a `.tsv` path) and a chrome-trace
+//! (load in Perfetto / `chrome://tracing`) when the sweep finishes. The
+//! TSV columns are unchanged either way.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use lowlat_core::scale::ScaleToLoad;
-use lowlat_sim::runner::{flag_value, parse_flag, Scale};
+use lowlat_sim::runner::{flag_value, parse_flag, write_telemetry_sinks, Scale};
 use lowlat_sim::timeline::{self, simulate, Controller, TimelineConfig};
+use lowlat_telemetry as telemetry;
 use lowlat_tmgen::{GravityTmGen, TmGenConfig};
 use lowlat_topology::zoo::{self, named};
 use lowlat_topology::Topology;
@@ -74,6 +81,8 @@ fn main() {
     let mut period = 1440usize;
     let mut networks: Option<String> = None;
     let mut specs = vec!["LDR".to_string(), "SP".to_string(), "static:SP".to_string()];
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -113,6 +122,14 @@ fn main() {
                     .collect();
                 i += 1;
             }
+            "--metrics-out" => {
+                metrics_out = Some(flag_value(&args, i, "--metrics-out").to_string());
+                i += 1;
+            }
+            "--trace-out" => {
+                trace_out = Some(flag_value(&args, i, "--trace-out").to_string());
+                i += 1;
+            }
             _ => {} // --quick/--std/--full (or junk) handled by Scale::parse
         }
         i += 1;
@@ -126,7 +143,12 @@ fn main() {
         "--period",
         "--networks",
         "--schemes",
+        "--metrics-out",
+        "--trace-out",
     ]);
+    if metrics_out.is_some() || trace_out.is_some() {
+        telemetry::set_enabled(true);
+    }
     let controllers: Vec<Controller> = specs
         .iter()
         .map(|s| {
@@ -248,4 +270,5 @@ fn main() {
             row.moved_volume_frac,
         );
     }
+    write_telemetry_sinks(metrics_out.as_deref(), trace_out.as_deref());
 }

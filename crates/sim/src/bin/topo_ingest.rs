@@ -10,7 +10,8 @@
 //!     [--edge-list FILE | --graphml FILE] [--synthetic ba,ws,grid,random]
 //!     [--nodes 1000] [--tests 100] [--seeds 42,43] [--k 3]
 //!     [--depth 3] [--leaf 128] [--branching 8] [--landmarks 32]
-//!     [--emit-edge-list FILE] [--output FILE] [--summary-output FILE]`
+//!     [--emit-edge-list FILE] [--output FILE] [--summary-output FILE]
+//!     [--metrics-out FILE] [--trace-out FILE]`
 //!
 //! With no source flags all four synthetic models run. A real file is
 //! labeled `RealWorld`; synthetic graphs are regenerated **per seed** (the
@@ -23,16 +24,20 @@
 //! `stretch` = mean (best returned delay / true shortest delay). The JSON
 //! also carries the query mix (cross-leaf and exact-fallback fractions),
 //! hierarchy depth metrics, and build/query wall times.
+//!
+//! `--metrics-out` / `--trace-out` enable the telemetry layer: the engines'
+//! query-mix counters land in the registry (`hier.*`), build/query wall
+//! times become trace spans, and the sinks are written at exit.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use lowlat_core::hier::{EngineConfig, PartitionedPathEngine};
 use lowlat_netgraph::hierarchy::HierarchyConfig;
 use lowlat_netgraph::{shortest_path_tree, NodeId};
-use lowlat_sim::runner::{flag_value, parse_flag};
+use lowlat_sim::runner::{flag_value, parse_flag, write_telemetry_sinks};
+use lowlat_telemetry as telemetry;
 use lowlat_topology::ingest::{self, EdgeListConfig, IngestedGraph};
 use lowlat_topology::synth::{generate, SynthConfig, SynthModel};
 use rand::rngs::StdRng;
@@ -112,6 +117,8 @@ fn main() {
     let mut emit: Option<String> = None;
     let mut output: Option<String> = None;
     let mut summary_output: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -194,12 +201,23 @@ fn main() {
                 summary_output = Some(flag_value(&args, i, "--summary-output").to_string());
                 i += 1;
             }
+            "--metrics-out" => {
+                metrics_out = Some(flag_value(&args, i, "--metrics-out").to_string());
+                i += 1;
+            }
+            "--trace-out" => {
+                trace_out = Some(flag_value(&args, i, "--trace-out").to_string());
+                i += 1;
+            }
             other => {
                 eprintln!("error: unknown flag '{other}' (see the module docs for usage)");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+    if metrics_out.is_some() || trace_out.is_some() {
+        telemetry::set_enabled(true);
     }
 
     // Ingest real files up front (shared across seeds); malformed input is
@@ -303,16 +321,16 @@ fn main() {
                     }
                 };
                 let g = graph_ref.graph();
-                let t0 = Instant::now();
+                let build_span = telemetry::timed_span("ingest.build_engine", "ingest");
                 let engine = PartitionedPathEngine::build(g, &engine_cfg);
-                let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let build_ms = build_span.finish_ms();
 
                 let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
                 let n = g.node_count() as u32;
                 let mut ok = 0usize;
                 let mut hops = 0usize;
                 let mut stretch_sum = 0.0f64;
-                let t1 = Instant::now();
+                let batch_span = telemetry::timed_span("ingest.query_batch", "ingest");
                 for _ in 0..tests {
                     let src = NodeId(rng.gen_range(0..n));
                     let dst = loop {
@@ -329,8 +347,8 @@ fn main() {
                         stretch_sum += best.delay_ms() / flat;
                     }
                 }
-                let query_us_mean =
-                    if tests > 0 { t1.elapsed().as_secs_f64() * 1e6 / tests as f64 } else { 0.0 };
+                let batch_ms = batch_span.finish_ms();
+                let query_us_mean = if tests > 0 { batch_ms * 1e3 / tests as f64 } else { 0.0 };
                 let (cross, fallback) = {
                     let (_, c, f) = engine.stats().snapshot();
                     (c, f)
@@ -447,4 +465,5 @@ fn main() {
         }
         None => println!("{json}"),
     }
+    write_telemetry_sinks(metrics_out.as_deref(), trace_out.as_deref());
 }

@@ -133,6 +133,27 @@ pub fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> T {
     })
 }
 
+/// Writes the telemetry sinks a sweep binary's `--metrics-out` /
+/// `--trace-out` flags asked for (or exit 2 on an unwritable path). No-op
+/// when neither flag was given — the sweep's own output is unchanged either
+/// way. Shared by the sweep binaries so every sink is written the same way.
+pub fn write_telemetry_sinks(metrics_out: Option<&str>, trace_out: Option<&str>) {
+    if let Some(path) = metrics_out {
+        lowlat_telemetry::write_metrics(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote metrics to {path}");
+    }
+    if let Some(path) = trace_out {
+        lowlat_telemetry::write_trace(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote chrome-trace to {path}");
+    }
+}
+
 /// Grid parameters shared by most figures. Schemes are trait objects built
 /// directly or requested by name through the registry
 /// ([`RunGrid::with_schemes`]).

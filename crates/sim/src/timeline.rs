@@ -76,7 +76,6 @@
 //! and decision latency are reported in every [`MinuteReport`].
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use lowlat_core::eval::PlacementEval;
 use lowlat_core::failure::{partition_routable, RoutablePartition};
@@ -86,6 +85,7 @@ use lowlat_core::schemes::registry::{self, UnknownScheme};
 use lowlat_core::schemes::{predict_volumes, RoutingScheme, SolveContext};
 use lowlat_core::Placement;
 use lowlat_netgraph::{FailureMask, Graph, LinkId, Path};
+use lowlat_telemetry as telemetry;
 use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::Topology;
 use lowlat_traffic::{spread_seed, synthesize, AggregateTrace, TraceGenConfig};
@@ -608,7 +608,13 @@ fn run_timeline(
     let mut minutes = Vec::with_capacity(config.minutes);
     for t in config.warmup_minutes..total_minutes {
         let rel_t = t - config.warmup_minutes;
-        let decide_start = Instant::now();
+        // Per-minute root span; everything below nests under it. The
+        // decision window keeps its own always-on timer because its
+        // duration *is* the `decision_ms` column — one measurement feeds
+        // both the TSV and the trace.
+        let _minute = telemetry::span("timeline.minute", "timeline");
+        let decision = telemetry::timed_span("timeline.decision", "timeline");
+        let measure = telemetry::span("timeline.measure", "timeline");
         // Topology events due this decision minute fire first.
         for i in 0..queue.len() {
             if queue[i].at_minute() != rel_t {
@@ -651,6 +657,7 @@ fn run_timeline(
                 _ => 0.0,
             };
         }
+        drop(measure);
 
         // The demand the controller can see/route this minute, and the
         // original-matrix index of each of its aggregates.
@@ -663,6 +670,7 @@ fn run_timeline(
         let mut overlap: Vec<(usize, AggregatePlacement)> = Vec::new();
 
         // Decide on history [0, t).
+        let decide = telemetry::span("timeline.decide", "timeline");
         let placement = match &static_placement {
             Some(p) => Some(p.clone()),
             None if minute_tm.is_empty() => None,
@@ -696,10 +704,12 @@ fn run_timeline(
                 }
             }
         };
+        drop(decide);
 
         // Churn: what this minute's decision pushed to switches, measured
         // against the installed state. The initial install (minute 0) is
         // the cost of turning the network on, not churn — skipped.
+        let install = telemetry::span("timeline.install", "timeline");
         let mut churn = PlacementDelta::default();
         if controller.adaptive {
             if let Some(pl) = &placement {
@@ -723,7 +733,8 @@ fn run_timeline(
                 }
             }
         }
-        let decision_ms = decide_start.elapsed().as_secs_f64() * 1e3;
+        drop(install);
+        let decision_ms = decision.finish_ms();
 
         // Replay minute t's actual samples over the placement. A static
         // placement aligns with the *full* matrix (its traffic into failed
@@ -734,6 +745,7 @@ fn run_timeline(
         } else {
             partition.as_ref().map_or(0.0, |p| p.unroutable_fraction)
         };
+        let _replay = telemetry::span("timeline.replay", "timeline");
         let bins = traces[0].bins_per_minute();
         let mut per_link_load = vec![vec![0.0f64; bins]; graph.link_count()];
         // Make-before-break drain: for aggregates in transition, bin b
@@ -1087,6 +1099,44 @@ mod tests {
         // No events: nothing repaired, nothing lost.
         assert_eq!(out.repair_events, 0);
         assert_eq!(out.max_unroutable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_controller_outcome() {
+        // The observability layer is a write-only side channel: every
+        // deterministic MinuteReport field must be identical with telemetry
+        // off and on. Only decision_ms (wall-clock) may differ.
+        let (topo, tm) = setup();
+        let cfg = TimelineConfig {
+            minutes: 3,
+            warmup_minutes: 2,
+            cv: 0.2,
+            seed: 5,
+            ..Default::default()
+        };
+        let off = simulate(&topo, &tm, &Controller::ldr(), &cfg);
+        telemetry::set_enabled(true);
+        let on = simulate(&topo, &tm, &Controller::ldr(), &cfg);
+        telemetry::set_enabled(false);
+        let snap = telemetry::snapshot();
+        assert_eq!(off.minutes.len(), on.minutes.len());
+        for (a, b) in off.minutes.iter().zip(&on.minutes) {
+            assert_eq!(a.worst_queue_ms, b.worst_queue_ms);
+            assert_eq!(a.overloaded_links, b.overloaded_links);
+            assert_eq!(a.latency_stretch, b.latency_stretch);
+            assert_eq!(a.unroutable_fraction, b.unroutable_fraction);
+            assert_eq!(a.paths_changed, b.paths_changed);
+            assert_eq!(a.moved_volume_fraction, b.moved_volume_fraction);
+            assert!(a.decision_ms >= 0.0 && b.decision_ms >= 0.0);
+        }
+        assert_eq!((off.lp_solves, off.lp_warm_hits), (on.lp_solves, on.lp_warm_hits));
+        assert_eq!(
+            (off.repair_events, off.repaired_pairs, off.kept_pairs),
+            (on.repair_events, on.repaired_pairs, on.kept_pairs)
+        );
+        // The instrumented run actually recorded something.
+        assert!(snap.counter("telemetry.spans") > 0, "spans recorded while enabled");
+        assert!(snap.counter("lp.solves") > 0, "LP counters recorded while enabled");
     }
 
     #[test]

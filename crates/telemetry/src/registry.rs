@@ -1,0 +1,402 @@
+//! Lock-striped metrics registry: counters, gauges, log-scale histograms.
+//!
+//! The registry is a fixed array of shards, each a `Mutex<HashMap>`; a
+//! metric's shard is chosen by a Fibonacci-mixed FNV-1a hash of its name,
+//! so two workers updating *different* metrics almost never contend, while
+//! updates to the *same* metric serialize on one short critical section —
+//! the same striping recipe as `PathCache`'s shard map.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Mutex, OnceLock};
+
+const SHARD_COUNT: usize = 16;
+
+/// Histogram bucket resolution: 8 buckets per power of two keeps the
+/// worst-case quantile error under `2^(1/8) - 1` ≈ 9%.
+const BUCKETS_PER_OCTAVE: i64 = 8;
+/// Smallest resolvable value is `2^MIN_EXP`; anything at or below lands in
+/// the underflow bucket.
+const MIN_EXP: i64 = -16;
+/// Largest resolvable value is `2^MAX_EXP`; anything above lands in the
+/// overflow bucket, whose representative is `2^MAX_EXP` itself.
+const MAX_EXP: i64 = 32;
+const INTERIOR_BUCKETS: usize = ((MAX_EXP - MIN_EXP) * BUCKETS_PER_OCTAVE) as usize;
+
+/// Fixed-bucket log-scale histogram with exact count/sum/min/max.
+struct Histogram {
+    /// `[underflow, interior..., overflow]`.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; INTERIOR_BUCKETS + 2],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index of `value`: 0 is underflow, `1..=INTERIOR_BUCKETS` are
+    /// the log-scale interior, the last slot is overflow.
+    fn bucket_of(value: f64) -> usize {
+        if value.is_nan() || value <= 0.0 {
+            return 0;
+        }
+        let sub = ((value.log2() - MIN_EXP as f64) * BUCKETS_PER_OCTAVE as f64).floor() as i64;
+        if sub < 0 {
+            0
+        } else if sub >= INTERIOR_BUCKETS as i64 {
+            INTERIOR_BUCKETS + 1
+        } else {
+            1 + sub as usize
+        }
+    }
+
+    /// Lower bound of the bucket — the value quantiles report. Powers of
+    /// two are bucket boundaries, so they round-trip exactly.
+    fn representative(bucket: usize) -> f64 {
+        if bucket == 0 {
+            0.0
+        } else if bucket > INTERIOR_BUCKETS {
+            2f64.powf(MAX_EXP as f64)
+        } else {
+            2f64.powf(MIN_EXP as f64 + (bucket as f64 - 1.0) / BUCKETS_PER_OCTAVE as f64)
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.counts[Histogram::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Nearest-rank quantile over the bucketed samples: the representative
+    /// of the bucket holding the `ceil(q * count)`-th smallest sample.
+    fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::representative(i);
+            }
+        }
+        Histogram::representative(INTERIOR_BUCKETS + 1)
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+fn shards() -> &'static [Mutex<HashMap<String, Metric>>] {
+    static SHARDS: OnceLock<Vec<Mutex<HashMap<String, Metric>>>> = OnceLock::new();
+    SHARDS.get_or_init(|| (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect())
+}
+
+/// FNV-1a then a Fibonacci mix; the top bits select the shard.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+    }
+    (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize & (SHARD_COUNT - 1)
+}
+
+fn with_metric(name: &str, make: impl FnOnce() -> Metric, apply: impl FnOnce(&mut Metric)) {
+    let mut map = shards()[shard_of(name)].lock().expect("telemetry shard poisoned");
+    match map.get_mut(name) {
+        Some(metric) => apply(metric),
+        None => {
+            let mut metric = make();
+            apply(&mut metric);
+            map.insert(name.to_string(), metric);
+        }
+    }
+}
+
+/// Adds `delta` to counter `name`. No-op while telemetry is disabled, and
+/// on a name already registered as a different kind.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::Counter(0),
+        |m| {
+            if let Metric::Counter(v) = m {
+                *v += delta;
+            }
+        },
+    );
+}
+
+/// Sets gauge `name` to `value` (last write wins). No-op while disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::Gauge(0.0),
+        |m| {
+            if let Metric::Gauge(v) = m {
+                *v = value;
+            }
+        },
+    );
+}
+
+/// Records `value` into histogram `name`. No-op while disabled.
+pub fn observe(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_metric(
+        name,
+        || Metric::Histogram(Histogram::new()),
+        |m| {
+            if let Metric::Histogram(h) = m {
+                h.observe(value);
+            }
+        },
+    );
+}
+
+/// Quantile summary of one histogram, as exported by [`snapshot`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples (for means).
+    pub sum: f64,
+    /// Exact smallest sample.
+    pub min: f64,
+    /// Exact largest sample.
+    pub max: f64,
+    /// Nearest-rank median (bucket lower bound).
+    pub p50: f64,
+    /// Nearest-rank 90th percentile.
+    pub p90: f64,
+    /// Nearest-rank 99th percentile.
+    pub p99: f64,
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, 0 when absent — convenient for assertions.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Copies the registry out. Works whether or not telemetry is enabled (it
+/// reports whatever has been recorded so far).
+pub fn snapshot() -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    for shard in shards() {
+        let map = shard.lock().expect("telemetry shard poisoned");
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(v) => {
+                    out.counters.insert(name.clone(), *v);
+                }
+                Metric::Gauge(v) => {
+                    out.gauges.insert(name.clone(), *v);
+                }
+                Metric::Histogram(h) => {
+                    out.histograms.insert(name.clone(), h.summary());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Clears every metric and the recorded trace. Intended for tests and for
+/// bins that emit one snapshot per run.
+pub fn reset() {
+    for shard in shards() {
+        shard.lock().expect("telemetry shard poisoned").clear();
+    }
+    crate::span::clear_trace();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(samples: &[f64], q: f64) -> f64 {
+        // Reference nearest-rank on the raw samples.
+        let mut v = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        v[rank - 1]
+    }
+
+    #[test]
+    fn power_of_two_samples_quantile_exactly() {
+        // Powers of two are bucket lower bounds, so the bucketed
+        // nearest-rank agrees exactly with the raw nearest-rank.
+        let mut h = Histogram::new();
+        let samples = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+        for &s in &samples {
+            h.observe(s);
+        }
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(h.quantile(q), exact(&samples, q), "q={q}");
+        }
+        assert_eq!(h.count, 10);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 512.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = Histogram::new();
+        h.observe(4.0);
+        for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 4.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn all_equal_samples_report_their_bucket_floor() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.observe(5.0);
+        }
+        // 5.0 falls in the bucket whose lower bound is 2^2.25.
+        let expect = 2f64.powf(2.25);
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(h.quantile(q), expect, "q={q}");
+        }
+        assert_eq!(h.max, 5.0, "min/max stay exact");
+        assert_eq!(h.min, 5.0);
+    }
+
+    #[test]
+    fn overflow_and_underflow_buckets() {
+        let mut h = Histogram::new();
+        h.observe(1e300); // far beyond 2^32
+        assert_eq!(h.quantile(0.5), 2f64.powf(MAX_EXP as f64), "overflow clamps");
+        assert_eq!(h.max, 1e300, "exact max survives the clamp");
+
+        let mut low = Histogram::new();
+        low.observe(0.0);
+        low.observe(-3.0);
+        low.observe(1e-30);
+        assert_eq!(low.quantile(0.9), 0.0, "underflow reports 0");
+    }
+
+    #[test]
+    fn nearest_rank_is_lower_of_even_split() {
+        let mut h = Histogram::new();
+        h.observe(1.0);
+        h.observe(1024.0);
+        // rank = ceil(0.5 * 2) = 1 -> the smaller sample, per nearest-rank.
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.51), 1024.0);
+    }
+
+    #[test]
+    fn registry_kinds_and_snapshot() {
+        let _g = crate::testutil::lock();
+        reset();
+        crate::set_enabled(true);
+        counter_add("test.reg.count", 2);
+        counter_add("test.reg.count", 3);
+        gauge_set("test.reg.gauge", 1.5);
+        gauge_set("test.reg.gauge", 2.5);
+        observe("test.reg.hist", 8.0);
+        let snap = snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.counter("test.reg.count"), 5);
+        assert_eq!(snap.gauges["test.reg.gauge"], 2.5);
+        assert_eq!(snap.histograms["test.reg.hist"].p50, 8.0);
+        assert_eq!(snap.counter("test.reg.absent"), 0);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let _g = crate::testutil::lock();
+        reset();
+        assert!(!crate::enabled());
+        counter_add("test.off.count", 7);
+        observe("test.off.hist", 1.0);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.off.count"), 0);
+        assert!(!snap.histograms.contains_key("test.off.hist"));
+    }
+
+    #[test]
+    fn concurrent_hammering_is_deterministic() {
+        let _g = crate::testutil::lock();
+        reset();
+        crate::set_enabled(true);
+        const WORKERS: usize = 8;
+        const PER_WORKER: usize = 1000;
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                s.spawn(move || {
+                    for i in 0..PER_WORKER {
+                        counter_add("test.conc.count", 1);
+                        // Everyone also updates a per-worker counter that
+                        // hashes to assorted shards.
+                        counter_add(&format!("test.conc.worker{w}"), 1);
+                        observe("test.conc.hist", (1 + i % 4) as f64);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        crate::set_enabled(false);
+        assert_eq!(snap.counter("test.conc.count"), (WORKERS * PER_WORKER) as u64);
+        for w in 0..WORKERS {
+            assert_eq!(snap.counter(&format!("test.conc.worker{w}")), PER_WORKER as u64);
+        }
+        let h = &snap.histograms["test.conc.hist"];
+        assert_eq!(h.count, (WORKERS * PER_WORKER) as u64);
+        // Samples cycle 1,2,3,4 -> sum is exactly workers * per_worker * 2.5.
+        assert_eq!(h.sum, WORKERS as f64 * PER_WORKER as f64 * 2.5);
+        assert_eq!(h.p50, 2.0);
+        assert_eq!(h.max, 4.0);
+    }
+}

@@ -46,6 +46,19 @@ timeline minutes="10" cv="0.3" seed="99" schemes="LDR,SP,static:SP" scale="--std
         > sweeps/timeline_sweep.tsv
     @echo "wrote sweeps/timeline_sweep.tsv"
 
+# Telemetry-instrumented timeline run: a diurnal Abilene deployment cycle
+# with both sinks on. Drag sweeps/trace.json into https://ui.perfetto.dev
+# (or chrome://tracing) to see the per-minute measure/decide/install
+# breakdown; diff metrics snapshots with `perf_report`.
+trace minutes="10" seed="99":
+    mkdir -p sweeps
+    cargo run --release -p lowlat_sim --bin timeline_sweep -- --quick \
+        --networks Abilene --minutes {{minutes}} --seed {{seed}} \
+        --diurnal 0.3 --period 10 \
+        --trace-out sweeps/trace.json --metrics-out sweeps/metrics.json \
+        > sweeps/trace_run.tsv
+    @echo "wrote sweeps/trace.json (Perfetto), sweeps/metrics.json, sweeps/trace_run.tsv"
+
 # Survivability sweep over the named corpus: failure scenarios (single =
 # exhaustive single-cable, node, srlg, random) x schemes, each cell running
 # cache repair + warm re-placement. Results land in sweeps/ as TSV.
