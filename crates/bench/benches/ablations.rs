@@ -11,13 +11,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use lowlat_bench::{gts, standard_tm};
-use lowlat_core::pathgrow::{solve_latency_optimal, solve_minmax, GrowthConfig};
+use lowlat_core::pathgrow::{GrowRequest, GrowthConfig};
 use lowlat_core::pathset::PathCache;
 
 fn bench_growth_step(c: &mut Criterion) {
     let topo = gts();
     let tm = standard_tm(&topo, 0);
-    let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
     let mut g = c.benchmark_group("ablation_growth_step");
     g.sample_size(10);
     for step in [1usize, 2, 4, 8] {
@@ -25,7 +24,7 @@ fn bench_growth_step(c: &mut Criterion) {
             b.iter(|| {
                 let cache = PathCache::new(topo.graph());
                 let cfg = GrowthConfig { growth_step: step, ..Default::default() };
-                solve_latency_optimal(&cache, &tm, &volumes, &cfg).expect("latopt").omax
+                GrowRequest::new(&cache, &tm).config(&cfg).solve().expect("latopt").omax
             })
         });
     }
@@ -35,7 +34,6 @@ fn bench_growth_step(c: &mut Criterion) {
 fn bench_refine_rounds(c: &mut Criterion) {
     let topo = gts();
     let tm = standard_tm(&topo, 1);
-    let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
     let mut g = c.benchmark_group("ablation_refine_rounds");
     g.sample_size(10);
     for rounds in [0usize, 2, 4] {
@@ -43,7 +41,7 @@ fn bench_refine_rounds(c: &mut Criterion) {
             b.iter(|| {
                 let cache = PathCache::new(topo.graph());
                 let cfg = GrowthConfig { refine_rounds: rounds, ..Default::default() };
-                solve_latency_optimal(&cache, &tm, &volumes, &cfg).expect("latopt").omax
+                GrowRequest::new(&cache, &tm).config(&cfg).solve().expect("latopt").omax
             })
         });
     }
@@ -58,13 +56,13 @@ fn bench_minmax_seeding(c: &mut Criterion) {
     g.bench_function("grow_from_k1", |b| {
         b.iter(|| {
             let cache = PathCache::new(topo.graph());
-            solve_minmax(&cache, &tm, None, &GrowthConfig::default()).expect("minmax").omax
+            GrowRequest::new(&cache, &tm).minmax(None).solve().expect("minmax").omax
         })
     });
     g.bench_function("seed_k10", |b| {
         b.iter(|| {
             let cache = PathCache::new(topo.graph());
-            solve_minmax(&cache, &tm, Some(10), &GrowthConfig::default()).expect("minmax").omax
+            GrowRequest::new(&cache, &tm).minmax(Some(10)).solve().expect("minmax").omax
         })
     });
     g.finish();

@@ -2,7 +2,7 @@
 //! identical LPs minute after minute; these measure how much restarting
 //! from the previous minute's basis buys over solving cold, first at the
 //! raw simplex level, then through the full LDR solve path
-//! (`solve_latency_optimal` with the static-headroom dial).
+//! (the latency-optimal `GrowRequest` with the static-headroom dial).
 //!
 //! The `warm` variants are the tentpole's acceptance metric: they must
 //! beat their `cold` twins on successive timeline minutes (target ≥2x for
@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use lowlat_bench::{gts, standard_tm};
-use lowlat_core::pathgrow::{solve_latency_optimal_ctx, GrowthConfig, SolveContext};
+use lowlat_core::pathgrow::{GrowRequest, GrowthConfig, SolveContext};
 use lowlat_core::pathset::PathCache;
 use lowlat_core::schemes::predict_volumes;
 use lowlat_linprog::{Basis, Problem, Relation};
@@ -113,7 +113,10 @@ fn bench_ldr_minutes(c: &mut Criterion) {
             for vols in &volumes {
                 // A fresh context per minute: every LP solves cold.
                 let mut ctx = SolveContext::new();
-                pivots += solve_latency_optimal_ctx(&cache, &tm, black_box(vols), &cfg, &mut ctx)
+                pivots += GrowRequest::new(&cache, &tm)
+                    .volumes(black_box(vols))
+                    .config(&cfg)
+                    .solve_with(&mut ctx)
                     .expect("solvable")
                     .lp_pivots;
             }
@@ -126,12 +129,19 @@ fn bench_ldr_minutes(c: &mut Criterion) {
         // reports the steady-state per-minute cost the §5 cycle pays.
         let mut ctx = SolveContext::new();
         for vols in &volumes {
-            solve_latency_optimal_ctx(&cache, &tm, vols, &cfg, &mut ctx).expect("solvable");
+            GrowRequest::new(&cache, &tm)
+                .volumes(vols)
+                .config(&cfg)
+                .solve_with(&mut ctx)
+                .expect("solvable");
         }
         b.iter(|| {
             let mut pivots = 0usize;
             for vols in &volumes {
-                pivots += solve_latency_optimal_ctx(&cache, &tm, black_box(vols), &cfg, &mut ctx)
+                pivots += GrowRequest::new(&cache, &tm)
+                    .volumes(black_box(vols))
+                    .config(&cfg)
+                    .solve_with(&mut ctx)
                     .expect("solvable")
                     .lp_pivots;
             }

@@ -12,7 +12,7 @@
 use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::Topology;
 
-use crate::pathgrow::{solve_latency_optimal_weighted, GrowOutcome, GrowthConfig};
+use crate::pathgrow::{GrowOutcome, GrowRequest, GrowthConfig};
 use crate::pathset::PathCache;
 use crate::schemes::SchemeError;
 
@@ -54,7 +54,6 @@ pub fn place_with_classes(
     assert_eq!(classes.len(), tm.aggregates().len(), "one class per aggregate");
     assert!(config.sensitive_weight >= 1.0);
     let cache = PathCache::new(topology.graph());
-    let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
     let weights: Vec<f64> = classes
         .iter()
         .map(|c| match c {
@@ -62,7 +61,7 @@ pub fn place_with_classes(
             TrafficClass::BestEffort => 1.0,
         })
         .collect();
-    Ok(solve_latency_optimal_weighted(&cache, tm, &volumes, Some(&weights), &config.growth)?)
+    Ok(GrowRequest::new(&cache, tm).class_weights(&weights).config(&config.growth).solve()?)
 }
 
 #[cfg(test)]
@@ -144,10 +143,7 @@ mod tests {
         let classes = [TrafficClass::BestEffort, TrafficClass::BestEffort];
         let weighted = place_with_classes(&topo, &tm, &classes, &ClassConfig::default()).unwrap();
         let cache = PathCache::new(topo.graph());
-        let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
-        let plain =
-            crate::pathgrow::solve_latency_optimal(&cache, &tm, &volumes, &GrowthConfig::default())
-                .unwrap();
+        let plain = GrowRequest::new(&cache, &tm).solve().unwrap();
         let total = |o: &GrowOutcome| -> f64 {
             o.placement.per_aggregate().iter().map(|p| p.mean_delay_ms()).sum()
         };

@@ -1,6 +1,6 @@
 //! Placement evaluation: the quantities the paper's figures plot.
 
-use lowlat_netgraph::all_pairs_delays;
+use lowlat_netgraph::{all_pairs_delays, Graph};
 use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::Topology;
 
@@ -33,7 +33,13 @@ impl PlacementEval {
     /// * **utilizations** — per-link load/capacity (Figure 7).
     /// * **fits** — true when no link is loaded beyond capacity.
     pub fn evaluate(topology: &Topology, tm: &TrafficMatrix, placement: &Placement) -> Self {
-        let graph = topology.graph();
+        Self::evaluate_on(topology.graph(), tm, placement)
+    }
+
+    /// As [`PlacementEval::evaluate`], directly against a graph — the form
+    /// the source-generic timeline uses, where only a
+    /// [`PathSource`](crate::source::PathSource)'s graph view exists.
+    pub fn evaluate_on(graph: &Graph, tm: &TrafficMatrix, placement: &Placement) -> Self {
         debug_assert!(placement.validate(graph, tm).is_ok());
         let loads = placement.link_loads(graph, tm);
         let mut congested_link = vec![false; graph.link_count()];

@@ -17,8 +17,9 @@
 //!   *relative to the intact topology*, and overload against effective
 //!   (degraded) capacities ([`FailureImpact`]);
 //! * **the recovery drill** — [`replace_under_failure`] runs the §5
-//!   reaction end to end: repair the shared [`PathCache`] under the mask,
-//!   drop disconnected demand, re-place through the scheme's warm
+//!   reaction end to end: repair the shared
+//!   [`PathSource`](crate::source::PathSource) under the mask, drop
+//!   disconnected demand, re-place through the scheme's warm
 //!   [`SolveContext`], and report both the repair and the LP telemetry.
 
 use lowlat_netgraph::{all_pairs_delays, FailureMask, Graph, LinkId, NodeId};
@@ -28,9 +29,10 @@ use lowlat_topology::{PopId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::pathset::{PathCache, RepairStats};
+use crate::pathset::RepairStats;
 use crate::placement::Placement;
 use crate::schemes::{RoutingScheme, SchemeError, SolveContext};
+use crate::source::PathSource;
 
 /// A declarative failure: which cables/nodes go down and which cables
 /// degrade, independent of any graph. Compiled to a [`FailureMask`] against
@@ -436,7 +438,7 @@ pub struct RecoveryOutcome {
     pub lp_warm_hits: usize,
 }
 
-/// The §5 failure reaction, end to end: repair `cache` under `mask`, drop
+/// The §5 failure reaction, end to end: repair `source` under `mask`, drop
 /// unroutable demand, re-place the survivors through `ctx` (so LP schemes
 /// warm-start from the pre-failure bases), and measure the outcome.
 ///
@@ -444,26 +446,28 @@ pub struct RecoveryOutcome {
 /// caller already has them (sweeps evaluate many scenarios per network);
 /// `None` computes them here.
 ///
-/// The cache is left with the mask applied; callers iterating scenarios
+/// The source is left with the mask applied; callers iterating scenarios
 /// re-apply the next mask (repairing incrementally) or
-/// [`PathCache::clear_failure`] at the end.
+/// [`PathSource::clear_failure`] at the end. Works against any
+/// [`PathSource`] — the flat [`PathCache`](crate::pathset::PathCache) or
+/// the partitioned engine.
 pub fn replace_under_failure(
     scheme: &dyn RoutingScheme,
     topology: &Topology,
-    cache: &PathCache<'_>,
+    source: &dyn PathSource,
     tm: &TrafficMatrix,
     mask: &FailureMask,
     ctx: &mut SolveContext,
     intact_delays: Option<&[Vec<f64>]>,
 ) -> Result<RecoveryOutcome, SchemeError> {
     let _span = telemetry::span("failure.replace", "failure");
-    let repair = cache.apply_failure(mask);
+    let repair = source.apply_failure(mask);
     let partition = partition_routable(topology.graph(), tm, mask);
     let solves0 = ctx.solves();
     let hits0 = ctx.warm_hits();
     let placement = {
         let _replace = telemetry::span("failure.replace.solve", "failure");
-        scheme.place_with_context(cache, &partition.tm, ctx)?
+        scheme.place_with_context(source, &partition.tm, ctx)?
     };
     let impact = match intact_delays {
         Some(sp) => FailureImpact::evaluate_with_delays(topology, &partition, mask, &placement, sp),
@@ -482,6 +486,7 @@ pub fn replace_under_failure(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pathset::PathCache;
     use crate::scale::ScaleToLoad;
     use crate::schemes::registry;
     use lowlat_tmgen::{Aggregate, GravityTmGen, TmGenConfig};

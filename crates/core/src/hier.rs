@@ -25,16 +25,29 @@
 //! the property tests pin. When no landmark connects a pair (sparse cuts,
 //! overflow clusters), a single targeted Dijkstra answers exactly — so
 //! reachability always matches the flat engine.
+//!
+//! The engine implements [`PathSource`](crate::source::PathSource), so the
+//! whole LP/scheme stack places through it: `pathgrow`'s column-generation
+//! loop prices candidate columns with [`PartitionedPathEngine::paths`] and
+//! prunes hopeless pairs with the landmark bound — placement at Internet
+//! scale without ever materializing the flat path corpus. Failure masks
+//! apply here too ([`PartitionedPathEngine::apply_failure`]): leaf caches
+//! repair exactly like the flat cache, and landmark trees are rebuilt under
+//! the mask, so recovery re-placement runs on priced-on-demand columns.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use lowlat_netgraph::{
-    reverse_shortest_path_tree, shortest_path, Graph, Hierarchy, HierarchyConfig, NodeId, Path,
-    ReverseShortestPathTree, ShortestPathTree,
+    reverse_shortest_path_tree, shortest_path, shortest_path_tree, FailureMask, Graph, Hierarchy,
+    HierarchyConfig, NodeId, Path, ReverseShortestPathTree, ShortestPathTree,
 };
 use lowlat_telemetry as telemetry;
 
-use crate::pathset::PathCache;
+use crate::pathset::{PathCache, RepairStats};
 
 /// Knobs for [`PartitionedPathEngine::build`].
 #[derive(Clone, Copy, Debug)]
@@ -99,48 +112,104 @@ pub struct PartitionedPathEngine<'g> {
     caches: Vec<PathCache<'g>>,
     /// Arena-id → dense cache index.
     cache_of_leaf: Vec<usize>,
-    landmarks: Vec<Landmark>,
+    /// The deterministic landmark node choice — kept so failure transitions
+    /// can rebuild the trees under a mask without re-deriving the pick.
+    landmark_nodes: Vec<NodeId>,
+    /// Landmark trees under the active mask. A read-write lock for the same
+    /// reason as the cache's mask: per-query reads never contend, writes
+    /// happen only at (documented-quiescent) failure transitions.
+    landmarks: RwLock<Vec<Landmark>>,
+    /// The failure mask in force; `None` means the intact topology.
+    mask: RwLock<Option<Arc<FailureMask>>>,
     stats: QueryStats,
 }
 
-/// Removes splice loops from a concatenated node walk: whenever a node
-/// repeats, the cycle between its two occurrences is cut out. O(len²) with
-/// tiny constants — stitched paths are tens of hops.
+/// FNV-1a over node ids for the splice position map. The splice runs once
+/// per landmark per cross-leaf query on walks of tens of hops, where the
+/// std `HashMap`'s default SipHash costs more than the rest of the splice
+/// combined.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FnvHasher>>;
+
+/// Removes splice loops from a concatenated link walk in one pass: the walk
+/// is replayed with a node → position map, and whenever a link returns to a
+/// node already on the walk, everything after that node's position is
+/// dropped (cutting the cycle). Amortized O(len) — each link is pushed and
+/// drained at most once.
 fn splice_loopless(graph: &Graph, first: &[Path], second: &[Path]) -> Option<Path> {
-    let mut links = Vec::new();
+    // Node at position 0 is the walk's start; the node at position i > 0 is
+    // the dst of walk[i-1]. Both containers are pre-sized to the full
+    // concatenation so a splice never rehashes or reallocates mid-walk.
+    let hops = first.iter().chain(second).map(|p| p.links().len()).sum::<usize>();
+    let mut walk: Vec<lowlat_netgraph::LinkId> = Vec::with_capacity(hops);
+    let mut pos: FnvMap<NodeId, usize> =
+        FnvMap::with_capacity_and_hasher(hops + 1, Default::default());
+    let mut started = false;
     for p in first.iter().chain(second) {
-        links.extend_from_slice(p.links());
-    }
-    if links.is_empty() {
-        return None;
-    }
-    loop {
-        // Node sequence of the current walk.
-        let mut nodes = Vec::with_capacity(links.len() + 1);
-        nodes.push(graph.link(links[0]).src);
-        for &l in &links {
-            nodes.push(graph.link(l).dst);
-        }
-        let mut cut = None;
-        'outer: for i in 0..nodes.len() {
-            for j in (i + 1..nodes.len()).rev() {
-                if nodes[i] == nodes[j] {
-                    cut = Some((i, j));
-                    break 'outer;
+        for &l in p.links() {
+            if !started {
+                pos.insert(graph.link(l).src, 0);
+                started = true;
+            }
+            let dst = graph.link(l).dst;
+            walk.push(l);
+            if let Some(&back) = pos.get(&dst) {
+                // Returning to a node already on the walk: cut the cycle.
+                // `dst` itself keeps its entry (its stored position is
+                // exactly `back`); every node strictly after it goes.
+                for cut in walk.drain(back..) {
+                    let d = graph.link(cut).dst;
+                    if pos.get(&d).is_some_and(|&q| q > back) {
+                        pos.remove(&d);
+                    }
                 }
+            } else {
+                pos.insert(dst, walk.len());
             }
         }
-        match cut {
-            // Links i..j traverse the cycle nodes[i] .. nodes[j]==nodes[i].
-            Some((i, j)) => {
-                links.drain(i..j);
-                if links.is_empty() {
-                    return None;
-                }
-            }
-            None => return Some(Path::new(graph, links)),
-        }
     }
+    if walk.is_empty() {
+        None
+    } else {
+        Some(Path::new(graph, walk))
+    }
+}
+
+/// Builds the forward/reverse tree pair of every landmark node under
+/// `mask`. Landmark nodes the mask downs are skipped — their trees would be
+/// empty — so a failed landmark degrades coverage instead of poisoning it.
+fn build_landmarks(graph: &Graph, nodes: &[NodeId], mask: Option<&FailureMask>) -> Vec<Landmark> {
+    let routing = mask.filter(|m| m.affects_routing());
+    let link_mask = routing.and_then(FailureMask::link_mask);
+    let node_mask = routing.and_then(FailureMask::node_mask);
+    nodes
+        .iter()
+        .filter(|&&node| !routing.is_some_and(|m| m.node_down(node)))
+        .map(|&node| Landmark {
+            node,
+            fwd: shortest_path_tree(graph, node, link_mask, node_mask),
+            rev: reverse_shortest_path_tree(graph, node, link_mask, node_mask),
+        })
+        .collect()
 }
 
 impl<'g> PartitionedPathEngine<'g> {
@@ -163,7 +232,7 @@ impl<'g> PartitionedPathEngine<'g> {
         let groups = hierarchy.groups();
         let n = graph.node_count() as f64;
         let budget = config.landmarks.max(1);
-        let mut landmarks = Vec::new();
+        let mut landmark_nodes: Vec<NodeId> = Vec::new();
         for &gid in &groups {
             let members = &hierarchy.cluster(gid).members;
             let share =
@@ -172,16 +241,12 @@ impl<'g> PartitionedPathEngine<'g> {
             for s in 0..share {
                 let idx = s * members.len() / share + members.len() / (2 * share);
                 let node = members[idx.min(members.len() - 1)];
-                if landmarks.iter().any(|l: &Landmark| l.node == node) {
-                    continue;
+                if !landmark_nodes.contains(&node) {
+                    landmark_nodes.push(node);
                 }
-                landmarks.push(Landmark {
-                    node,
-                    fwd: lowlat_netgraph::shortest_path_tree(graph, node, None, None),
-                    rev: reverse_shortest_path_tree(graph, node, None, None),
-                });
             }
         }
+        let landmarks = build_landmarks(graph, &landmark_nodes, None);
 
         PartitionedPathEngine {
             graph,
@@ -189,7 +254,9 @@ impl<'g> PartitionedPathEngine<'g> {
             leaf_ids,
             caches,
             cache_of_leaf,
-            landmarks,
+            landmark_nodes,
+            landmarks: RwLock::new(landmarks),
+            mask: RwLock::new(None),
             stats: QueryStats::default(),
         }
     }
@@ -204,9 +271,10 @@ impl<'g> PartitionedPathEngine<'g> {
         self.graph
     }
 
-    /// Number of landmark nodes actually installed.
+    /// Number of landmark nodes actually installed (under the active mask —
+    /// downed landmarks are uninstalled until the mask clears).
     pub fn landmark_count(&self) -> usize {
-        self.landmarks.len()
+        self.landmarks.read().len()
     }
 
     /// Cumulative query-mix counters.
@@ -232,9 +300,70 @@ impl<'g> PartitionedPathEngine<'g> {
     /// for a cross-leaf pair never exceeds this (de-looping only shortens).
     pub fn landmark_bound_ms(&self, src: NodeId, dst: NodeId) -> f64 {
         self.landmarks
+            .read()
             .iter()
             .map(|l| l.rev.dist_ms(src) + l.fwd.dist_ms(dst))
             .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Upper bound (ms) on the best column the engine can price for
+    /// `(src, dst)`: the leaf-scoped shortest delay for same-leaf pairs,
+    /// min-combined with the landmark bound (which also covers overflow
+    /// leaves whose members connect only through other leaves). `INFINITY`
+    /// means pricing cannot produce anything beyond the exact-Dijkstra
+    /// reachability fallback — the column-generation loop skips such pairs.
+    pub fn shortest_delay_bound(&self, src: NodeId, dst: NodeId) -> f64 {
+        let mut bound = self.landmark_bound_ms(src, dst);
+        if self.hierarchy.same_leaf(src, dst) {
+            let leaf = self.hierarchy.leaf_of(src);
+            if let Some(p) = self.caches[self.cache_of_leaf[leaf]].shortest(src, dst) {
+                bound = bound.min(p.delay_ms());
+            }
+        }
+        bound
+    }
+
+    /// The failure mask currently in force, if any.
+    pub fn failure_mask(&self) -> Option<Arc<FailureMask>> {
+        self.mask.read().clone()
+    }
+
+    /// Per-link effective capacities (Mbps) under the active failure mask —
+    /// the same capacity-provider view the flat cache exposes.
+    pub fn effective_capacities(&self) -> Vec<f64> {
+        match self.failure_mask() {
+            Some(mask) => mask.effective_capacities(self.graph),
+            None => self.graph.link_ids().map(|l| self.graph.link(l).capacity_mbps).collect(),
+        }
+    }
+
+    /// Puts the failure mask in force: every leaf cache repairs exactly like
+    /// the flat cache (kept/repaired pair accounting sums across leaves),
+    /// landmark trees are rebuilt under the mask (downed landmark nodes are
+    /// uninstalled), and the reachability fallback runs masked. An empty
+    /// mask is equivalent to [`Self::clear_failure`]. Concurrent queries
+    /// must be quiescent, as for [`PathCache::apply_failure`].
+    pub fn apply_failure(&self, mask: &FailureMask) -> RepairStats {
+        let _span = telemetry::span("hier.repair", "cache");
+        let active: Option<Arc<FailureMask>> = (!mask.is_empty()).then(|| Arc::new(mask.clone()));
+        *self.mask.write() = active.clone();
+        let mut stats = RepairStats::default();
+        for cache in &self.caches {
+            let s = cache.apply_failure(mask);
+            stats.kept_pairs += s.kept_pairs;
+            stats.repaired_pairs += s.repaired_pairs;
+            stats.paths_regrown += s.paths_regrown;
+            stats.paths_lost += s.paths_lost;
+        }
+        *self.landmarks.write() =
+            build_landmarks(self.graph, &self.landmark_nodes, active.as_deref());
+        stats
+    }
+
+    /// Restores the intact topology view: leaf caches rebuild pure, landmark
+    /// trees rebuild unmasked.
+    pub fn clear_failure(&self) -> RepairStats {
+        self.apply_failure(&FailureMask::new())
     }
 
     /// True when the pair shares a leaf (answered exactly by warm Yen).
@@ -269,7 +398,8 @@ impl<'g> PartitionedPathEngine<'g> {
             telemetry::counter_add("hier.cross", 1);
             Vec::new()
         };
-        for l in &self.landmarks {
+        let landmarks = self.landmarks.read();
+        for l in landmarks.iter() {
             if !l.rev.reachable(src) || !l.fwd.reachable(dst) {
                 continue;
             }
@@ -295,12 +425,22 @@ impl<'g> PartitionedPathEngine<'g> {
         }
 
         if candidates.is_empty() {
-            // Exact fallback: one targeted Dijkstra. Keeps reachability
-            // identical to the flat engine even when every landmark sits on
-            // the wrong side of a cut.
+            // Exact fallback: one targeted Dijkstra (masked, so reachability
+            // matches the flat engine under the same failure). Keeps pairs
+            // answerable even when every landmark sits on the wrong side of
+            // a cut.
             self.stats.fallback.fetch_add(1, Ordering::Relaxed);
             telemetry::counter_add("hier.fallback", 1);
-            if let Some(p) = shortest_path(self.graph, src, dst, None, None) {
+            let mask = self.mask.read().clone();
+            let routing = mask.as_deref().filter(|m| m.affects_routing());
+            let p = shortest_path(
+                self.graph,
+                src,
+                dst,
+                routing.and_then(FailureMask::link_mask),
+                routing.and_then(FailureMask::node_mask),
+            );
+            if let Some(p) = p {
                 candidates.push(p);
             }
         }
@@ -333,6 +473,48 @@ impl<'g> PartitionedPathEngine<'g> {
     /// The single best path (None when disconnected).
     pub fn shortest(&self, src: NodeId, dst: NodeId) -> Option<Path> {
         self.paths(src, dst, 1).into_iter().next()
+    }
+}
+
+/// The partitioned backend of the pricing-oracle API: columns are priced by
+/// leaf-scoped Yen plus landmark stitching, the pricing bound is the
+/// landmark bound, and per-pair state is materialized only for intra-leaf
+/// pairs actually priced in — never for the cross-leaf corpus.
+impl crate::source::PathSource for PartitionedPathEngine<'_> {
+    fn graph(&self) -> &Graph {
+        PartitionedPathEngine::graph(self)
+    }
+
+    fn paths(&self, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+        PartitionedPathEngine::paths(self, src, dst, k)
+    }
+
+    fn shortest(&self, src: NodeId, dst: NodeId) -> Option<Path> {
+        PartitionedPathEngine::shortest(self, src, dst)
+    }
+
+    fn shortest_delay_bound(&self, src: NodeId, dst: NodeId) -> f64 {
+        PartitionedPathEngine::shortest_delay_bound(self, src, dst)
+    }
+
+    fn effective_capacities(&self) -> Vec<f64> {
+        PartitionedPathEngine::effective_capacities(self)
+    }
+
+    fn failure_mask(&self) -> Option<Arc<FailureMask>> {
+        PartitionedPathEngine::failure_mask(self)
+    }
+
+    fn apply_failure(&self, mask: &FailureMask) -> RepairStats {
+        PartitionedPathEngine::apply_failure(self, mask)
+    }
+
+    fn clear_failure(&self) -> RepairStats {
+        PartitionedPathEngine::clear_failure(self)
+    }
+
+    fn cached_pairs(&self) -> usize {
+        PartitionedPathEngine::cached_pairs(self)
     }
 }
 
@@ -500,6 +682,81 @@ mod tests {
         assert_eq!(spliced.dst(), NodeId(3));
         assert_eq!(spliced.hop_count(), 2, "the a->l->a cycle is removed");
         spliced.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn splice_deloops_nested_and_start_crossing_loops() {
+        // Regression for the single-pass de-looper: walks whose halves
+        // overlap over several hops (nested cycles) and walks whose cycle
+        // passes back through the start node.
+        let mut b = GraphBuilder::new(5);
+        b.add_duplex(NodeId(0), NodeId(1), 1.0, 10.0); // s-a
+        b.add_duplex(NodeId(1), NodeId(2), 1.0, 10.0); // a-b
+        b.add_duplex(NodeId(2), NodeId(3), 1.0, 10.0); // b-l
+        b.add_duplex(NodeId(1), NodeId(4), 1.0, 10.0); // a-d
+        b.add_duplex(NodeId(0), NodeId(4), 1.0, 10.0); // s-d
+        let g = b.build();
+        let link = |s: u32, d: u32| g.find_link(NodeId(s), NodeId(d)).unwrap();
+
+        // s→a→b→l spliced with l→b→a→d backtracks two hops: the whole
+        // a→b→l→b→a excursion must collapse, leaving s→a→d.
+        let first = Path::new(&g, vec![link(0, 1), link(1, 2), link(2, 3)]);
+        let second = Path::new(&g, vec![link(3, 2), link(2, 1), link(1, 4)]);
+        let spliced = splice_loopless(&g, &[first], &[second]).unwrap();
+        spliced.validate(&g).unwrap();
+        assert_eq!(spliced.links(), &[link(0, 1), link(1, 4)], "nested cycle fully removed");
+
+        // s→a spliced with a→s→d loops through the start node: the s…s
+        // cycle goes, leaving the single link s→d.
+        let first = Path::new(&g, vec![link(0, 1)]);
+        let second = Path::new(&g, vec![link(1, 0), link(0, 4)]);
+        let spliced = splice_loopless(&g, &[first], &[second]).unwrap();
+        spliced.validate(&g).unwrap();
+        assert_eq!(spliced.links(), &[link(0, 4)], "cycle through the walk start removed");
+
+        // A walk that cancels completely (s→a then a→s) yields nothing.
+        let first = Path::new(&g, vec![link(0, 1)]);
+        let second = Path::new(&g, vec![link(1, 0)]);
+        assert!(splice_loopless(&g, &[first], &[second]).is_none());
+    }
+
+    #[test]
+    fn failure_masks_apply_across_leaves_and_landmarks() {
+        let g = two_rings();
+        let eng = small_engine(&g);
+        // Warm an intra-leaf pair, then fail the bridge: cross-leaf pairs
+        // disconnect, intra-leaf answers survive.
+        assert_eq!(eng.paths(NodeId(1), NodeId(3), 2).len(), 2);
+        assert!(eng.shortest(NodeId(3), NodeId(12)).is_some());
+        let bridge = g.find_link(NodeId(0), NodeId(8)).unwrap();
+        let mut mask = FailureMask::new();
+        mask.fail_cable(&g, bridge);
+        eng.apply_failure(&mask);
+        assert!(eng.failure_mask().is_some());
+        assert!(
+            eng.paths(NodeId(3), NodeId(12), 3).is_empty(),
+            "bridge down disconnects the rings — stitching and fallback both masked"
+        );
+        assert!(eng.shortest_delay_bound(NodeId(3), NodeId(12)).is_infinite());
+        assert!(eng.shortest(NodeId(1), NodeId(3)).is_some(), "intra-leaf unaffected");
+        // Effective capacities expose the downed cable.
+        assert_eq!(eng.effective_capacities()[bridge.idx()], 0.0);
+        // Clearing restores the stitched route and the raw capacity view.
+        eng.clear_failure();
+        assert!(eng.failure_mask().is_none());
+        assert!(eng.shortest(NodeId(3), NodeId(12)).is_some());
+        assert!(eng.effective_capacities()[bridge.idx()] > 0.0);
+        // Masked results match an engine built fresh on the masked view.
+        eng.apply_failure(&mask);
+        let fresh = small_engine(&g);
+        fresh.apply_failure(&mask);
+        for (s, d) in [(1u32, 3u32), (9, 14), (3, 12)] {
+            let a: Vec<f64> =
+                eng.paths(NodeId(s), NodeId(d), 3).iter().map(|p| p.delay_ms()).collect();
+            let b: Vec<f64> =
+                fresh.paths(NodeId(s), NodeId(d), 3).iter().map(|p| p.delay_ms()).collect();
+            assert_eq!(a, b, "pair {s}->{d} under failure");
+        }
     }
 
     #[test]

@@ -41,11 +41,14 @@ pub mod pathset;
 pub mod placement;
 pub mod scale;
 pub mod schemes;
+pub mod source;
 
 pub use eval::PlacementEval;
 pub use failure::{FailureImpact, FailureScenario, RecoveryOutcome};
 pub use hier::{EngineConfig, PartitionedPathEngine, QueryStats};
 pub use llpd::{LlpdAnalysis, LlpdConfig};
+pub use pathgrow::GrowRequest;
 pub use placement::Placement;
 pub use scale::ScaleToLoad;
 pub use schemes::RoutingScheme;
+pub use source::PathSource;

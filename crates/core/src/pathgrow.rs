@@ -19,15 +19,29 @@
 //! `Omax`, a second minimizes the delay objective subject to
 //! `Omax <= Omax*`. Same optimum, no big-M conditioning problems.
 //!
-//! ## The loop (Figure 13)
+//! ## The loop (Figure 13) — column generation over a [`PathSource`]
 //!
 //! Start every aggregate with only its shortest path; solve; wherever
 //! `O_l = Omax > 1`, extend the path lists of the aggregates crossing those
-//! links with their next-shortest paths (from the shared [`PathCache`]);
-//! repeat until nothing is overloaded. A final refinement pass grows path
-//! sets across *saturated* (not just overloaded) links so the delay
-//! objective can rebalance them (the Figure-6 effect), which the LP can only
-//! exploit if the alternative paths exist in the model.
+//! links with their next-shortest paths; repeat until nothing is
+//! overloaded. A final refinement pass grows path sets across *saturated*
+//! (not just overloaded) links so the delay objective can rebalance them
+//! (the Figure-6 effect), which the LP can only exploit if the alternative
+//! paths exist in the model.
+//!
+//! The growth step is classic column generation, and the pricing oracle is
+//! abstract: every solve takes a `&dyn` [`PathSource`], asks it only for
+//! the next-cheapest columns of the pairs that are actually
+//! overloaded/saturated, and remaps warm bases to the grown column
+//! numbering ([`lowlat_linprog::Basis::remap_columns`]). Pairs the source
+//! reports exhausted — or whose
+//! [`PathSource::shortest_delay_bound`] is infinite, meaning its best
+//! possible column cannot exist — are never priced again. Against the flat
+//! [`PathCache`] this is bit-identical to the historical behavior; against
+//! the [`PartitionedPathEngine`](crate::hier::PartitionedPathEngine) it
+//! places Internet-scale topologies without a materialized path corpus.
+//! Use [`GrowRequest`] to pose a solve; the `solve_*` free functions are
+//! deprecated shims over it.
 //!
 //! ## Effective capacities (brown-outs)
 //!
@@ -51,8 +65,10 @@ use lowlat_netgraph::{Graph, LinkId, Path};
 use lowlat_telemetry as telemetry;
 use lowlat_tmgen::TrafficMatrix;
 
+#[allow(unused_imports)] // doc links
 use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
+use crate::source::PathSource;
 
 /// Warm-start state carried across LP solves — one per scheme instance in a
 /// long-running controller (the §5 deployment cycle re-solves nearly
@@ -511,12 +527,12 @@ fn critical_links_of(
 /// Builds per-aggregate constants from a traffic matrix. `weights`
 /// multiplies flow counts (the §8 traffic-classes hook: latency-sensitive
 /// aggregates weigh more in the delay objective).
-fn agg_infos(cache: &PathCache<'_>, tm: &TrafficMatrix, weights: Option<&[f64]>) -> Vec<AggInfo> {
+fn agg_infos(source: &dyn PathSource, tm: &TrafficMatrix, weights: Option<&[f64]>) -> Vec<AggInfo> {
     tm.aggregates()
         .iter()
         .enumerate()
         .map(|(i, a)| {
-            let sp = cache.shortest(a.src, a.dst).expect("connected topology").delay_ms();
+            let sp = source.shortest(a.src, a.dst).expect("connected topology").delay_ms();
             let w = weights.map_or(1.0, |ws| ws[i]);
             assert!(w.is_finite() && w > 0.0, "bad class weight {w}");
             AggInfo { flows: a.flow_count as f64 * w, sp_delay: sp }
@@ -557,39 +573,86 @@ fn loads_of(
     loads
 }
 
-/// Grows the path sets of every aggregate whose current placement crosses
-/// one of `targets`. Returns true if any set actually grew.
+/// Per-pair pricing state that persists across growth rounds of one solve.
+///
+/// `exhausted[a]`: once the source returns fewer columns than asked — or
+/// its [`PathSource::shortest_delay_bound`] is infinite, meaning no further
+/// column can exist at all — the pair is never priced again this solve.
+///
+/// `bounds[a]` memoizes the pair's delay bound (NaN = not yet asked): the
+/// failure mask is fixed for the duration of a solve, so the bound is
+/// solve-constant and each pair pays the source query at most once instead
+/// of once per round.
+struct PricingState {
+    exhausted: Vec<bool>,
+    bounds: Vec<f64>,
+}
+
+impl PricingState {
+    fn new(pairs: usize) -> Self {
+        PricingState { exhausted: vec![false; pairs], bounds: vec![f64::NAN; pairs] }
+    }
+}
+
+/// The column-generation pricing step: grows the path sets of every
+/// aggregate whose current placement crosses one of `targets`, asking the
+/// source only for those pairs' next-cheapest columns. Returns true if any
+/// set actually grew. `state` carries the exhausted/bound memos between
+/// rounds (see [`PricingState`]).
 fn grow_crossing(
-    cache: &PathCache<'_>,
+    source: &dyn PathSource,
     tm: &TrafficMatrix,
     path_sets: &mut [Vec<Path>],
     fractions: &[Vec<f64>],
     targets: &[LinkId],
     step: usize,
+    state: &mut PricingState,
 ) -> bool {
-    let mut target_mask = vec![false; cache.graph().link_count()];
+    let mut target_mask = vec![false; source.graph().link_count()];
     for &l in targets {
         target_mask[l.idx()] = true;
     }
     let mut grew = false;
     let mut columns_grown = 0usize;
+    let mut pricing_skips = 0usize;
     for (a, agg) in tm.aggregates().iter().enumerate() {
+        if state.exhausted[a] {
+            continue;
+        }
         let crosses = path_sets[a].iter().enumerate().any(|(pi, p)| {
             fractions[a].get(pi).copied().unwrap_or(0.0) > 1e-9
                 && p.links().iter().any(|&l| target_mask[l.idx()])
         });
-        if crosses {
-            let want = path_sets[a].len() + step;
-            let got = cache.paths(agg.src, agg.dst, want);
-            if got.len() > path_sets[a].len() {
-                columns_grown += got.len() - path_sets[a].len();
-                path_sets[a] = got;
-                grew = true;
-            }
+        if !crosses {
+            continue;
+        }
+        if state.bounds[a].is_nan() {
+            state.bounds[a] = source.shortest_delay_bound(agg.src, agg.dst);
+        }
+        if state.bounds[a].is_infinite() {
+            // The source cannot price any column for this pair (for the
+            // partitioned engine: no landmark connects it) — whatever the
+            // initial query produced is all there will ever be.
+            state.exhausted[a] = true;
+            pricing_skips += 1;
+            continue;
+        }
+        let want = path_sets[a].len() + step;
+        let got = source.grow(agg.src, agg.dst, want);
+        if got.len() < want {
+            state.exhausted[a] = true;
+        }
+        if got.len() > path_sets[a].len() {
+            columns_grown += got.len() - path_sets[a].len();
+            path_sets[a] = got;
+            grew = true;
         }
     }
     if columns_grown > 0 {
         telemetry::counter_add("pathgrow.columns_grown", columns_grown as u64);
+    }
+    if pricing_skips > 0 {
+        telemetry::counter_add("pathgrow.pricing_skips", pricing_skips as u64);
     }
     grew
 }
@@ -652,81 +715,153 @@ fn remap_basis_after_growth(
     ctx.remap_entry(tag, rows, old_structural, new_structural, &map);
 }
 
-/// The latency-optimal solve: Figure 13's loop around Figure 12's LP.
+/// What a [`GrowRequest`] optimizes.
+#[derive(Clone, Copy, Debug)]
+enum GrowObjective {
+    /// Figure 13's latency-optimal loop: phase 1 drives overload to zero,
+    /// phase 2 minimizes delay at that overload level, refinement rounds
+    /// rebalance across saturated links.
+    LatencyOptimal,
+    /// MinMax: minimize the maximum utilization, tie-broken by delay.
+    /// `k_limit` caps every aggregate's path set (TeXCP's k = 10); `None`
+    /// grows path sets until `U*` stops improving.
+    MinMax { k_limit: Option<usize> },
+}
+
+/// Builder for one grow-and-solve run — the single entry point the old
+/// `solve_latency_optimal*` / `solve_minmax*` family collapsed into.
 ///
-/// `volumes` may differ from the matrix volumes (LDR inflates them to add
-/// per-aggregate headroom); `config.headroom` scales link capacities.
-pub fn solve_latency_optimal(
-    cache: &PathCache<'_>,
-    tm: &TrafficMatrix,
-    volumes: &[f64],
-    config: &GrowthConfig,
-) -> Result<GrowOutcome, LpError> {
-    solve_latency_optimal_weighted_ctx(cache, tm, volumes, None, config, &mut SolveContext::new())
+/// ```ignore
+/// let out = GrowRequest::new(&cache, &tm)     // any &dyn PathSource
+///     .volumes(&inflated)                      // optional (LDR headroom)
+///     .class_weights(&weights)                 // optional (§8 classes)
+///     .config(&growth_config)                  // optional
+///     .solve_with(&mut ctx)?;                  // or .solve() for cold
+/// ```
+///
+/// Defaults: latency-optimal objective, volumes from the traffic matrix,
+/// unit class weights, [`GrowthConfig::default`], a fresh (cold)
+/// [`SolveContext`]. `.minmax(k_limit)` switches the objective.
+pub struct GrowRequest<'a> {
+    source: &'a dyn PathSource,
+    tm: &'a TrafficMatrix,
+    volumes: Option<&'a [f64]>,
+    class_weights: Option<&'a [f64]>,
+    config: GrowthConfig,
+    objective: GrowObjective,
 }
 
-/// As [`solve_latency_optimal`], warm-starting every LP from `ctx` — the
-/// deployment-cycle entry point: keep one context per scheme and successive
-/// calls (minutes) restart from each other's bases.
-pub fn solve_latency_optimal_ctx(
-    cache: &PathCache<'_>,
-    tm: &TrafficMatrix,
-    volumes: &[f64],
-    config: &GrowthConfig,
-    ctx: &mut SolveContext,
-) -> Result<GrowOutcome, LpError> {
-    solve_latency_optimal_weighted_ctx(cache, tm, volumes, None, config, ctx)
-}
-
-/// As [`solve_latency_optimal`], with per-aggregate objective weights — the
-/// §8 differentiated-traffic-classes extension. A weight of `w` makes an
-/// aggregate's delay count `w` times as much, so the LP prefers giving it
-/// the low-latency paths when someone must detour.
-pub fn solve_latency_optimal_weighted(
-    cache: &PathCache<'_>,
-    tm: &TrafficMatrix,
-    volumes: &[f64],
-    class_weights: Option<&[f64]>,
-    config: &GrowthConfig,
-) -> Result<GrowOutcome, LpError> {
-    solve_latency_optimal_weighted_ctx(
-        cache,
-        tm,
-        volumes,
-        class_weights,
-        config,
-        &mut SolveContext::new(),
-    )
-}
-
-/// The full-generality solve: class weights and warm-start context.
-pub fn solve_latency_optimal_weighted_ctx(
-    cache: &PathCache<'_>,
-    tm: &TrafficMatrix,
-    volumes: &[f64],
-    class_weights: Option<&[f64]>,
-    config: &GrowthConfig,
-    ctx: &mut SolveContext,
-) -> Result<GrowOutcome, LpError> {
-    assert_eq!(volumes.len(), tm.aggregates().len());
-    if let Some(w) = class_weights {
-        assert_eq!(w.len(), tm.aggregates().len());
+impl<'a> GrowRequest<'a> {
+    /// A latency-optimal request with all defaults; chain setters to adjust.
+    pub fn new(source: &'a dyn PathSource, tm: &'a TrafficMatrix) -> Self {
+        GrowRequest {
+            source,
+            tm,
+            volumes: None,
+            class_weights: None,
+            config: GrowthConfig::default(),
+            objective: GrowObjective::LatencyOptimal,
+        }
     }
+
+    /// Overrides the per-aggregate volumes (LDR inflates them to buy
+    /// per-aggregate headroom). Must match the matrix's aggregate count.
+    pub fn volumes(mut self, volumes: &'a [f64]) -> Self {
+        self.volumes = Some(volumes);
+        self
+    }
+
+    /// Per-aggregate objective weights — the §8 differentiated-traffic-
+    /// classes extension. A weight of `w` makes an aggregate's delay count
+    /// `w` times as much, so the LP prefers giving it the low-latency paths
+    /// when someone must detour.
+    pub fn class_weights(mut self, weights: &'a [f64]) -> Self {
+        self.class_weights = Some(weights);
+        self
+    }
+
+    /// Growth-loop tunables (headroom, growth step, round caps).
+    pub fn config(mut self, config: &GrowthConfig) -> Self {
+        self.config = config.clone();
+        self
+    }
+
+    /// Switches to the MinMax objective (§3 "MinMax based routing").
+    pub fn minmax(mut self, k_limit: Option<usize>) -> Self {
+        self.objective = GrowObjective::MinMax { k_limit };
+        self
+    }
+
+    /// Solves cold (a fresh context every call).
+    pub fn solve(self) -> Result<GrowOutcome, LpError> {
+        self.solve_with(&mut SolveContext::new())
+    }
+
+    /// Solves warm-starting every LP from `ctx` — the deployment-cycle
+    /// entry point: keep one context per scheme and successive calls
+    /// (minutes) restart from each other's bases.
+    pub fn solve_with(self, ctx: &mut SolveContext) -> Result<GrowOutcome, LpError> {
+        let matrix_volumes: Vec<f64>;
+        let volumes: &[f64] = match self.volumes {
+            Some(v) => v,
+            None => {
+                matrix_volumes = self.tm.aggregates().iter().map(|a| a.volume_mbps).collect();
+                &matrix_volumes
+            }
+        };
+        assert_eq!(volumes.len(), self.tm.aggregates().len());
+        if let Some(w) = self.class_weights {
+            assert_eq!(w.len(), self.tm.aggregates().len());
+        }
+        if self.tm.is_empty() {
+            return Ok(GrowOutcome {
+                placement: Placement::new(Vec::new()),
+                omax: 0.0,
+                lp_pivots: 0,
+                rounds: 0,
+            });
+        }
+        match self.objective {
+            GrowObjective::LatencyOptimal => run_latency_optimal(
+                self.source,
+                self.tm,
+                volumes,
+                self.class_weights,
+                &self.config,
+                ctx,
+            ),
+            GrowObjective::MinMax { k_limit } => run_minmax(
+                self.source,
+                self.tm,
+                volumes,
+                self.class_weights,
+                k_limit,
+                &self.config,
+                ctx,
+            ),
+        }
+    }
+}
+
+/// The latency-optimal solve: Figure 13's loop around Figure 12's LP, with
+/// the pricing step asking `source` only for the columns of overloaded /
+/// saturated pairs.
+fn run_latency_optimal(
+    source: &dyn PathSource,
+    tm: &TrafficMatrix,
+    volumes: &[f64],
+    class_weights: Option<&[f64]>,
+    config: &GrowthConfig,
+    ctx: &mut SolveContext,
+) -> Result<GrowOutcome, LpError> {
     assert!((0.0..1.0).contains(&config.headroom));
-    let graph = cache.graph();
-    if tm.is_empty() {
-        return Ok(GrowOutcome {
-            placement: Placement::new(Vec::new()),
-            omax: 0.0,
-            lp_pivots: 0,
-            rounds: 0,
-        });
-    }
-    let aggs = agg_infos(cache, tm, class_weights);
-    let caps = cache.effective_capacities();
+    let graph = source.graph();
+    let aggs = agg_infos(source, tm, class_weights);
+    let caps = source.effective_capacities();
     let cap_scale = 1.0 - config.headroom;
     let mut path_sets: Vec<Vec<Path>> =
-        tm.aggregates().iter().map(|a| cache.paths(a.src, a.dst, 1)).collect();
+        tm.aggregates().iter().map(|a| source.paths(a.src, a.dst, 1)).collect();
+    let mut pricing = PricingState::new(path_sets.len());
 
     let mut pivots = 0usize;
     let mut rounds = 0usize;
@@ -752,12 +887,13 @@ pub fn solve_latency_optimal_weighted_ctx(
             break;
         }
         if !grow_crossing(
-            cache,
+            source,
             tm,
             &mut path_sets,
             &out.fractions,
             &out.critical_links,
             config.growth_step,
+            &mut pricing,
         ) {
             break; // all alternatives exhausted: congestion unavoidable
         }
@@ -791,8 +927,15 @@ pub fn solve_latency_optimal_weighted_ctx(
             break;
         }
         let old_lens: Vec<usize> = path_sets.iter().map(|s| s.len()).collect();
-        if !grow_crossing(cache, tm, &mut path_sets, &out.fractions, &saturated, config.growth_step)
-        {
+        if !grow_crossing(
+            source,
+            tm,
+            &mut path_sets,
+            &out.fractions,
+            &saturated,
+            config.growth_step,
+            &mut pricing,
+        ) {
             break;
         }
         remap_basis_after_growth(ctx, mode.tag(), out.rows, graph, &old_lens, &path_sets);
@@ -812,42 +955,23 @@ pub fn solve_latency_optimal_weighted_ctx(
 }
 
 /// MinMax: minimize the maximum link utilization, tie-broken by the delay
-/// objective (§3 "MinMax based routing"). `k_limit` caps every aggregate's
-/// path set (TeXCP's k = 10); `None` grows path sets until `U*` stops
-/// improving — the "pure MinMax" the paper evaluates.
-pub fn solve_minmax(
-    cache: &PathCache<'_>,
+/// objective (§3 "MinMax based routing").
+fn run_minmax(
+    source: &dyn PathSource,
     tm: &TrafficMatrix,
-    k_limit: Option<usize>,
-    config: &GrowthConfig,
-) -> Result<GrowOutcome, LpError> {
-    solve_minmax_ctx(cache, tm, k_limit, config, &mut SolveContext::new())
-}
-
-/// As [`solve_minmax`], warm-starting every LP from `ctx` across calls.
-pub fn solve_minmax_ctx(
-    cache: &PathCache<'_>,
-    tm: &TrafficMatrix,
+    volumes: &[f64],
+    class_weights: Option<&[f64]>,
     k_limit: Option<usize>,
     config: &GrowthConfig,
     ctx: &mut SolveContext,
 ) -> Result<GrowOutcome, LpError> {
-    let graph = cache.graph();
-    if tm.is_empty() {
-        return Ok(GrowOutcome {
-            placement: Placement::new(Vec::new()),
-            omax: 0.0,
-            lp_pivots: 0,
-            rounds: 0,
-        });
-    }
-    let aggs = agg_infos(cache, tm, None);
-    let caps = cache.effective_capacities();
-    let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
-    let mut path_sets: Vec<Vec<Path>> = match k_limit {
-        Some(k) => tm.aggregates().iter().map(|a| cache.paths(a.src, a.dst, k)).collect(),
-        None => tm.aggregates().iter().map(|a| cache.paths(a.src, a.dst, 1)).collect(),
-    };
+    let graph = source.graph();
+    let aggs = agg_infos(source, tm, class_weights);
+    let caps = source.effective_capacities();
+    let seed_k = k_limit.unwrap_or(1);
+    let mut path_sets: Vec<Vec<Path>> =
+        tm.aggregates().iter().map(|a| source.paths(a.src, a.dst, seed_k)).collect();
+    let mut pricing = PricingState::new(path_sets.len());
 
     let mut pivots = 0usize;
     let mut rounds = 0usize;
@@ -861,7 +985,7 @@ pub fn solve_minmax_ctx(
             graph,
             &aggs,
             &path_sets,
-            &volumes,
+            volumes,
             &caps,
             1.0,
             config.m1,
@@ -875,14 +999,22 @@ pub fn solve_minmax_ctx(
             break;
         }
         // The links pinning U, judged against effective (masked) capacity.
-        let loads = loads_of(graph, &path_sets, &out.fractions, &volumes);
+        let loads = loads_of(graph, &path_sets, &out.fractions, volumes);
         let pinning: Vec<LinkId> = graph
             .link_ids()
             .filter(|&l| {
                 caps[l.idx()] > 0.0 && loads[l.idx()] >= caps[l.idx()] * out.level * (1.0 - 1e-6)
             })
             .collect();
-        if !grow_crossing(cache, tm, &mut path_sets, &out.fractions, &pinning, config.growth_step) {
+        if !grow_crossing(
+            source,
+            tm,
+            &mut path_sets,
+            &out.fractions,
+            &pinning,
+            config.growth_step,
+            &mut pricing,
+        ) {
             break;
         }
     }
@@ -896,7 +1028,7 @@ pub fn solve_minmax_ctx(
         omax_cap: (best_u - 1.0).max(0.0) * (1.0 + 1e-6) + 1e-7,
         util_cap: best_u * (1.0 + 1e-5) + 1e-7,
     };
-    let out = solve_lp(graph, &aggs, &path_sets, &volumes, &caps, 1.0, config.m1, &mode, ctx)?;
+    let out = solve_lp(graph, &aggs, &path_sets, volumes, &caps, 1.0, config.m1, &mode, ctx)?;
     pivots += out.pivots;
     let omax = (best_u - 1.0).max(0.0);
     Ok(GrowOutcome {
@@ -905,6 +1037,85 @@ pub fn solve_minmax_ctx(
         lp_pivots: pivots,
         rounds,
     })
+}
+
+/// The latency-optimal solve with all defaults.
+#[deprecated(note = "use GrowRequest::new(source, tm).volumes(..).config(..).solve()")]
+pub fn solve_latency_optimal(
+    source: &dyn PathSource,
+    tm: &TrafficMatrix,
+    volumes: &[f64],
+    config: &GrowthConfig,
+) -> Result<GrowOutcome, LpError> {
+    GrowRequest::new(source, tm).volumes(volumes).config(config).solve()
+}
+
+/// The latency-optimal solve with a warm-start context.
+#[deprecated(note = "use GrowRequest::new(source, tm).volumes(..).config(..).solve_with(ctx)")]
+pub fn solve_latency_optimal_ctx(
+    source: &dyn PathSource,
+    tm: &TrafficMatrix,
+    volumes: &[f64],
+    config: &GrowthConfig,
+    ctx: &mut SolveContext,
+) -> Result<GrowOutcome, LpError> {
+    GrowRequest::new(source, tm).volumes(volumes).config(config).solve_with(ctx)
+}
+
+/// The latency-optimal solve with per-aggregate class weights.
+#[deprecated(note = "use GrowRequest::new(source, tm).class_weights(..).solve()")]
+pub fn solve_latency_optimal_weighted(
+    source: &dyn PathSource,
+    tm: &TrafficMatrix,
+    volumes: &[f64],
+    class_weights: Option<&[f64]>,
+    config: &GrowthConfig,
+) -> Result<GrowOutcome, LpError> {
+    let mut req = GrowRequest::new(source, tm).volumes(volumes).config(config);
+    if let Some(w) = class_weights {
+        req = req.class_weights(w);
+    }
+    req.solve()
+}
+
+/// The full-generality latency-optimal solve.
+#[deprecated(note = "use GrowRequest::new(source, tm).class_weights(..).solve_with(ctx)")]
+pub fn solve_latency_optimal_weighted_ctx(
+    source: &dyn PathSource,
+    tm: &TrafficMatrix,
+    volumes: &[f64],
+    class_weights: Option<&[f64]>,
+    config: &GrowthConfig,
+    ctx: &mut SolveContext,
+) -> Result<GrowOutcome, LpError> {
+    let mut req = GrowRequest::new(source, tm).volumes(volumes).config(config);
+    if let Some(w) = class_weights {
+        req = req.class_weights(w);
+    }
+    req.solve_with(ctx)
+}
+
+/// MinMax with all defaults.
+#[deprecated(note = "use GrowRequest::new(source, tm).minmax(k_limit).solve()")]
+pub fn solve_minmax(
+    source: &dyn PathSource,
+    tm: &TrafficMatrix,
+    k_limit: Option<usize>,
+    config: &GrowthConfig,
+) -> Result<GrowOutcome, LpError> {
+    GrowRequest::new(source, tm).minmax(k_limit).config(config).solve()
+}
+
+/// MinMax with a warm-start context.
+#[deprecated(note = "use GrowRequest::new(source, tm).minmax(k_limit).solve_with(ctx)")]
+pub fn solve_minmax_ctx(
+    source: &dyn PathSource,
+    tm: &TrafficMatrix,
+    k_limit: Option<usize>,
+    config: &GrowthConfig,
+    ctx: &mut SolveContext,
+) -> Result<GrowOutcome, LpError> {
+    GrowRequest::new(source, tm).minmax(k_limit).config(config).solve_with(ctx)
 }
 
 #[cfg(test)]
@@ -942,7 +1153,7 @@ mod tests {
         let topo = two_path();
         let cache = PathCache::new(topo.graph());
         let tm = tm_one(50.0);
-        let out = solve_latency_optimal(&cache, &tm, &[50.0], &GrowthConfig::default()).unwrap();
+        let out = GrowRequest::new(&cache, &tm).volumes(&[50.0]).solve().unwrap();
         assert_eq!(out.omax, 0.0);
         let pl = &out.placement.per_aggregate()[0];
         assert_eq!(pl.splits.len(), 1, "no growth needed");
@@ -954,7 +1165,7 @@ mod tests {
         let topo = two_path();
         let cache = PathCache::new(topo.graph());
         let tm = tm_one(150.0);
-        let out = solve_latency_optimal(&cache, &tm, &[150.0], &GrowthConfig::default()).unwrap();
+        let out = GrowRequest::new(&cache, &tm).volumes(&[150.0]).solve().unwrap();
         assert!(out.omax <= 1e-7, "150 fits across both paths");
         let pl = out.placement.aggregate(0);
         // 100 on the fast path, 50 on the slow one.
@@ -969,7 +1180,7 @@ mod tests {
         let topo = two_path();
         let cache = PathCache::new(topo.graph());
         let tm = tm_one(250.0);
-        let out = solve_latency_optimal(&cache, &tm, &[250.0], &GrowthConfig::default()).unwrap();
+        let out = GrowRequest::new(&cache, &tm).volumes(&[250.0]).solve().unwrap();
         assert!(out.omax > 0.2, "250 over 200 total: omax ~ 0.25, got {}", out.omax);
         // Placement still produced and structurally valid.
         assert!(out.placement.validate(topo.graph(), &tm).is_ok());
@@ -982,7 +1193,7 @@ mod tests {
         let tm = tm_one(150.0);
         let cfg = GrowthConfig { headroom: 0.4, ..Default::default() };
         // Effective capacity 60 per link: 150 > 120 -> overload.
-        let out = solve_latency_optimal(&cache, &tm, &[150.0], &cfg).unwrap();
+        let out = GrowRequest::new(&cache, &tm).volumes(&[150.0]).config(&cfg).solve().unwrap();
         assert!(out.omax > 0.1);
     }
 
@@ -1014,7 +1225,7 @@ mod tests {
             Aggregate { src: s2, dst: t2, volume_mbps: 80.0, flow_count: 16 },
         ]);
         let vols: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
-        let out = solve_latency_optimal(&cache, &tm, &vols, &GrowthConfig::default()).unwrap();
+        let out = GrowRequest::new(&cache, &tm).volumes(&vols).solve().unwrap();
         assert!(out.omax <= 1e-7, "fits: 100 through bottleneck + 60 detoured");
         // The optimum detours 60 of red (cost 1 ms extra per unit) and keeps
         // blue on the bottleneck (its detour costs 27 ms extra per unit).
@@ -1033,7 +1244,7 @@ mod tests {
         let topo = two_path();
         let cache = PathCache::new(topo.graph());
         let tm = tm_one(100.0);
-        let out = solve_minmax(&cache, &tm, None, &GrowthConfig::default()).unwrap();
+        let out = GrowRequest::new(&cache, &tm).minmax(None).solve().unwrap();
         // MinMax halves utilization by splitting 50/50 even though latency
         // suffers — exactly the §3 critique.
         let pl = out.placement.aggregate(0);
@@ -1047,7 +1258,7 @@ mod tests {
         let topo = two_path();
         let cache = PathCache::new(topo.graph());
         let tm = tm_one(100.0);
-        let out = solve_minmax(&cache, &tm, Some(1), &GrowthConfig::default()).unwrap();
+        let out = GrowRequest::new(&cache, &tm).minmax(Some(1)).solve().unwrap();
         let pl = out.placement.aggregate(0);
         assert!((pl.mean_delay_ms() - 2.0).abs() < 1e-9);
     }
@@ -1061,13 +1272,21 @@ mod tests {
         let cfg = GrowthConfig::default();
         // Minute 0 seeds the context (phase 2 may already restart from
         // phase 1's basis within the call).
-        let first = solve_latency_optimal_ctx(&cache, &tm, &[150.0], &cfg, &mut ctx).unwrap();
+        let first = GrowRequest::new(&cache, &tm)
+            .volumes(&[150.0])
+            .config(&cfg)
+            .solve_with(&mut ctx)
+            .unwrap();
         let solves_minute0 = ctx.solves();
         let hits_minute0 = ctx.warm_hits();
         // Minutes 1..: slightly drifted demand, same growth trajectory.
         for (minute, vol) in [152.0, 149.0, 155.0].into_iter().enumerate() {
-            let warm = solve_latency_optimal_ctx(&cache, &tm, &[vol], &cfg, &mut ctx).unwrap();
-            let cold = solve_latency_optimal(&cache, &tm, &[vol], &cfg).unwrap();
+            let warm = GrowRequest::new(&cache, &tm)
+                .volumes(&[vol])
+                .config(&cfg)
+                .solve_with(&mut ctx)
+                .unwrap();
+            let cold = GrowRequest::new(&cache, &tm).volumes(&[vol]).config(&cfg).solve().unwrap();
             assert!(
                 (warm.placement.aggregate(0).mean_delay_ms()
                     - cold.placement.aggregate(0).mean_delay_ms())
@@ -1125,11 +1344,11 @@ mod tests {
             prop_assert!(stats.repaired_pairs == 0, "degradation-only repair is free");
             let tm = tm_one(volume);
             let cfg = GrowthConfig::default();
-            let masked = solve_latency_optimal(&cache, &tm, &[volume], &cfg).unwrap();
+            let masked = GrowRequest::new(&cache, &tm).volumes(&[volume]).config(&cfg).solve().unwrap();
 
             let rebuilt = two_path_scaled(factors);
             let oracle_cache = PathCache::new(rebuilt.graph());
-            let oracle = solve_latency_optimal(&oracle_cache, &tm, &[volume], &cfg).unwrap();
+            let oracle = GrowRequest::new(&oracle_cache, &tm).volumes(&[volume]).config(&cfg).solve().unwrap();
 
             prop_assert!(
                 (masked.omax - oracle.omax).abs() < 1e-6,
@@ -1148,11 +1367,50 @@ mod tests {
         let topo = two_path();
         let cache = PathCache::new(topo.graph());
         let tm = tm_one(100.0);
-        let lat = solve_latency_optimal(&cache, &tm, &[100.0], &GrowthConfig::default()).unwrap();
-        let mm = solve_minmax(&cache, &tm, None, &GrowthConfig::default()).unwrap();
+        let lat = GrowRequest::new(&cache, &tm).volumes(&[100.0]).solve().unwrap();
+        let mm = GrowRequest::new(&cache, &tm).minmax(None).solve().unwrap();
         assert!(
             lat.placement.aggregate(0).mean_delay_ms()
                 < mm.placement.aggregate(0).mean_delay_ms() - 1e-6
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_grow_request() {
+        // The legacy solve_* entry points are thin shims over GrowRequest:
+        // identical placements, identical overload.
+        let topo = two_path();
+        let cache = PathCache::new(topo.graph());
+        let tm = tm_one(150.0);
+        let cfg = GrowthConfig::default();
+        let builder = GrowRequest::new(&cache, &tm).volumes(&[150.0]).config(&cfg).solve().unwrap();
+        let wrapper = solve_latency_optimal(&cache, &tm, &[150.0], &cfg).unwrap();
+        assert_eq!(
+            builder.placement.aggregate(0).mean_delay_ms(),
+            wrapper.placement.aggregate(0).mean_delay_ms()
+        );
+        assert_eq!(builder.omax, wrapper.omax);
+        let mut ctx = SolveContext::new();
+        let wrapper_ctx = solve_latency_optimal_ctx(&cache, &tm, &[150.0], &cfg, &mut ctx).unwrap();
+        assert_eq!(builder.omax, wrapper_ctx.omax);
+        let weighted =
+            solve_latency_optimal_weighted(&cache, &tm, &[150.0], Some(&[2.0]), &cfg).unwrap();
+        let weighted_builder = GrowRequest::new(&cache, &tm)
+            .volumes(&[150.0])
+            .class_weights(&[2.0])
+            .config(&cfg)
+            .solve()
+            .unwrap();
+        assert_eq!(
+            weighted.placement.aggregate(0).mean_delay_ms(),
+            weighted_builder.placement.aggregate(0).mean_delay_ms()
+        );
+        let mm_builder = GrowRequest::new(&cache, &tm).minmax(Some(1)).solve().unwrap();
+        let mm_wrapper = solve_minmax(&cache, &tm, Some(1), &cfg).unwrap();
+        assert_eq!(
+            mm_builder.placement.aggregate(0).mean_delay_ms(),
+            mm_wrapper.placement.aggregate(0).mean_delay_ms()
         );
     }
 }

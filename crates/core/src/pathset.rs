@@ -324,6 +324,49 @@ impl<'g> PathCache<'g> {
     }
 }
 
+/// The flat backend of the pricing-oracle API: every method delegates to the
+/// inherent ones above, so placements through `&dyn PathSource` are
+/// bit-identical to placements against the concrete cache.
+impl crate::source::PathSource for PathCache<'_> {
+    fn graph(&self) -> &Graph {
+        PathCache::graph(self)
+    }
+
+    fn paths(&self, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
+        PathCache::paths(self, src, dst, k)
+    }
+
+    fn shortest(&self, src: NodeId, dst: NodeId) -> Option<Path> {
+        PathCache::shortest(self, src, dst)
+    }
+
+    /// Exact for the flat cache: the shortest-path delay (all further columns
+    /// are at least this expensive), `INFINITY` when disconnected.
+    fn shortest_delay_bound(&self, src: NodeId, dst: NodeId) -> f64 {
+        PathCache::shortest(self, src, dst).map_or(f64::INFINITY, |p| p.delay_ms())
+    }
+
+    fn effective_capacities(&self) -> Vec<f64> {
+        PathCache::effective_capacities(self)
+    }
+
+    fn failure_mask(&self) -> Option<Arc<FailureMask>> {
+        PathCache::failure_mask(self)
+    }
+
+    fn apply_failure(&self, mask: &FailureMask) -> RepairStats {
+        PathCache::apply_failure(self, mask)
+    }
+
+    fn clear_failure(&self) -> RepairStats {
+        PathCache::clear_failure(self)
+    }
+
+    fn cached_pairs(&self) -> usize {
+        PathCache::cached_pairs(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,9 +9,10 @@
 use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::Topology;
 
-use crate::pathgrow::{solve_minmax, GrowthConfig};
+use crate::pathgrow::GrowRequest;
 use crate::pathset::PathCache;
 use crate::schemes::SchemeError;
+use crate::source::PathSource;
 
 /// Maximum-utilization level of `tm` on `topology` under (pure) MinMax
 /// routing — the paper's "min-cut load" of a traffic matrix.
@@ -20,14 +21,14 @@ pub fn min_cut_load(topology: &Topology, tm: &TrafficMatrix) -> Result<f64, Sche
     min_cut_load_with_cache(&cache, tm)
 }
 
-/// As [`min_cut_load`], reusing a path cache.
+/// As [`min_cut_load`], reusing any [`PathSource`].
 pub fn min_cut_load_with_cache(
-    cache: &PathCache<'_>,
+    source: &dyn PathSource,
     tm: &TrafficMatrix,
 ) -> Result<f64, SchemeError> {
-    let out = solve_minmax(cache, tm, None, &GrowthConfig::default())?;
-    // solve_minmax reports omax = max(U-1, 0); recover U from the placement.
-    let graph = cache.graph();
+    let out = GrowRequest::new(source, tm).minmax(None).solve()?;
+    // MinMax reports omax = max(U-1, 0); recover U from the placement.
+    let graph = source.graph();
     let loads = out.placement.link_loads(graph, tm);
     let u =
         graph.link_ids().map(|l| loads[l.idx()] / graph.link(l).capacity_mbps).fold(0.0, f64::max);

@@ -18,9 +18,9 @@
 use lowlat_netgraph::Path;
 use lowlat_tmgen::TrafficMatrix;
 
-use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
 use crate::schemes::{RoutingScheme, SchemeError};
+use crate::source::PathSource;
 
 /// Tunables for [`B4Routing`].
 #[derive(Clone, Debug)]
@@ -58,28 +58,28 @@ impl B4Routing {
     /// Placement through the shared path cache (the trait entry point).
     fn place_cached(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
     ) -> Result<Placement, SchemeError> {
-        let graph = cache.graph();
+        let graph = source.graph();
         let n = tm.aggregates().len();
 
         // Pass 1 fills *effective* (mask-aware) capacities scaled down by
         // the headroom reserve: a browned-out link offers only its degraded
         // capacity to the greedy fill.
-        let caps = cache.effective_capacities();
+        let caps = source.effective_capacities();
         let mut residual: Vec<f64> =
             caps.iter().map(|&c| c * (1.0 - self.config.headroom)).collect();
         let mut allocations: Vec<Vec<(Path, f64)>> = vec![Vec::new(); n];
         let mut remaining: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
-        let stuck = self.fill(cache, tm, &mut residual, &mut allocations, &mut remaining);
+        let stuck = self.fill(source, tm, &mut residual, &mut allocations, &mut remaining);
 
         // Pass 2 (§6): stragglers may eat into the reserve.
         let stuck = if self.config.headroom > 0.0 && !stuck.is_empty() {
             let loads = current_loads(graph.link_count(), &allocations);
             let mut full_residual: Vec<f64> =
                 graph.link_ids().map(|l| (caps[l.idx()] - loads[l.idx()]).max(0.0)).collect();
-            self.fill(cache, tm, &mut full_residual, &mut allocations, &mut remaining)
+            self.fill(source, tm, &mut full_residual, &mut allocations, &mut remaining)
         } else {
             stuck
         };
@@ -89,7 +89,7 @@ impl B4Routing {
         // pairs).
         for a in stuck {
             if remaining[a] > 1e-9 {
-                let sp = cache
+                let sp = source
                     .shortest(tm.aggregates()[a].src, tm.aggregates()[a].dst)
                     .expect("connected");
                 push_allocation(&mut allocations[a], sp, remaining[a]);
@@ -118,13 +118,13 @@ impl B4Routing {
     /// usable paths with demand left.
     fn fill(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         residual: &mut [f64],
         allocations: &mut [Vec<(Path, f64)>],
         remaining: &mut [f64],
     ) -> Vec<usize> {
-        let graph = cache.graph();
+        let graph = source.graph();
         let n = tm.aggregates().len();
         let eps = 1e-9;
         let has_room = |p: &Path, residual: &[f64]| -> bool {
@@ -141,7 +141,7 @@ impl B4Routing {
                 continue;
             }
             match self.next_usable_path(
-                cache,
+                source,
                 agg.src,
                 agg.dst,
                 &mut path_rank[a],
@@ -211,7 +211,7 @@ impl B4Routing {
                 if !has_room(&p, residual) {
                     let agg = &tm.aggregates()[a];
                     match self.next_usable_path(
-                        cache,
+                        source,
                         agg.src,
                         agg.dst,
                         &mut path_rank[a],
@@ -242,7 +242,7 @@ impl B4Routing {
     /// `*rank` for the first path with room on every link.
     fn next_usable_path(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         src: lowlat_topology::PopId,
         dst: lowlat_topology::PopId,
         rank: &mut usize,
@@ -250,7 +250,7 @@ impl B4Routing {
         has_room: &dyn Fn(&Path, &[f64]) -> bool,
     ) -> Option<Path> {
         while *rank < self.config.max_paths {
-            let paths = cache.paths(src, dst, *rank + 1);
+            let paths = source.paths(src, dst, *rank + 1);
             if paths.len() <= *rank {
                 return None; // graph exhausted
             }
@@ -295,8 +295,8 @@ impl RoutingScheme for B4Routing {
         }
     }
 
-    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        self.place_cached(cache, tm)
+    fn place(&self, source: &dyn PathSource, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        self.place_cached(source, tm)
     }
 }
 
@@ -404,14 +404,10 @@ mod tests {
         ]);
         let b4 = B4Routing::default().place_on(&topo, &tm2).unwrap();
         let ev_b4 = PlacementEval::evaluate(&topo, &tm2, &b4);
-        let vols: Vec<f64> = tm2.aggregates().iter().map(|a| a.volume_mbps).collect();
-        let opt = crate::pathgrow::solve_latency_optimal(
-            &PathCache::new(topo.graph()),
-            &tm2,
-            &vols,
-            &crate::pathgrow::GrowthConfig::default(),
-        )
-        .unwrap();
+        let opt =
+            crate::pathgrow::GrowRequest::new(&crate::pathset::PathCache::new(topo.graph()), &tm2)
+                .solve()
+                .unwrap();
         let ev_opt = PlacementEval::evaluate(&topo, &tm2, &opt.placement);
         assert!(ev_opt.fits(), "optimal fits (198 <= 200 with rebalancing)");
         assert!(

@@ -14,9 +14,9 @@ use std::collections::HashMap;
 use lowlat_netgraph::{shortest_path_tree, FailureMask, Graph, LinkId, NodeId, Path};
 use lowlat_tmgen::TrafficMatrix;
 
-use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
 use crate::schemes::{RoutingScheme, SchemeError};
+use crate::source::PathSource;
 
 /// Relative tolerance for "equal cost".
 const TIE_TOL: f64 = 1e-9;
@@ -134,9 +134,9 @@ impl RoutingScheme for EcmpRouting {
         "ECMP".into()
     }
 
-    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        let graph = cache.graph();
-        let mask = cache.failure_mask();
+    fn place(&self, source: &dyn PathSource, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        let graph = source.graph();
+        let mask = source.failure_mask();
         let per_aggregate = tm
             .aggregates()
             .iter()

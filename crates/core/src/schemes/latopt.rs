@@ -3,10 +3,10 @@
 
 use lowlat_tmgen::TrafficMatrix;
 
-use crate::pathgrow::{solve_latency_optimal_ctx, GrowOutcome, GrowthConfig, SolveContext};
-use crate::pathset::PathCache;
+use crate::pathgrow::{GrowOutcome, GrowRequest, GrowthConfig, SolveContext};
 use crate::placement::Placement;
 use crate::schemes::{RoutingScheme, SchemeError};
+use crate::source::PathSource;
 
 /// Configuration for [`LatencyOptimal`].
 #[derive(Clone, Debug, Default)]
@@ -35,25 +35,24 @@ impl LatencyOptimal {
         }
     }
 
-    /// Full outcome (placement + overload + LP stats) with cache reuse.
+    /// Full outcome (placement + overload + LP stats) with source reuse.
     pub fn solve_with_cache(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
     ) -> Result<GrowOutcome, SchemeError> {
-        self.solve_with_cache_ctx(cache, tm, &mut SolveContext::new())
+        self.solve_with_cache_ctx(source, tm, &mut SolveContext::new())
     }
 
     /// As [`LatencyOptimal::solve_with_cache`], warm-starting the LPs from
     /// `ctx` (kept across successive calls by timeline controllers).
     pub fn solve_with_cache_ctx(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         ctx: &mut SolveContext,
     ) -> Result<GrowOutcome, SchemeError> {
-        let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
-        Ok(solve_latency_optimal_ctx(cache, tm, &volumes, &self.config.growth, ctx)?)
+        Ok(GrowRequest::new(source, tm).config(&self.config.growth).solve_with(ctx)?)
     }
 }
 
@@ -67,17 +66,17 @@ impl RoutingScheme for LatencyOptimal {
         }
     }
 
-    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        Ok(self.solve_with_cache(cache, tm)?.placement)
+    fn place(&self, source: &dyn PathSource, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        Ok(self.solve_with_cache(source, tm)?.placement)
     }
 
     fn place_with_context(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         ctx: &mut SolveContext,
     ) -> Result<Placement, SchemeError> {
-        Ok(self.solve_with_cache_ctx(cache, tm, ctx)?.placement)
+        Ok(self.solve_with_cache_ctx(source, tm, ctx)?.placement)
     }
 }
 

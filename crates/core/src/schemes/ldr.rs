@@ -23,10 +23,11 @@ use lowlat_tmgen::TrafficMatrix;
 use lowlat_topology::Topology;
 use lowlat_traffic::{AggregateTrace, MultiplexCheck, MultiplexConfig};
 
-use crate::pathgrow::{solve_latency_optimal_ctx, GrowthConfig, SolveContext};
+use crate::pathgrow::{GrowRequest, GrowthConfig, SolveContext};
 use crate::pathset::PathCache;
 use crate::placement::Placement;
 use crate::schemes::{predict_volumes, RoutingScheme, SchemeError};
+use crate::source::PathSource;
 
 /// Configuration for [`Ldr`].
 #[derive(Clone, Debug)]
@@ -99,14 +100,13 @@ impl Ldr {
     /// under the static headroom (the trait entry point).
     fn place_cached(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         ctx: &mut SolveContext,
     ) -> Result<Placement, SchemeError> {
-        let volumes: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
         let cfg =
             GrowthConfig { headroom: self.config.static_headroom, ..self.config.growth.clone() };
-        Ok(solve_latency_optimal_ctx(cache, tm, &volumes, &cfg, ctx)?.placement)
+        Ok(GrowRequest::new(source, tm).config(&cfg).solve_with(ctx)?.placement)
     }
 
     /// The full Figure-14 loop through a fresh private cache — one-shot
@@ -139,17 +139,17 @@ impl Ldr {
     /// Panics if `traces` is not aligned with the matrix.
     pub fn place_with_traces_ctx(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         traces: &[AggregateTrace],
         ctx: &mut SolveContext,
     ) -> Result<LdrOutcome, SchemeError> {
         assert_eq!(traces.len(), tm.aggregates().len(), "one trace per aggregate");
-        let graph = cache.graph();
+        let graph = source.graph();
         let check = MultiplexCheck::new(self.config.multiplex.clone());
         // Appraise multiplexing against what the links can carry *now*: a
         // browned-out link must pass the B/C tests at its degraded capacity.
-        let caps = cache.effective_capacities();
+        let caps = source.effective_capacities();
 
         // Step 1: Algorithm-1 prediction of each aggregate's mean rate.
         let mut ba: Vec<f64> = predict_volumes(traces);
@@ -159,7 +159,10 @@ impl Ldr {
         let mut iterations = 0;
         loop {
             iterations += 1;
-            let out = solve_latency_optimal_ctx(cache, tm, &ba, &self.config.growth, ctx)?;
+            let out = GrowRequest::new(source, tm)
+                .volumes(&ba)
+                .config(&self.config.growth)
+                .solve_with(ctx)?;
 
             // Step 2: appraise multiplexing per link.
             let mut failing_links: Vec<usize> = Vec::new();
@@ -236,17 +239,17 @@ impl RoutingScheme for Ldr {
         }
     }
 
-    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        self.place_cached(cache, tm, &mut SolveContext::new())
+    fn place(&self, source: &dyn PathSource, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        self.place_cached(source, tm, &mut SolveContext::new())
     }
 
     fn place_with_context(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         ctx: &mut SolveContext,
     ) -> Result<Placement, SchemeError> {
-        self.place_cached(cache, tm, ctx)
+        self.place_cached(source, tm, ctx)
     }
 
     /// LDR's history entry point is the genuine article: prediction plus
@@ -254,15 +257,15 @@ impl RoutingScheme for Ldr {
     /// volumes.
     fn place_with_history(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         history: &[AggregateTrace],
         ctx: &mut SolveContext,
     ) -> Result<Placement, SchemeError> {
         if history.is_empty() || history.iter().any(|tr| tr.minutes() == 0) {
-            return self.place_with_context(cache, tm, ctx);
+            return self.place_with_context(source, tm, ctx);
         }
-        Ok(self.place_with_traces_ctx(cache, tm, history, ctx)?.placement)
+        Ok(self.place_with_traces_ctx(source, tm, history, ctx)?.placement)
     }
 }
 

@@ -17,9 +17,9 @@ use lowlat_linprog::{LpError, Problem, Relation};
 use lowlat_netgraph::{FailureMask, Graph, LinkId, NodeId, Path};
 use lowlat_tmgen::TrafficMatrix;
 
-use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
 use crate::schemes::{RoutingScheme, SchemeError};
+use crate::source::PathSource;
 
 /// How commodities are formed in the MCF model.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -271,10 +271,10 @@ impl RoutingScheme for LinkBasedOptimal {
         "LinkBased".into()
     }
 
-    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+    fn place(&self, source: &dyn PathSource, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
         // The link-based MCF works on raw link flows; it only borrows the
-        // cache's graph (and failure overlay), never its path sets.
-        self.solve(cache.graph(), tm, cache.failure_mask().as_deref())
+        // source's graph (and failure overlay), never its path sets.
+        self.solve(source.graph(), tm, source.failure_mask().as_deref())
     }
 }
 

@@ -3,10 +3,10 @@
 
 use lowlat_tmgen::TrafficMatrix;
 
-use crate::pathgrow::{solve_minmax_ctx, GrowOutcome, GrowthConfig, SolveContext};
-use crate::pathset::PathCache;
+use crate::pathgrow::{GrowOutcome, GrowRequest, GrowthConfig, SolveContext};
 use crate::placement::Placement;
 use crate::schemes::{RoutingScheme, SchemeError};
+use crate::source::PathSource;
 
 /// Configuration for [`MinMaxRouting`].
 #[derive(Clone, Debug, Default)]
@@ -45,24 +45,27 @@ impl MinMaxRouting {
         MinMaxRouting { config }
     }
 
-    /// Full outcome with cache reuse.
+    /// Full outcome with source reuse.
     pub fn solve_with_cache(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
     ) -> Result<GrowOutcome, SchemeError> {
-        self.solve_with_cache_ctx(cache, tm, &mut SolveContext::new())
+        self.solve_with_cache_ctx(source, tm, &mut SolveContext::new())
     }
 
     /// As [`MinMaxRouting::solve_with_cache`], warm-starting the LPs from
     /// `ctx` (kept across successive calls by timeline controllers).
     pub fn solve_with_cache_ctx(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         ctx: &mut SolveContext,
     ) -> Result<GrowOutcome, SchemeError> {
-        Ok(solve_minmax_ctx(cache, tm, self.config.k_limit, &self.config.growth, ctx)?)
+        Ok(GrowRequest::new(source, tm)
+            .minmax(self.config.k_limit)
+            .config(&self.config.growth)
+            .solve_with(ctx)?)
     }
 }
 
@@ -74,17 +77,17 @@ impl RoutingScheme for MinMaxRouting {
         }
     }
 
-    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        Ok(self.solve_with_cache(cache, tm)?.placement)
+    fn place(&self, source: &dyn PathSource, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        Ok(self.solve_with_cache(source, tm)?.placement)
     }
 
     fn place_with_context(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         ctx: &mut SolveContext,
     ) -> Result<Placement, SchemeError> {
-        Ok(self.solve_with_cache_ctx(cache, tm, ctx)?.placement)
+        Ok(self.solve_with_cache_ctx(source, tm, ctx)?.placement)
     }
 }
 

@@ -33,6 +33,7 @@ use lowlat_traffic::{AggregateTrace, Predictor};
 
 use crate::pathset::PathCache;
 use crate::placement::Placement;
+use crate::source::PathSource;
 
 pub use crate::pathgrow::SolveContext;
 
@@ -98,21 +99,23 @@ impl From<LpError> for SchemeError {
 
 /// A traffic-placement algorithm.
 ///
-/// The trait is object-safe and cache-first: the experiment engine hands
-/// every scheme the *shared* per-network [`PathCache`], so k-shortest-path
-/// work done by one scheme (or by the min-cut scaling solve) is reused by
-/// every other scheme and matrix on that network — the §5 "readily cached"
-/// observation turned into the API. Schemes are requested by name string
-/// through [`registry`].
+/// The trait is object-safe and source-first: the experiment engine hands
+/// every scheme the *shared* per-network [`PathSource`] — the flat
+/// [`PathCache`] for PoP backbones, the
+/// [`PartitionedPathEngine`](crate::hier::PartitionedPathEngine) at
+/// Internet scale — so k-shortest-path work done by one scheme (or by the
+/// min-cut scaling solve) is reused by every other scheme and matrix on
+/// that network: the §5 "readily cached" observation turned into the API.
+/// Schemes are requested by name string through [`registry`].
 pub trait RoutingScheme: Send + Sync {
     /// Display name matching the paper's legends, parameterization
     /// included ("SP", "B4-h10", "MinMaxK10", "LatOpt", "LDR",
     /// "LinkBased"). Round-trips through [`registry::build`].
     fn name(&self) -> String;
 
-    /// Computes a placement for `tm` on the graph `cache` serves, growing
-    /// (and reusing) the cached path sets as needed.
-    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError>;
+    /// Computes a placement for `tm` on the graph `source` serves, growing
+    /// (and reusing) the source's path sets as needed.
+    fn place(&self, source: &dyn PathSource, tm: &TrafficMatrix) -> Result<Placement, SchemeError>;
 
     /// As [`RoutingScheme::place`], warm-starting any LPs from `ctx` — the
     /// §5 deployment-cycle hot path. Long-running controllers keep one
@@ -120,12 +123,12 @@ pub trait RoutingScheme: Send + Sync {
     /// other's bases; schemes without an LP core ignore the context.
     fn place_with_context(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         ctx: &mut SolveContext,
     ) -> Result<Placement, SchemeError> {
         let _ = ctx;
-        self.place(cache, tm)
+        self.place(source, tm)
     }
 
     /// Places using the measured history: the timeline controller's
@@ -139,20 +142,20 @@ pub trait RoutingScheme: Send + Sync {
     /// Panics if `history` is not aligned with the matrix.
     fn place_with_history(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
         history: &[AggregateTrace],
         ctx: &mut SolveContext,
     ) -> Result<Placement, SchemeError> {
         if history.is_empty() || history.iter().any(|tr| tr.minutes() == 0) {
-            return self.place_with_context(cache, tm, ctx);
+            return self.place_with_context(source, tm, ctx);
         }
-        self.place_with_context(cache, &predicted_matrix(tm, history), ctx)
+        self.place_with_context(source, &predicted_matrix(tm, history), ctx)
     }
 
     /// Convenience for one-shot use: places on `topology` through a fresh,
-    /// private cache. Experiment loops should build one [`PathCache`] per
-    /// network and call [`RoutingScheme::place`] instead.
+    /// private flat cache. Experiment loops should build one [`PathSource`]
+    /// per network and call [`RoutingScheme::place`] instead.
     fn place_on(&self, topology: &Topology, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
         self.place(&PathCache::new(topology.graph()), tm)
     }

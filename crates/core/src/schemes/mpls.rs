@@ -12,9 +12,9 @@
 use lowlat_netgraph::Path;
 use lowlat_tmgen::TrafficMatrix;
 
-use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
 use crate::schemes::{RoutingScheme, SchemeError};
+use crate::source::PathSource;
 
 /// In which order auto-bandwidth signals the LSPs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,12 +65,12 @@ impl MplsAutoBandwidth {
     /// Placement through the shared path cache (the trait entry point).
     fn place_cached(
         &self,
-        cache: &PathCache<'_>,
+        source: &dyn PathSource,
         tm: &TrafficMatrix,
     ) -> Result<Placement, SchemeError> {
         // Reservations admit against *effective* (mask-aware) capacities: a
         // browned-out link only offers its degraded capacity to new LSPs.
-        let mut residual: Vec<f64> = cache
+        let mut residual: Vec<f64> = source
             .effective_capacities()
             .into_iter()
             .map(|c| c * (1.0 - self.config.headroom))
@@ -103,7 +103,7 @@ impl MplsAutoBandwidth {
             // Shortest path whose every link holds the whole reservation.
             let mut chosen: Option<Path> = None;
             for k in 1..=self.config.max_paths {
-                let paths = cache.paths(agg.src, agg.dst, k);
+                let paths = source.paths(agg.src, agg.dst, k);
                 if paths.len() < k {
                     break;
                 }
@@ -116,7 +116,7 @@ impl MplsAutoBandwidth {
             // No path fits the whole LSP: signal it on the shortest path
             // anyway (the congestion the paper measures).
             let path = chosen
-                .unwrap_or_else(|| cache.shortest(agg.src, agg.dst).expect("connected topology"));
+                .unwrap_or_else(|| source.shortest(agg.src, agg.dst).expect("connected topology"));
             for &l in path.links() {
                 residual[l.idx()] -= volume; // may go negative: congestion
             }
@@ -131,8 +131,8 @@ impl RoutingScheme for MplsAutoBandwidth {
         "MPLS-TE".into()
     }
 
-    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
-        self.place_cached(cache, tm)
+    fn place(&self, source: &dyn PathSource, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+        self.place_cached(source, tm)
     }
 }
 

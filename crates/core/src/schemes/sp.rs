@@ -3,9 +3,9 @@
 
 use lowlat_tmgen::TrafficMatrix;
 
-use crate::pathset::PathCache;
 use crate::placement::{AggregatePlacement, Placement};
 use crate::schemes::{RoutingScheme, SchemeError};
+use crate::source::PathSource;
 
 /// Every aggregate rides its single lowest-delay path, demand-oblivious.
 #[derive(Clone, Copy, Debug, Default)]
@@ -16,13 +16,13 @@ impl RoutingScheme for ShortestPathRouting {
         "SP".into()
     }
 
-    fn place(&self, cache: &PathCache<'_>, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
+    fn place(&self, source: &dyn PathSource, tm: &TrafficMatrix) -> Result<Placement, SchemeError> {
         let per_aggregate = tm
             .aggregates()
             .iter()
             .map(|a| AggregatePlacement {
                 splits: vec![(
-                    cache.shortest(a.src, a.dst).expect("topologies are connected"),
+                    source.shortest(a.src, a.dst).expect("topologies are connected"),
                     1.0,
                 )],
             })

@@ -1,0 +1,94 @@
+//! The pricing-oracle abstraction behind every LP scheme: [`PathSource`].
+//!
+//! The Figure-13 growth loop never needs *all* paths of a pair — it asks for
+//! the next-cheapest candidates of the aggregates that are currently
+//! overloaded (classic column generation, with paths as columns). This trait
+//! is that contract, decoupled from any concrete cache:
+//!
+//! * [`PathCache`](crate::pathset::PathCache) implements it with flat,
+//!   fully-materialized incremental Yen generators — bit-identical to the
+//!   pre-trait behavior, right for PoP backbones (tens of nodes).
+//! * [`PartitionedPathEngine`](crate::hier::PartitionedPathEngine)
+//!   implements it with per-leaf scoped caches plus landmark stitching —
+//!   columns are priced on demand and cross-leaf per-pair state is never
+//!   materialized, which is what makes *placement* (not just KSP queries)
+//!   Internet-scale.
+//!
+//! Everything above the pricing step — the LPs, the schemes, the failure
+//! drill, the sim runner/timeline — takes `&dyn PathSource` and runs
+//! unchanged on either backend.
+
+use std::sync::Arc;
+
+use lowlat_netgraph::{FailureMask, Graph, NodeId, Path};
+
+use crate::pathset::RepairStats;
+
+/// A source of candidate paths (columns) for the placement LPs, with a
+/// mask-aware capacity view and failure plumbing.
+///
+/// Object-safe and `Sync`: the experiment engine shares one source per
+/// network across worker threads, exactly as it shared the flat cache.
+///
+/// # Contract
+///
+/// * [`paths`](PathSource::paths) returns up to `k` loopless paths,
+///   best-first, deterministic in `(graph, active mask, k)` — never in the
+///   history of other queries. Fewer than `k` (possibly zero under a
+///   disconnecting failure) means the source cannot produce more.
+/// * [`grow`](PathSource::grow) is the column-generation entry point: ask
+///   for `want` candidates, use the suffix beyond what you already had. A
+///   result shorter than `want` means the pair is exhausted — re-asking
+///   will not produce more.
+/// * [`shortest_delay_bound`](PathSource::shortest_delay_bound) bounds the
+///   delay of the best column the source can price for the pair;
+///   `INFINITY` means it cannot price any beyond a bare reachability
+///   fallback, so growth loops skip the pair.
+/// * Failure methods mirror the flat cache: `apply_failure` puts a mask in
+///   force (repairing internal state), `clear_failure` restores the intact
+///   view, and both require concurrent queries to be quiescent.
+pub trait PathSource: Sync {
+    /// The graph this source routes over.
+    fn graph(&self) -> &Graph;
+
+    /// Up to `k` loopless paths from `src` to `dst`, best-first.
+    fn paths(&self, src: NodeId, dst: NodeId, k: usize) -> Vec<Path>;
+
+    /// The single best path (`None` when disconnected under the mask).
+    fn shortest(&self, src: NodeId, dst: NodeId) -> Option<Path> {
+        self.paths(src, dst, 1).into_iter().next()
+    }
+
+    /// Prices the next columns of a pair: returns up to `want` candidates
+    /// (a superset-prefix of every earlier call). The default simply
+    /// delegates to [`PathSource::paths`]; sources with a cheaper
+    /// incremental route may override.
+    fn grow(&self, src: NodeId, dst: NodeId, want: usize) -> Vec<Path> {
+        self.paths(src, dst, want)
+    }
+
+    /// Upper bound (ms) on the delay of the best column this source can
+    /// price for `(src, dst)` — `INFINITY` when it cannot price any (the
+    /// pair may still be reachable through an exact fallback, but growth
+    /// cannot help it).
+    fn shortest_delay_bound(&self, src: NodeId, dst: NodeId) -> f64;
+
+    /// Per-link effective capacities (Mbps) under the active failure mask,
+    /// indexed by `LinkId` — raw capacities when no mask is in force.
+    fn effective_capacities(&self) -> Vec<f64>;
+
+    /// The failure mask currently in force, if any.
+    fn failure_mask(&self) -> Option<Arc<FailureMask>>;
+
+    /// Puts `mask` in force and repairs internal state. An empty mask is
+    /// equivalent to [`PathSource::clear_failure`].
+    fn apply_failure(&self, mask: &FailureMask) -> RepairStats;
+
+    /// Restores the intact topology view.
+    fn clear_failure(&self) -> RepairStats;
+
+    /// Number of (src, dst) pairs with materialized per-pair state — the
+    /// "never the full corpus" gauge the scale smoke asserts stays bounded
+    /// by the columns actually priced in.
+    fn cached_pairs(&self) -> usize;
+}

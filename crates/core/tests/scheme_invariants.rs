@@ -211,14 +211,9 @@ fn registry_schemes_respect_effective_capacities_under_brownouts() {
         // The literal "LP reports feasible": the latency-optimal LP must
         // find a zero-overload placement against the effective capacities.
         if topo.pop_count() <= FAILURE_LP_POP_CAP {
-            let vols: Vec<f64> = tm.aggregates().iter().map(|a| a.volume_mbps).collect();
-            let out = lowlat_core::pathgrow::solve_latency_optimal(
-                &cache,
-                &tm,
-                &vols,
-                &lowlat_core::pathgrow::GrowthConfig::default(),
-            )
-            .expect("LatOpt under brown-out");
+            let out = lowlat_core::pathgrow::GrowRequest::new(&cache, &tm)
+                .solve()
+                .expect("LatOpt under brown-out");
             assert!(
                 out.omax <= 1e-7,
                 "{}: LatOpt reports overload {} under a fitting brown-out",

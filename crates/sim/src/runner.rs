@@ -24,6 +24,7 @@ use lowlat_core::llpd::{LlpdAnalysis, LlpdConfig};
 use lowlat_core::pathset::PathCache;
 use lowlat_core::scale::min_cut_load_with_cache;
 use lowlat_core::schemes::{registry, RoutingScheme};
+use lowlat_core::PathSource;
 use lowlat_tmgen::{GravityTmGen, TmGenConfig, TrafficMatrix};
 use lowlat_topology::zoo::ZooClass;
 use lowlat_topology::Topology;
@@ -335,8 +336,11 @@ pub fn run_grid_replay_with_workers(
             },
         )
         .collect();
+    let sources: Vec<&dyn PathSource> = caches.iter().map(|c| c as &dyn PathSource).collect();
+    let scale_sources: Vec<Option<&dyn PathSource>> =
+        scale_caches.iter().map(|o| o.as_ref().map(|c| c as &dyn PathSource)).collect();
 
-    run_with_resources(networks, traffic_from, grid, workers, &llpds, &caches, &scale_caches)
+    run_with_resources(networks, traffic_from, grid, workers, &llpds, &sources, &scale_sources)
 }
 
 /// Sweeps many (load, locality) scenario points over one corpus. LLPD and
@@ -352,12 +356,13 @@ pub fn run_scenarios(
     let workers = default_workers();
     let llpds = llpd_map_with_workers(networks, &LlpdConfig::default(), workers);
     let caches: Vec<PathCache<'_>> = networks.iter().map(|t| PathCache::new(t.graph())).collect();
-    let scale_caches: Vec<Option<PathCache<'_>>> = networks.iter().map(|_| None).collect();
+    let sources: Vec<&dyn PathSource> = caches.iter().map(|c| c as &dyn PathSource).collect();
+    let scale_sources: Vec<Option<&dyn PathSource>> = networks.iter().map(|_| None).collect();
     scenarios
         .iter()
         .map(|&(load, locality)| {
             let grid = RunGrid { load, locality, tms_per_network, schemes: schemes.to_vec() };
-            run_with_resources(networks, networks, &grid, workers, &llpds, &caches, &scale_caches)
+            run_with_resources(networks, networks, &grid, workers, &llpds, &sources, &scale_sources)
         })
         .collect()
 }
@@ -365,14 +370,14 @@ pub fn run_scenarios(
 /// One scenario's two-stage work-stealing pass over precomputed per-network
 /// resources — the common core of the one-shot entry points and
 /// [`run_scenarios`].
-fn run_with_resources<'g>(
-    networks: &'g [Topology],
-    traffic_from: &'g [Topology],
+fn run_with_resources(
+    networks: &[Topology],
+    traffic_from: &[Topology],
     grid: &RunGrid,
     workers: usize,
     llpds: &[f64],
-    caches: &[PathCache<'g>],
-    scale_caches: &[Option<PathCache<'g>>],
+    sources: &[&dyn PathSource],
+    scale_sources: &[Option<&dyn PathSource>],
 ) -> Vec<RunRecord> {
     let tms = grid.tms_per_network as usize;
 
@@ -394,10 +399,10 @@ fn run_with_resources<'g>(
                     }
                     let (n, t) = (item / tms, item % tms);
                     let raw = gen.generate(&traffic_from[n], t as u64);
-                    let scale_cache = scale_caches[n].as_ref().unwrap_or(&caches[n]);
+                    let scale_source = scale_sources[n].unwrap_or(sources[n]);
                     // LP failure or an empty matrix: leave the slot empty,
                     // keep the run alive.
-                    let Ok(u0) = min_cut_load_with_cache(scale_cache, &raw) else {
+                    let Ok(u0) = min_cut_load_with_cache(scale_source, &raw) else {
                         continue;
                     };
                     if u0 <= 0.0 {
@@ -433,7 +438,7 @@ fn run_with_resources<'g>(
                     continue;
                 };
                 let started = Instant::now();
-                let Ok(placement) = scheme.place(&caches[n], tm) else {
+                let Ok(placement) = scheme.place(sources[n], tm) else {
                     continue; // solver failure: skip the item, keep the run
                 };
                 let runtime_ms = started.elapsed().as_secs_f64() * 1000.0;

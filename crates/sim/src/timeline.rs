@@ -12,10 +12,13 @@
 //! scheme either *adaptively* (re-placed every minute from the measured
 //! history — LDR runs its full Figure-14 loop, everything else re-places
 //! Algorithm-1 predicted demands) or *statically* (placed once up front,
-//! the OSPF-style baseline). One shared [`PathCache`] and one warm-start
+//! the OSPF-style baseline). One shared [`PathSource`] and one warm-start
 //! [`SolveContext`] persist across the whole run, so successive minutes
 //! restart from each other's LP bases — the reason the cycle is fast
-//! enough to run every minute.
+//! enough to run every minute. The default entry points build a private
+//! flat [`PathCache`]; [`simulate_with_events_on`] runs the same cycle
+//! through any caller-provided source — the partitioned engine at
+//! Internet scale.
 //!
 //! ## Failure events
 //!
@@ -83,7 +86,7 @@ use lowlat_core::pathset::PathCache;
 use lowlat_core::placement::{AggregatePlacement, PlacementDelta};
 use lowlat_core::schemes::registry::{self, UnknownScheme};
 use lowlat_core::schemes::{predict_volumes, RoutingScheme, SolveContext};
-use lowlat_core::Placement;
+use lowlat_core::{PathSource, Placement};
 use lowlat_netgraph::{FailureMask, Graph, LinkId, Path};
 use lowlat_telemetry as telemetry;
 use lowlat_tmgen::TrafficMatrix;
@@ -477,7 +480,29 @@ pub fn simulate_with_events(
     config: &TimelineConfig,
     events: &[TimelineEvent],
 ) -> TimelineOutcome {
-    run_timeline(topology, tm, controller, config, events, None)
+    let cache = PathCache::new(topology.graph());
+    run_timeline(&cache, tm, controller, config, events, None)
+}
+
+/// As [`simulate_with_events`], through a caller-provided [`PathSource`]
+/// instead of a private flat cache — the partitioned engine at Internet
+/// scale. The controller's repair/re-place cycle uses the source's failure
+/// plumbing (`apply_failure` + warm re-placement), so adaptive and
+/// bounded-churn control run unchanged on either backend.
+///
+/// The source must be quiescent (no concurrent queries) for the duration
+/// of the run: event minutes mutate its failure state in place.
+///
+/// # Panics
+/// As [`simulate_with_events`].
+pub fn simulate_with_events_on(
+    source: &dyn PathSource,
+    tm: &TrafficMatrix,
+    controller: &Controller,
+    config: &TimelineConfig,
+    events: &[TimelineEvent],
+) -> TimelineOutcome {
+    run_timeline(source, tm, controller, config, events, None)
 }
 
 /// As [`simulate_with_events`], with the load-induced cascade model armed:
@@ -495,7 +520,8 @@ pub fn simulate_with_cascades(
     events: &[TimelineEvent],
     cascade: &CascadeConfig,
 ) -> TimelineOutcome {
-    run_timeline(topology, tm, controller, config, events, Some(cascade))
+    let cache = PathCache::new(topology.graph());
+    run_timeline(&cache, tm, controller, config, events, Some(cascade))
 }
 
 /// `numer / denom`, 0 when the denominator is not positive — keeps a
@@ -529,7 +555,7 @@ impl QueuedEvent {
 }
 
 fn run_timeline(
-    topology: &Topology,
+    source: &dyn PathSource,
     tm: &TrafficMatrix,
     controller: &Controller,
     config: &TimelineConfig,
@@ -563,17 +589,17 @@ fn run_timeline(
         })
         .collect();
 
-    let graph = topology.graph();
-    // One cache and one warm-start context for the whole run: the §5 cycle's
-    // speed comes from successive minutes reusing paths and LP bases — and
-    // from repairing, not rebuilding, the cache when the topology changes.
-    let cache = PathCache::new(graph);
+    let graph = source.graph();
+    // One source and one warm-start context for the whole run: the §5
+    // cycle's speed comes from successive minutes reusing paths and LP
+    // bases — and from repairing, not rebuilding, when the topology
+    // changes.
     let mut ctx = SolveContext::new();
 
     let static_placement: Option<Placement> = if controller.adaptive {
         None
     } else {
-        Some(controller.scheme.place(&cache, tm).expect("static placement"))
+        Some(controller.scheme.place(source, tm).expect("static placement"))
     };
     let total_volume = tm.total_volume_mbps();
 
@@ -635,7 +661,7 @@ fn run_timeline(
             // initial placement, so there is nothing to repair — the mask
             // alone drives its loss accounting and replay.
             if controller.adaptive {
-                let stats = cache.apply_failure(&new_mask);
+                let stats = source.apply_failure(&new_mask);
                 repaired_pairs += stats.repaired_pairs;
                 kept_pairs += stats.kept_pairs;
             }
@@ -680,7 +706,7 @@ fn run_timeline(
                     .collect();
                 let candidate = controller
                     .scheme
-                    .place_with_history(&cache, minute_tm, &history, &mut ctx)
+                    .place_with_history(source, minute_tm, &history, &mut ctx)
                     .expect("adaptive placement");
                 match &controller.churn {
                     Some(budget) => {
@@ -862,9 +888,9 @@ fn run_timeline(
         }
         let latency_stretch = match &placement {
             Some(pl) if static_placement.is_some() => {
-                PlacementEval::evaluate(topology, tm, pl).latency_stretch()
+                PlacementEval::evaluate_on(graph, tm, pl).latency_stretch()
             }
-            Some(pl) => PlacementEval::evaluate(topology, minute_tm, pl).latency_stretch(),
+            Some(pl) => PlacementEval::evaluate_on(graph, minute_tm, pl).latency_stretch(),
             None => 1.0,
         };
         minutes.push(MinuteReport {
@@ -1099,6 +1125,37 @@ mod tests {
         // No events: nothing repaired, nothing lost.
         assert_eq!(out.repair_events, 0);
         assert_eq!(out.max_unroutable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn controller_runs_unchanged_on_the_partitioned_engine() {
+        // The deployment cycle through `&dyn PathSource`: on a one-leaf
+        // network the partitioned engine prices exactly the flat cache's
+        // columns, so an eventful adaptive run must agree minute-for-minute
+        // (decision_ms, the one wall-clock field, excluded).
+        use lowlat_core::hier::{EngineConfig, PartitionedPathEngine};
+        let (topo, tm) = setup();
+        let cfg = TimelineConfig {
+            minutes: 4,
+            warmup_minutes: 2,
+            cv: 0.2,
+            seed: 9,
+            ..Default::default()
+        };
+        let scenario = single_link_failures(&topo).into_iter().next().expect("a cable");
+        let events = vec![TimelineEvent { at_minute: 1, mask: scenario.mask(&topo) }];
+        let flat = simulate_with_events(&topo, &tm, &Controller::ldr(), &cfg, &events);
+        let engine = PartitionedPathEngine::build(topo.graph(), &EngineConfig::default());
+        let part = simulate_with_events_on(&engine, &tm, &Controller::ldr(), &cfg, &events);
+        assert_eq!(flat.minutes.len(), part.minutes.len());
+        for (a, b) in flat.minutes.iter().zip(&part.minutes) {
+            assert_eq!(a.worst_queue_ms, b.worst_queue_ms);
+            assert_eq!(a.latency_stretch, b.latency_stretch);
+            assert_eq!(a.unroutable_fraction, b.unroutable_fraction);
+            assert_eq!(a.paths_changed, b.paths_changed);
+        }
+        assert_eq!(flat.repair_events, part.repair_events);
+        assert_eq!((flat.repaired_pairs, flat.kept_pairs), (part.repaired_pairs, part.kept_pairs));
     }
 
     #[test]

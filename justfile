@@ -19,7 +19,7 @@ bench:
 bench-report out="auto":
     cargo bench -p lowlat_bench --bench substrates --bench fig_schemes \
         --bench warmstart --bench timeline --bench failure --bench controller \
-        --bench hierarchy \
+        --bench hierarchy --bench pricing \
         | cargo run --release -p lowlat_bench --bin bench_report -- \
             --baseline auto --out {{out}} --max-regress 0.25 --skip engine/
 
